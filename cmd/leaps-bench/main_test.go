@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunRequiresSelection(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no selection accepted")
+	}
+}
+
+func TestRunFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench run is slow")
+	}
+	if err := run([]string{"-fig2", "-fig5", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}

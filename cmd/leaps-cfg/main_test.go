@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/etl"
+	"repro/internal/trace"
+)
+
+func writeLogs(t *testing.T, dir string) (benign, mixed string) {
+	t.Helper()
+	spec, err := dataset.ByName("vim_reverse_tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.BenignEvents, spec.MixedEvents = 1500, 1500
+	logs, err := spec.Generate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, log *trace.Log) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := etl.WriteLogs(f, log); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	return write("benign.letl", logs.Benign), write("mixed.letl", logs.Mixed)
+}
+
+func TestRunInferAndDiff(t *testing.T) {
+	dir := t.TempDir()
+	benign, mixed := writeLogs(t, dir)
+	dot := filepath.Join(dir, "out.dot")
+	if err := run([]string{"-log", benign, "-dot", dot, "-diff", mixed}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph") {
+		t.Error("DOT output malformed")
+	}
+	if !strings.Contains(string(data), "main") {
+		t.Error("DOT output missing resolved function names")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -log accepted")
+	}
+	if err := run([]string{"-log", "/no/such.letl"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

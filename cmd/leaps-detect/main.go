@@ -1,0 +1,120 @@
+// Command leaps-detect runs the LEAPS testing phase: it applies a trained
+// model file to a raw event trace log and reports per-window verdicts.
+//
+// Usage:
+//
+//	leaps-detect -model leaps.model -log suspect.letl [-app vim.exe] \
+//	    [-v] [-expect benign|malicious]
+//
+// With -expect, the log is treated as ground truth of one class and the
+// hit rate is reported (how Table I's TPR/TNR columns are produced).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/etl"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "leaps-detect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("leaps-detect", flag.ContinueOnError)
+	var (
+		modelPath = fs.String("model", "", "trained model file from leaps-train")
+		logPath   = fs.String("log", "", "raw log to classify (.letl)")
+		app       = fs.String("app", "", "application to slice (defaults to the only process)")
+		verbose   = fs.Bool("v", false, "print every window verdict")
+		expect    = fs.String("expect", "", "ground truth class: benign or malicious")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" || *logPath == "" {
+		return fmt.Errorf("missing -model or -log")
+	}
+	switch *expect {
+	case "", "benign", "malicious":
+	default:
+		return fmt.Errorf("-expect must be benign or malicious, got %q", *expect)
+	}
+
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	clf, err := core.LoadClassifier(mf)
+	if cerr := mf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+
+	log, err := readLog(*logPath, *app)
+	if err != nil {
+		return err
+	}
+	dets, err := clf.DetectLog(log)
+	if err != nil {
+		return err
+	}
+	if len(dets) == 0 {
+		return fmt.Errorf("log too short: no full event windows")
+	}
+
+	var malicious int
+	for _, d := range dets {
+		if d.Malicious {
+			malicious++
+		}
+		if *verbose {
+			verdict := "benign"
+			if d.Malicious {
+				verdict = "MALICIOUS"
+			}
+			fmt.Printf("events %5d-%5d  score %+.4f  %s\n", d.FirstEvent, d.LastEvent, d.Score, verdict)
+		}
+	}
+	fmt.Printf("%s: %d windows, %d flagged malicious (%.1f%%)\n",
+		*logPath, len(dets), malicious, 100*float64(malicious)/float64(len(dets)))
+
+	if *expect != "" {
+		correct := len(dets) - malicious
+		if *expect == "malicious" {
+			correct = malicious
+		}
+		fmt.Printf("hit rate vs %s ground truth: %.3f\n",
+			*expect, float64(correct)/float64(len(dets)))
+	}
+	return nil
+}
+
+func readLog(path, app string) (*trace.Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	raw, err := etl.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if app == "" {
+		pids := raw.PIDs()
+		if len(pids) != 1 {
+			return nil, fmt.Errorf("%s holds %d processes; use -app", path, len(pids))
+		}
+		return raw.Slice(pids[0])
+	}
+	return raw.SliceApp(app)
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/etl"
+	"repro/internal/svm"
+	"repro/internal/trace"
+)
+
+// buildFixtures trains a model on a small dataset and writes the model and
+// the malicious log to disk.
+func buildFixtures(t *testing.T, dir string) (modelPath, malPath string) {
+	t.Helper()
+	spec, err := dataset.ByName("vim_reverse_tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.BenignEvents, spec.MixedEvents, spec.MaliciousEvents = 2000, 2000, 1000
+	logs, err := spec.Generate(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := core.BuildTrainingData(logs.Benign, logs.Mixed, core.Config{
+		Seed:        1,
+		FixedParams: &svm.Params{Lambda: 8, Kernel: svm.RBFKernel{Sigma2: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := td.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelPath = filepath.Join(dir, "m.model")
+	mf, err := os.Create(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clf.Save(mf); err != nil {
+		t.Fatal(err)
+	}
+	if err := mf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	malPath = filepath.Join(dir, "mal.letl")
+	writeLogFile(t, malPath, logs.Malicious)
+	return modelPath, malPath
+}
+
+func writeLogFile(t *testing.T, path string, log *trace.Log) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := etl.WriteLogs(f, log); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDetects(t *testing.T) {
+	dir := t.TempDir()
+	model, mal := buildFixtures(t, dir)
+	if err := run([]string{"-model", model, "-log", mal, "-expect", "malicious"}); err != nil {
+		t.Fatal(err)
+	}
+	// Verbose path.
+	if err := run([]string{"-model", model, "-log", mal, "-v"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing inputs accepted")
+	}
+	if err := run([]string{"-model", "x", "-log", "y", "-expect", "weird"}); err == nil {
+		t.Error("bad -expect accepted")
+	}
+	if err := run([]string{"-model", "/no/such.model", "-log", "/no/such.letl"}); err == nil {
+		t.Error("missing files accepted")
+	}
+}

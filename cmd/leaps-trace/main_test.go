@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/etl"
+)
+
+func TestRunGeneratesThreeLogs(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-dataset", "vim_reverse_tcp", "-out", dir, "-seed", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{"benign", "mixed", "malicious"} {
+		path := filepath.Join(dir, "vim_reverse_tcp_"+suffix+".letl")
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("missing %s: %v", path, err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -dataset accepted")
+	}
+	if err := run([]string{"-dataset", "nope"}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run([]string{"-bogusflag"}); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}
+
+func TestRunSystemWide(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-dataset", "vim_reverse_tcp", "-out", dir, "-seed", "4", "-system"}); err != nil {
+		t.Fatal(err)
+	}
+	// The system-wide benign file holds three processes; slicing the
+	// application back out recovers its events only.
+	f, err := os.Open(filepath.Join(dir, "vim_reverse_tcp_benign.letl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	raw, err := etl.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(raw.PIDs()); got != 3 {
+		t.Fatalf("system file holds %d processes, want 3", got)
+	}
+	vim, err := raw.SliceApp("vim.exe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range vim.Events[:50] {
+		for _, fr := range e.Stack {
+			if fr.Module == "svchost.exe" || fr.Module == "explorer.exe" {
+				t.Fatal("application slice contains background frames")
+			}
+		}
+	}
+	if _, err := raw.SliceApp("svchost.exe"); err != nil {
+		t.Errorf("background process missing from system file: %v", err)
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/etl"
+	"repro/internal/trace"
+)
+
+// writeDataset materialises a small dataset's logs as .letl files.
+func writeDataset(t *testing.T, dir string) (benign, mixed, malicious string) {
+	t.Helper()
+	spec, err := dataset.ByName("vim_reverse_tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.BenignEvents, spec.MixedEvents, spec.MaliciousEvents = 2000, 2000, 1000
+	logs, err := spec.Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, log *trace.Log) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := etl.WriteLogs(f, log); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	return write("benign.letl", logs.Benign),
+		write("mixed.letl", logs.Mixed),
+		write("malicious.letl", logs.Malicious)
+}
+
+func TestRunTrainsAndSavesModel(t *testing.T) {
+	dir := t.TempDir()
+	benign, mixed, _ := writeDataset(t, dir)
+	model := filepath.Join(dir, "out.model")
+	err := run([]string{
+		"-benign", benign, "-mixed", mixed, "-model", model,
+		"-lambda", "8", "-sigma2", "2", "-seed", "1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("model file is empty")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing inputs accepted")
+	}
+	if err := run([]string{"-benign", "/no/such.letl", "-mixed", "/no/such.letl"}); err == nil {
+		t.Error("missing files accepted")
+	}
+}

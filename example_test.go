@@ -1,0 +1,98 @@
+package leaps_test
+
+import (
+	"bytes"
+	"fmt"
+
+	leaps "repro"
+)
+
+// ExampleTrain shows the full training and testing phases on a synthetic
+// trojaned-vim dataset.
+func ExampleTrain() {
+	logs, err := leaps.GenerateDataset("vim_reverse_tcp", 42)
+	if err != nil {
+		fmt.Println("generate:", err)
+		return
+	}
+	det, err := leaps.Train(logs.Benign, logs.Mixed,
+		leaps.WithSeed(42), leaps.WithFixedParams(8, 2))
+	if err != nil {
+		fmt.Println("train:", err)
+		return
+	}
+	dets, err := det.Detect(logs.Malicious)
+	if err != nil {
+		fmt.Println("detect:", err)
+		return
+	}
+	flagged := 0
+	for _, d := range dets {
+		if d.Malicious {
+			flagged++
+		}
+	}
+	fmt.Printf("flagged %d of %d windows\n", flagged, len(dets))
+	// Output: flagged 298 of 300 windows
+}
+
+// ExampleDetector_AttackEntryPoints backtracks where the trojan first
+// hijacked control flow.
+func ExampleDetector_AttackEntryPoints() {
+	logs, err := leaps.GenerateDataset("vim_reverse_tcp", 7)
+	if err != nil {
+		fmt.Println("generate:", err)
+		return
+	}
+	det, err := leaps.Train(logs.Benign, logs.Mixed,
+		leaps.WithSeed(7), leaps.WithFixedParams(8, 2))
+	if err != nil {
+		fmt.Println("train:", err)
+		return
+	}
+	for _, ep := range det.AttackEntryPoints() {
+		fmt.Printf("entry first observed at event %d\n", ep.Events[0])
+	}
+	// Output: entry first observed at event 0
+}
+
+// ExampleWriteRawLog round-trips a log through the binary raw format.
+func ExampleWriteRawLog() {
+	logs, err := leaps.GenerateDataset("putty_reverse_tcp", 3)
+	if err != nil {
+		fmt.Println("generate:", err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := leaps.WriteRawLog(&buf, logs.Benign); err != nil {
+		fmt.Println("write:", err)
+		return
+	}
+	back, err := leaps.ParseRawLog(&buf, "putty.exe")
+	if err != nil {
+		fmt.Println("parse:", err)
+		return
+	}
+	fmt.Printf("%s: %v events survived\n", back.App, back.Len() == logs.Benign.Len())
+	// Output: putty.exe: true events survived
+}
+
+// ExampleEvaluate reproduces one dataset's model comparison.
+func ExampleEvaluate() {
+	logs, err := leaps.GenerateDataset("vim_codeinject", 4)
+	if err != nil {
+		fmt.Println("generate:", err)
+		return
+	}
+	res, err := leaps.Evaluate(logs.Benign, logs.Mixed, logs.Malicious,
+		leaps.WithSeed(4), leaps.WithFixedParams(8, 2))
+	if err != nil {
+		fmt.Println("evaluate:", err)
+		return
+	}
+	fmt.Printf("WSVM beats SVM: %v\n", res.WSVM.ACC > res.SVM.ACC)
+	fmt.Printf("WSVM beats CGraph: %v\n", res.WSVM.ACC > res.CGraph.ACC)
+	// Output:
+	// WSVM beats SVM: true
+	// WSVM beats CGraph: true
+}

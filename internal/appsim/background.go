@@ -1,0 +1,59 @@
+package appsim
+
+// Background process profiles. A real system event log interleaves many
+// processes; the paper's testing phase "perform[s] application slicing on
+// the system event log" to isolate the application of interest (§II-B2).
+// These profiles synthesise that ambient activity so the raw-log parser's
+// slicing is exercised against realistic multi-process files.
+
+// SvchostProfile models a service host: timers, registry reads, occasional
+// network beacons to update services — quiet, periodic activity.
+func SvchostProfile() Profile {
+	return Profile{
+		Name: "svchost.exe",
+		Ops: []OpSpec{
+			{Name: "service_tick", Weight: 5, Depth: 2, Steps: []StepSpec{
+				step("reg_read", 1, 2), step("mem_alloc", 1, 1),
+			}},
+			{Name: "update_poll", Weight: 1, Depth: 3, Steps: []StepSpec{
+				step("dns_lookup", 1, 1), step("https_request", 1, 1), step("https_response", 1, 2),
+			}},
+			{Name: "event_log_write", Weight: 2, Depth: 2, Steps: []StepSpec{
+				pstep("file_open", 1, 1, 2), pstep("file_write", 1, 2, 2), pstep("file_close", 1, 1, 2),
+			}},
+		},
+	}
+}
+
+// ExplorerProfile models a desktop shell: UI pump, directory listings,
+// process launches.
+func ExplorerProfile() Profile {
+	return Profile{
+		Name: "explorer.exe",
+		Ops: []OpSpec{
+			{Name: "ui_pump", Weight: 5, Depth: 1, Steps: []StepSpec{
+				step("ui_message", 2, 6), step("ui_paint", 1, 2),
+			}},
+			{Name: "list_directory", Weight: 3, Depth: 2, Steps: []StepSpec{
+				pstep("file_open", 1, 2, 2), pstep("file_read", 1, 3, 2), pstep("file_close", 1, 2, 2),
+			}},
+			{Name: "launch_program", Weight: 1, Depth: 2, Steps: []StepSpec{
+				step("proc_create", 1, 1), step("image_load", 1, 2),
+			}},
+			{Name: "shell_settings", Weight: 1, Depth: 2, Steps: []StepSpec{
+				step("reg_read", 1, 2), step("reg_write", 1, 1),
+			}},
+		},
+	}
+}
+
+// BackgroundProfiles returns the ambient-process profiles in a fixed
+// order.
+func BackgroundProfiles() []Profile {
+	return []Profile{SvchostProfile(), ExplorerProfile()}
+}
+
+// NewBackgroundProcess builds a clean process for a background profile.
+func NewBackgroundProcess(p Profile) (*Process, error) {
+	return NewProcess(p, nil, MethodNone)
+}

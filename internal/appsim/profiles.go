@@ -1,0 +1,320 @@
+package appsim
+
+import "fmt"
+
+// This file defines the behaviour profiles of the five benign applications
+// and three malicious payloads the paper's 21 datasets combine. The
+// profiles are synthetic stand-ins for the real binaries: each reproduces
+// the application's characteristic operation mix (what system behaviours it
+// exercises and at what rates) and call-graph scale, which is all the LEAPS
+// pipeline observes.
+
+// step is shorthand for a StepSpec literal.
+func step(template string, min, max int) StepSpec {
+	return StepSpec{Template: template, MinRepeat: min, MaxRepeat: max}
+}
+
+// pstep is a StepSpec pinned to one template variant (1-based), modelling
+// a call site that always reaches the system service through the same
+// library route.
+func pstep(template string, min, max, pin int) StepSpec {
+	return StepSpec{Template: template, MinRepeat: min, MaxRepeat: max, PinVariant: pin}
+}
+
+// WinSCPProfile models a graphical SFTP/SCP file-transfer client: heavy
+// paired file and network traffic, session setup with crypto and registry
+// access, and a UI pump.
+func WinSCPProfile() Profile {
+	return Profile{
+		Name: "winscp.exe",
+		Ops: []OpSpec{
+			{Name: "session_login", Weight: 1, Depth: 3, Steps: []StepSpec{
+				step("reg_read", 1, 2), step("crypto_random", 1, 2),
+				step("net_connect", 1, 1), step("net_send", 1, 2), step("net_recv", 1, 2),
+			}},
+			{Name: "upload_file", Weight: 3, Depth: 4, Steps: []StepSpec{
+				pstep("file_open", 1, 1, 2), pstep("file_read", 2, 6, 2),
+				step("net_send", 2, 6), step("net_recv", 1, 2), pstep("file_close", 1, 1, 2),
+			}},
+			{Name: "download_file", Weight: 3, Depth: 4, Steps: []StepSpec{
+				step("net_send", 1, 1), step("net_recv", 2, 6),
+				pstep("file_open", 1, 1, 2), pstep("file_write", 2, 6, 2), pstep("file_close", 1, 1, 2),
+			}},
+			{Name: "browse_remote", Weight: 2, Depth: 3, Steps: []StepSpec{
+				step("net_send", 1, 2), step("net_recv", 1, 3), step("ui_paint", 1, 2),
+			}},
+			{Name: "local_browse", Weight: 2, Depth: 2, Steps: []StepSpec{
+				pstep("file_open", 1, 2, 1), pstep("file_read", 1, 3, 1), pstep("file_close", 1, 2, 1), step("ui_paint", 1, 1),
+			}},
+			{Name: "edit_prefs", Weight: 1, Depth: 2, Steps: []StepSpec{
+				step("reg_read", 1, 2), step("reg_write", 1, 2), step("ui_dialog", 1, 1),
+			}},
+			{Name: "sync_dirs", Weight: 1, Depth: 4, Steps: []StepSpec{
+				step("file_read", 1, 3), step("net_send", 1, 3), step("net_recv", 1, 3), step("file_write", 1, 3),
+			}},
+			{Name: "ui_idle", Weight: 3, Depth: 1, Steps: []StepSpec{
+				step("ui_message", 2, 5), step("ui_paint", 1, 2),
+			}},
+		},
+	}
+}
+
+// ChromeProfile models a web browser: the noisiest application — many
+// operations, deep call chains, heavy HTTPS and cache traffic, spawned
+// helper processes. Its overlap with HTTPS-beaconing payloads is what makes
+// the chrome datasets the hardest in the paper.
+func ChromeProfile() Profile {
+	return Profile{
+		Name: "chrome.exe",
+		Ops: []OpSpec{
+			{Name: "page_load", Weight: 4, Depth: 5, Steps: []StepSpec{
+				step("dns_lookup", 1, 2), step("https_open", 1, 1),
+				step("https_request", 1, 3), step("https_response", 2, 8),
+				step("ui_paint", 1, 3),
+			}},
+			{Name: "subresource_fetch", Weight: 4, Depth: 4, Steps: []StepSpec{
+				step("https_request", 1, 2), step("https_response", 1, 4), step("mem_alloc", 1, 2),
+			}},
+			{Name: "cache_write", Weight: 3, Depth: 3, Steps: []StepSpec{
+				pstep("file_open", 1, 1, 2), pstep("file_write", 1, 4, 2), pstep("file_close", 1, 1, 2),
+			}},
+			{Name: "cache_read", Weight: 3, Depth: 3, Steps: []StepSpec{
+				pstep("file_open", 1, 1, 1), pstep("file_read", 1, 4, 1), pstep("file_close", 1, 1, 1),
+			}},
+			{Name: "js_heap", Weight: 3, Depth: 2, Steps: []StepSpec{
+				step("mem_alloc", 1, 4), step("mem_free", 1, 3),
+			}},
+			{Name: "render_frame", Weight: 3, Depth: 3, Steps: []StepSpec{
+				step("ui_paint", 2, 5), step("ui_message", 1, 3),
+			}},
+			{Name: "history_update", Weight: 2, Depth: 3, Steps: []StepSpec{
+				pstep("file_open", 1, 1, 2), pstep("file_write", 1, 2, 2), pstep("file_close", 1, 1, 2), step("reg_write", 1, 1),
+			}},
+			{Name: "spawn_renderer", Weight: 1, Depth: 2, Steps: []StepSpec{
+				step("proc_create", 1, 1), step("thread_create", 1, 2), step("image_load", 1, 2),
+			}},
+			{Name: "extension_sync", Weight: 1, Depth: 3, Steps: []StepSpec{
+				step("https_request", 1, 1), step("https_response", 1, 2), step("file_write", 1, 1),
+			}},
+			{Name: "download", Weight: 1, Depth: 4, Steps: []StepSpec{
+				step("https_response", 2, 6), step("file_write", 2, 6), step("ui_message", 1, 1),
+			}},
+		},
+	}
+}
+
+// NotepadPPProfile models a tabbed text editor with plugins: dominated by
+// UI and file activity, with an occasional plugin-update HTTPS touch.
+func NotepadPPProfile() Profile {
+	return Profile{
+		Name: "notepad++.exe",
+		Ops: []OpSpec{
+			{Name: "open_file", Weight: 3, Depth: 3, Steps: []StepSpec{
+				step("ui_dialog", 1, 1), pstep("file_open", 1, 1, 2), pstep("file_read", 1, 4, 2), pstep("file_close", 1, 1, 2),
+			}},
+			{Name: "save_file", Weight: 3, Depth: 3, Steps: []StepSpec{
+				pstep("file_open", 1, 1, 2), pstep("file_write", 1, 4, 2), pstep("file_close", 1, 1, 2),
+			}},
+			{Name: "edit_buffer", Weight: 5, Depth: 2, Steps: []StepSpec{
+				step("ui_message", 2, 6), step("mem_alloc", 1, 2), step("ui_paint", 1, 3),
+			}},
+			{Name: "find_in_files", Weight: 2, Depth: 4, Steps: []StepSpec{
+				pstep("file_open", 1, 3, 1), pstep("file_read", 2, 6, 1), pstep("file_close", 1, 3, 1), step("ui_paint", 1, 1),
+			}},
+			{Name: "session_save", Weight: 1, Depth: 2, Steps: []StepSpec{
+				step("reg_write", 1, 2), step("file_write", 1, 2),
+			}},
+			{Name: "plugin_update_check", Weight: 1, Depth: 3, Steps: []StepSpec{
+				step("https_open", 1, 1), step("https_request", 1, 1), step("https_response", 1, 2),
+			}},
+			{Name: "ui_idle", Weight: 4, Depth: 1, Steps: []StepSpec{
+				step("ui_message", 2, 5), step("ui_paint", 1, 2),
+			}},
+		},
+	}
+}
+
+// PuttyProfile models an SSH terminal client: an interactive network pump
+// (send keystrokes, receive screen data) with session crypto. Its benign
+// traffic already looks like a reverse shell's, which is why the putty
+// datasets show the most confusable benign/malicious boundary in the paper.
+func PuttyProfile() Profile {
+	return Profile{
+		Name: "putty.exe",
+		Ops: []OpSpec{
+			{Name: "session_open", Weight: 1, Depth: 3, Steps: []StepSpec{
+				step("reg_read", 1, 2), step("dns_lookup", 1, 1),
+				step("net_connect", 1, 1), step("crypto_random", 1, 2),
+			}},
+			{Name: "send_keystrokes", Weight: 5, Depth: 2, Steps: []StepSpec{
+				step("ui_message", 1, 3), step("net_send", 1, 3),
+			}},
+			{Name: "recv_screen", Weight: 5, Depth: 2, Steps: []StepSpec{
+				step("net_recv", 1, 4), step("ui_paint", 1, 2),
+			}},
+			{Name: "rekey", Weight: 1, Depth: 3, Steps: []StepSpec{
+				step("crypto_random", 1, 2), step("net_send", 1, 1), step("net_recv", 1, 1),
+			}},
+			{Name: "save_session", Weight: 1, Depth: 2, Steps: []StepSpec{
+				step("reg_write", 1, 2), step("ui_dialog", 1, 1),
+			}},
+			{Name: "log_output", Weight: 2, Depth: 2, Steps: []StepSpec{
+				pstep("file_open", 1, 1, 1), pstep("file_write", 1, 3, 1), pstep("file_close", 1, 1, 1),
+			}},
+		},
+	}
+}
+
+// VimProfile models a modal text editor: small, regular, file- and
+// UI-centric. Its compact call graph gives the cleanest benign CFGs.
+func VimProfile() Profile {
+	return Profile{
+		Name: "vim.exe",
+		Ops: []OpSpec{
+			{Name: "open_buffer", Weight: 2, Depth: 3, Steps: []StepSpec{
+				pstep("file_open", 1, 1, 2), pstep("file_read", 1, 4, 2), pstep("file_close", 1, 1, 2),
+			}},
+			{Name: "write_buffer", Weight: 2, Depth: 3, Steps: []StepSpec{
+				pstep("file_open", 1, 1, 2), pstep("file_write", 1, 4, 2), pstep("file_close", 1, 1, 2),
+			}},
+			{Name: "edit_insert", Weight: 5, Depth: 2, Steps: []StepSpec{
+				step("ui_message", 2, 5), step("ui_paint", 1, 2), step("mem_alloc", 1, 1),
+			}},
+			{Name: "search_buffer", Weight: 2, Depth: 2, Steps: []StepSpec{
+				step("ui_message", 1, 2), step("ui_paint", 1, 2),
+			}},
+			{Name: "swap_sync", Weight: 2, Depth: 2, Steps: []StepSpec{
+				pstep("file_write", 1, 2, 1), pstep("file_close", 1, 1, 1),
+			}},
+			{Name: "read_vimrc", Weight: 1, Depth: 2, Steps: []StepSpec{
+				step("file_open", 1, 1), step("file_read", 1, 2), step("file_close", 1, 1),
+			}},
+			{Name: "shell_filter", Weight: 1, Depth: 3, Steps: []StepSpec{
+				step("proc_create", 1, 1), pstep("file_read", 1, 2, 1), pstep("file_write", 1, 2, 1),
+			}},
+		},
+	}
+}
+
+// ReverseTCPProfile models a Meterpreter-style reverse TCP shell backdoor:
+// connect-back with a raw socket, command beaconing, remote command
+// execution, keylogging, file exfiltration and screen capture.
+func ReverseTCPProfile() Profile {
+	return Profile{
+		Name: "reverse_tcp",
+		Ops: []OpSpec{
+			{Name: "connect_back", Weight: 1, Depth: 2, Steps: []StepSpec{
+				step("net_connect", 1, 1), step("crypto_random", 1, 1), step("net_send", 1, 1),
+			}},
+			{Name: "beacon", Weight: 5, Depth: 1, Steps: []StepSpec{
+				step("net_send", 1, 2), step("net_recv", 1, 2),
+			}},
+			{Name: "exec_command", Weight: 2, Depth: 2, Steps: []StepSpec{
+				step("proc_create", 1, 1), step("net_recv", 1, 1), step("net_send", 1, 3),
+			}},
+			{Name: "keylog", Weight: 3, Depth: 2, Steps: []StepSpec{
+				step("keystate_poll", 2, 6), pstep("file_write", 1, 1, 2),
+			}},
+			{Name: "exfil_file", Weight: 2, Depth: 2, Steps: []StepSpec{
+				pstep("file_open", 1, 1, 2), pstep("file_read", 1, 4, 2), step("net_send", 1, 4), pstep("file_close", 1, 1, 2),
+			}},
+			{Name: "screenshot_grab", Weight: 1, Depth: 2, Steps: []StepSpec{
+				step("screenshot", 1, 2), step("net_send", 1, 3),
+			}},
+		},
+	}
+}
+
+// ReverseHTTPSProfile models a Meterpreter-style reverse HTTPS backdoor:
+// the same capabilities as the TCP variant but beaconing over encrypted
+// HTTP requests, which blends into browser-like traffic.
+func ReverseHTTPSProfile() Profile {
+	return Profile{
+		Name: "reverse_https",
+		Ops: []OpSpec{
+			{Name: "stage_channel", Weight: 1, Depth: 2, Steps: []StepSpec{
+				step("dns_lookup", 1, 1), step("https_open", 1, 1), step("crypto_random", 1, 1),
+			}},
+			{Name: "https_beacon", Weight: 5, Depth: 1, Steps: []StepSpec{
+				step("https_request", 1, 2), step("https_response", 1, 2),
+			}},
+			{Name: "exec_command", Weight: 2, Depth: 2, Steps: []StepSpec{
+				step("proc_create", 1, 1), step("https_response", 1, 1), step("https_request", 1, 2),
+			}},
+			{Name: "keylog", Weight: 3, Depth: 2, Steps: []StepSpec{
+				step("keystate_poll", 2, 6), pstep("file_write", 1, 1, 2),
+			}},
+			{Name: "exfil_file", Weight: 2, Depth: 2, Steps: []StepSpec{
+				pstep("file_open", 1, 1, 2), pstep("file_read", 1, 4, 2), step("https_request", 1, 4), pstep("file_close", 1, 1, 2),
+			}},
+			{Name: "screenshot_grab", Weight: 1, Depth: 2, Steps: []StepSpec{
+				step("screenshot", 1, 2), step("https_request", 1, 3),
+			}},
+		},
+	}
+}
+
+// PwddlgProfile models the Codeinject password-dialog payload of the
+// paper's codeinject datasets: pop a modal password prompt on startup and
+// silently terminate the host when the password is wrong.
+func PwddlgProfile() Profile {
+	return Profile{
+		Name: "pwddlg",
+		Ops: []OpSpec{
+			{Name: "show_dialog", Weight: 3, Depth: 2, Steps: []StepSpec{
+				step("ui_dialog", 1, 1), step("ui_message", 1, 3),
+			}},
+			{Name: "read_input", Weight: 3, Depth: 1, Steps: []StepSpec{
+				step("keystate_poll", 1, 4), step("ui_message", 1, 2),
+			}},
+			{Name: "verify_password", Weight: 2, Depth: 2, Steps: []StepSpec{
+				step("crypto_random", 1, 1), step("reg_read", 1, 1),
+			}},
+			{Name: "silent_exit", Weight: 1, Depth: 1, Steps: []StepSpec{
+				step("file_delete", 1, 1), step("proc_exit", 1, 1),
+			}},
+		},
+	}
+}
+
+// AppProfiles returns the five benign application profiles keyed by the
+// short names used in dataset identifiers (winscp, chrome, notepad++,
+// putty, vim).
+func AppProfiles() map[string]Profile {
+	return map[string]Profile{
+		"winscp":    WinSCPProfile(),
+		"chrome":    ChromeProfile(),
+		"notepad++": NotepadPPProfile(),
+		"putty":     PuttyProfile(),
+		"vim":       VimProfile(),
+	}
+}
+
+// PayloadProfiles returns the three payload profiles keyed by the short
+// names used in dataset identifiers (reverse_tcp, reverse_https,
+// codeinject).
+func PayloadProfiles() map[string]Profile {
+	return map[string]Profile{
+		"reverse_tcp":   ReverseTCPProfile(),
+		"reverse_https": ReverseHTTPSProfile(),
+		"codeinject":    PwddlgProfile(),
+	}
+}
+
+// AppProfile returns the named application profile.
+func AppProfile(name string) (Profile, error) {
+	p, ok := AppProfiles()[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("appsim: unknown application profile %q", name)
+	}
+	return p, nil
+}
+
+// PayloadProfile returns the named payload profile.
+func PayloadProfile(name string) (Profile, error) {
+	p, ok := PayloadProfiles()[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("appsim: unknown payload profile %q", name)
+	}
+	return p, nil
+}

@@ -1,0 +1,364 @@
+// Package appsim is the workload substrate of this reproduction: a
+// deterministic simulator of application and payload execution that emits
+// system event logs with stack walks, standing in for the paper's Event
+// Tracing for Windows (ETW) capture of real applications.
+//
+// The simulator models a process as a set of loaded modules (the
+// application image, shared libraries, kernel components and — for attacks
+// — payload code), a library of system behaviour templates (file I/O,
+// networking, registry, UI, process management), and per-application
+// operation mixes that chain those behaviours under application-side call
+// paths. Camouflaged attacks are reproduced by embedding payload code in an
+// appended image section (offline infection) or a remote private allocation
+// (online injection) and interleaving payload operations with benign ones
+// in the same event stream.
+package appsim
+
+import "repro/internal/trace"
+
+// SysFrame names one stack frame in a system behaviour template: a function
+// within a shared library or kernel module.
+type SysFrame struct {
+	Module   string
+	Function string
+}
+
+// SysTemplate describes one system interaction: the event type it raises
+// and one or more alternative system-side stack paths, each ordered from
+// the outermost library frame down to the kernel leaf. Variants model
+// path diversity in real systems (cache hits vs. misses, fast vs. slow
+// syscall paths) and are chosen uniformly per instance.
+type SysTemplate struct {
+	Name     string
+	Type     trace.EventType
+	Variants [][]SysFrame
+}
+
+// sysModuleSpec declares one system module of the simulated OS along with
+// its exported functions. Addresses are assigned by BuildSystemModules.
+type sysModuleSpec struct {
+	name  string
+	kind  trace.ModuleKind
+	funcs []string
+}
+
+// systemModuleSpecs is the catalog of shared libraries and kernel
+// components every simulated process loads. The names follow the Windows
+// modules the paper's stack walks traverse so that logs read like the
+// paper's examples; only the names matter to the algorithms.
+func systemModuleSpecs() []sysModuleSpec {
+	return []sysModuleSpec{
+		{"ntdll.dll", trace.ModuleSharedLib, []string{
+			"NtCreateFile", "NtReadFile", "NtWriteFile", "NtDeleteFile", "NtClose",
+			"NtOpenKey", "NtQueryValueKey", "NtSetValueKey",
+			"NtCreateProcess", "NtTerminateProcess", "NtCreateThreadEx",
+			"NtAllocateVirtualMemory", "NtFreeVirtualMemory",
+			"NtDeviceIoControlFile", "NtUserMessageCall", "RtlUserThreadStart",
+			"LdrLoadDll", "LdrUnloadDll", "KiFastSystemCall",
+		}},
+		{"kernel32.dll", trace.ModuleSharedLib, []string{
+			"CreateFileW", "ReadFile", "WriteFile", "DeleteFileW", "CloseHandle",
+			"CreateProcessW", "ExitProcess", "CreateThread", "CreateRemoteThread",
+			"VirtualAlloc", "VirtualFree", "LoadLibraryW", "FreeLibrary",
+			"GetProcAddress", "WriteProcessMemory",
+		}},
+		{"kernelbase.dll", trace.ModuleSharedLib, []string{
+			"CreateFileInternal", "ReadFileImpl", "WriteFileImpl",
+			"RegOpenKeyInternal", "RegQueryValueInternal", "RegSetValueInternal",
+		}},
+		{"advapi32.dll", trace.ModuleSharedLib, []string{
+			"RegOpenKeyExW", "RegQueryValueExW", "RegSetValueExW", "RegCloseKey",
+			"CryptAcquireContextW", "CryptGenRandom",
+		}},
+		{"user32.dll", trace.ModuleSharedLib, []string{
+			"GetMessageW", "DispatchMessageW", "PeekMessageW", "SendMessageW",
+			"CreateWindowExW", "DialogBoxParamW", "GetAsyncKeyState", "SetWindowsHookExW",
+		}},
+		{"gdi32.dll", trace.ModuleSharedLib, []string{
+			"BitBlt", "CreateCompatibleDC", "GetDIBits", "TextOutW",
+		}},
+		{"ws2_32.dll", trace.ModuleSharedLib, []string{
+			"WSAStartup", "socket", "connect", "send", "recv", "closesocket",
+			"WSASend", "WSARecv", "getaddrinfo",
+		}},
+		{"mswsock.dll", trace.ModuleSharedLib, []string{
+			"WSPSocket", "WSPConnect", "WSPSend", "WSPRecv", "WSPCloseSocket",
+		}},
+		{"wininet.dll", trace.ModuleSharedLib, []string{
+			"InternetOpenW", "InternetConnectW", "HttpOpenRequestW",
+			"HttpSendRequestW", "InternetReadFile", "InternetCloseHandle",
+		}},
+		{"winhttp.dll", trace.ModuleSharedLib, []string{
+			"WinHttpOpen", "WinHttpConnect", "WinHttpSendRequest", "WinHttpReceiveResponse",
+		}},
+		{"secur32.dll", trace.ModuleSharedLib, []string{
+			"InitializeSecurityContextW", "EncryptMessage", "DecryptMessage",
+		}},
+		{"msvcrt.dll", trace.ModuleSharedLib, []string{
+			"fopen", "fread", "fwrite", "fclose", "malloc", "free", "memcpy", "printf",
+		}},
+		{"shell32.dll", trace.ModuleSharedLib, []string{
+			"ShellExecuteW", "SHGetFolderPathW",
+		}},
+		{"ntoskrnl.exe", trace.ModuleKernel, []string{
+			"KiSystemServiceStart", "NtCreateFile", "NtReadFile", "NtWriteFile",
+			"NtSetInformationFile", "NtOpenKey", "NtQueryValueKey", "NtSetValueKey",
+			"NtCreateUserProcess", "NtTerminateProcess", "NtCreateThreadEx",
+			"NtAllocateVirtualMemory", "NtFreeVirtualMemory", "NtDeviceIoControlFile",
+			"IopSynchronousServiceTail", "ObpCloseHandle",
+		}},
+		{"ntfs.sys", trace.ModuleKernel, []string{
+			"NtfsFsdCreate", "NtfsFsdRead", "NtfsFsdWrite", "NtfsFsdSetInformation",
+			"NtfsCommonRead", "NtfsCommonWrite",
+		}},
+		{"fltmgr.sys", trace.ModuleKernel, []string{
+			"FltpDispatch", "FltpPerformPreCallbacks",
+		}},
+		{"tcpip.sys", trace.ModuleKernel, []string{
+			"TcpCreateEndpoint", "TcpConnectEndpoint", "TcpSendData", "TcpReceiveData",
+			"TcpDisconnectEndpoint", "UdpSendMessages",
+		}},
+		{"afd.sys", trace.ModuleKernel, []string{
+			"AfdCreate", "AfdConnect", "AfdSend", "AfdReceive", "AfdCleanup",
+		}},
+		{"win32k.sys", trace.ModuleKernel, []string{
+			"NtUserGetMessage", "NtUserDispatchMessage", "NtUserCreateWindowEx",
+			"NtUserCallOneParam", "NtGdiBitBlt",
+		}},
+	}
+}
+
+// sysModuleBase is where simulated shared libraries start; kernel modules
+// start at sysKernelBase. Spacing leaves room between modules so the maps
+// never overlap.
+const (
+	sysModuleBase  = 0x7ff8_0000_0000
+	sysModuleStep  = 0x0000_0010_0000
+	sysKernelBase  = 0xfffff800_0000_0000
+	sysFuncSpacing = 0x100
+)
+
+// BuildSystemModules constructs the shared-library and kernel modules of
+// the simulated OS with deterministic address assignments.
+func BuildSystemModules() ([]*trace.Module, error) {
+	specs := systemModuleSpecs()
+	mods := make([]*trace.Module, 0, len(specs))
+	var userIdx, kernIdx uint64
+	for _, spec := range specs {
+		var base uint64
+		switch spec.kind {
+		case trace.ModuleKernel:
+			base = sysKernelBase + kernIdx*sysModuleStep
+			kernIdx++
+		default:
+			base = sysModuleBase + userIdx*sysModuleStep
+			userIdx++
+		}
+		syms := make([]trace.Symbol, len(spec.funcs))
+		for i, fn := range spec.funcs {
+			syms[i] = trace.Symbol{Name: fn, Addr: base + 0x1000 + uint64(i)*sysFuncSpacing}
+		}
+		size := uint64(0x1000 + len(spec.funcs)*sysFuncSpacing + 0x1000)
+		m, err := trace.NewModule(spec.name, spec.kind, base, size, syms)
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, m)
+	}
+	return mods, nil
+}
+
+// f is shorthand for constructing a SysFrame in template literals.
+func f(module, function string) SysFrame { return SysFrame{Module: module, Function: function} }
+
+// SysTemplates returns the catalog of system behaviour templates available
+// to application and payload profiles, keyed by name.
+func SysTemplates() map[string]*SysTemplate {
+	list := []*SysTemplate{
+		{
+			Name: "file_open", Type: trace.EventFileCreate,
+			Variants: [][]SysFrame{
+				{f("msvcrt.dll", "fopen"), f("kernel32.dll", "CreateFileW"), f("kernelbase.dll", "CreateFileInternal"), f("ntdll.dll", "NtCreateFile"), f("ntoskrnl.exe", "NtCreateFile"), f("fltmgr.sys", "FltpDispatch"), f("ntfs.sys", "NtfsFsdCreate")},
+				{f("kernel32.dll", "CreateFileW"), f("kernelbase.dll", "CreateFileInternal"), f("ntdll.dll", "NtCreateFile"), f("ntoskrnl.exe", "NtCreateFile"), f("ntfs.sys", "NtfsFsdCreate")},
+			},
+		},
+		{
+			Name: "file_read", Type: trace.EventFileRead,
+			Variants: [][]SysFrame{
+				{f("msvcrt.dll", "fread"), f("kernel32.dll", "ReadFile"), f("kernelbase.dll", "ReadFileImpl"), f("ntdll.dll", "NtReadFile"), f("ntoskrnl.exe", "NtReadFile"), f("ntfs.sys", "NtfsFsdRead"), f("ntfs.sys", "NtfsCommonRead")},
+				{f("kernel32.dll", "ReadFile"), f("kernelbase.dll", "ReadFileImpl"), f("ntdll.dll", "NtReadFile"), f("ntoskrnl.exe", "NtReadFile"), f("ntoskrnl.exe", "IopSynchronousServiceTail")},
+			},
+		},
+		{
+			Name: "file_write", Type: trace.EventFileWrite,
+			Variants: [][]SysFrame{
+				{f("msvcrt.dll", "fwrite"), f("kernel32.dll", "WriteFile"), f("kernelbase.dll", "WriteFileImpl"), f("ntdll.dll", "NtWriteFile"), f("ntoskrnl.exe", "NtWriteFile"), f("ntfs.sys", "NtfsFsdWrite"), f("ntfs.sys", "NtfsCommonWrite")},
+				{f("kernel32.dll", "WriteFile"), f("kernelbase.dll", "WriteFileImpl"), f("ntdll.dll", "NtWriteFile"), f("ntoskrnl.exe", "NtWriteFile"), f("ntfs.sys", "NtfsFsdWrite")},
+			},
+		},
+		{
+			Name: "file_delete", Type: trace.EventFileDelete,
+			Variants: [][]SysFrame{
+				{f("kernel32.dll", "DeleteFileW"), f("ntdll.dll", "NtDeleteFile"), f("ntoskrnl.exe", "NtSetInformationFile"), f("ntfs.sys", "NtfsFsdSetInformation")},
+			},
+		},
+		{
+			Name: "file_close", Type: trace.EventSysCallEnter,
+			Variants: [][]SysFrame{
+				{f("msvcrt.dll", "fclose"), f("kernel32.dll", "CloseHandle"), f("ntdll.dll", "NtClose"), f("ntoskrnl.exe", "ObpCloseHandle")},
+				{f("kernel32.dll", "CloseHandle"), f("ntdll.dll", "NtClose"), f("ntoskrnl.exe", "ObpCloseHandle")},
+			},
+		},
+		{
+			Name: "reg_read", Type: trace.EventRegistryRead,
+			Variants: [][]SysFrame{
+				{f("advapi32.dll", "RegOpenKeyExW"), f("kernelbase.dll", "RegOpenKeyInternal"), f("ntdll.dll", "NtOpenKey"), f("ntoskrnl.exe", "NtOpenKey")},
+				{f("advapi32.dll", "RegQueryValueExW"), f("kernelbase.dll", "RegQueryValueInternal"), f("ntdll.dll", "NtQueryValueKey"), f("ntoskrnl.exe", "NtQueryValueKey")},
+			},
+		},
+		{
+			Name: "reg_write", Type: trace.EventRegistryWrite,
+			Variants: [][]SysFrame{
+				{f("advapi32.dll", "RegSetValueExW"), f("kernelbase.dll", "RegSetValueInternal"), f("ntdll.dll", "NtSetValueKey"), f("ntoskrnl.exe", "NtSetValueKey")},
+			},
+		},
+		{
+			Name: "net_connect", Type: trace.EventNetConnect,
+			Variants: [][]SysFrame{
+				{f("ws2_32.dll", "connect"), f("mswsock.dll", "WSPConnect"), f("ntdll.dll", "NtDeviceIoControlFile"), f("ntoskrnl.exe", "NtDeviceIoControlFile"), f("afd.sys", "AfdConnect"), f("tcpip.sys", "TcpConnectEndpoint")},
+				{f("ws2_32.dll", "socket"), f("mswsock.dll", "WSPSocket"), f("ntdll.dll", "NtDeviceIoControlFile"), f("ntoskrnl.exe", "NtDeviceIoControlFile"), f("afd.sys", "AfdCreate"), f("tcpip.sys", "TcpCreateEndpoint")},
+			},
+		},
+		{
+			Name: "net_send", Type: trace.EventNetSend,
+			Variants: [][]SysFrame{
+				{f("ws2_32.dll", "send"), f("mswsock.dll", "WSPSend"), f("ntdll.dll", "NtDeviceIoControlFile"), f("ntoskrnl.exe", "NtDeviceIoControlFile"), f("afd.sys", "AfdSend"), f("tcpip.sys", "TcpSendData")},
+				{f("ws2_32.dll", "WSASend"), f("mswsock.dll", "WSPSend"), f("ntdll.dll", "NtDeviceIoControlFile"), f("ntoskrnl.exe", "NtDeviceIoControlFile"), f("afd.sys", "AfdSend"), f("tcpip.sys", "TcpSendData")},
+			},
+		},
+		{
+			Name: "net_recv", Type: trace.EventNetRecv,
+			Variants: [][]SysFrame{
+				{f("ws2_32.dll", "recv"), f("mswsock.dll", "WSPRecv"), f("ntdll.dll", "NtDeviceIoControlFile"), f("ntoskrnl.exe", "NtDeviceIoControlFile"), f("afd.sys", "AfdReceive"), f("tcpip.sys", "TcpReceiveData")},
+				{f("ws2_32.dll", "WSARecv"), f("mswsock.dll", "WSPRecv"), f("ntdll.dll", "NtDeviceIoControlFile"), f("ntoskrnl.exe", "NtDeviceIoControlFile"), f("afd.sys", "AfdReceive"), f("tcpip.sys", "TcpReceiveData")},
+			},
+		},
+		{
+			Name: "net_close", Type: trace.EventNetDisconnect,
+			Variants: [][]SysFrame{
+				{f("ws2_32.dll", "closesocket"), f("mswsock.dll", "WSPCloseSocket"), f("ntdll.dll", "NtDeviceIoControlFile"), f("ntoskrnl.exe", "NtDeviceIoControlFile"), f("afd.sys", "AfdCleanup"), f("tcpip.sys", "TcpDisconnectEndpoint")},
+			},
+		},
+		{
+			Name: "https_request", Type: trace.EventNetSend,
+			Variants: [][]SysFrame{
+				{f("wininet.dll", "HttpSendRequestW"), f("secur32.dll", "EncryptMessage"), f("ws2_32.dll", "send"), f("mswsock.dll", "WSPSend"), f("ntdll.dll", "NtDeviceIoControlFile"), f("ntoskrnl.exe", "NtDeviceIoControlFile"), f("afd.sys", "AfdSend"), f("tcpip.sys", "TcpSendData")},
+				{f("winhttp.dll", "WinHttpSendRequest"), f("secur32.dll", "EncryptMessage"), f("ws2_32.dll", "send"), f("mswsock.dll", "WSPSend"), f("ntdll.dll", "NtDeviceIoControlFile"), f("ntoskrnl.exe", "NtDeviceIoControlFile"), f("afd.sys", "AfdSend"), f("tcpip.sys", "TcpSendData")},
+			},
+		},
+		{
+			Name: "https_response", Type: trace.EventNetRecv,
+			Variants: [][]SysFrame{
+				{f("wininet.dll", "InternetReadFile"), f("secur32.dll", "DecryptMessage"), f("ws2_32.dll", "recv"), f("mswsock.dll", "WSPRecv"), f("ntdll.dll", "NtDeviceIoControlFile"), f("ntoskrnl.exe", "NtDeviceIoControlFile"), f("afd.sys", "AfdReceive"), f("tcpip.sys", "TcpReceiveData")},
+				{f("winhttp.dll", "WinHttpReceiveResponse"), f("secur32.dll", "DecryptMessage"), f("ws2_32.dll", "recv"), f("mswsock.dll", "WSPRecv"), f("ntdll.dll", "NtDeviceIoControlFile"), f("ntoskrnl.exe", "NtDeviceIoControlFile"), f("afd.sys", "AfdReceive"), f("tcpip.sys", "TcpReceiveData")},
+			},
+		},
+		{
+			Name: "https_open", Type: trace.EventNetConnect,
+			Variants: [][]SysFrame{
+				{f("wininet.dll", "InternetConnectW"), f("ws2_32.dll", "connect"), f("mswsock.dll", "WSPConnect"), f("ntdll.dll", "NtDeviceIoControlFile"), f("ntoskrnl.exe", "NtDeviceIoControlFile"), f("afd.sys", "AfdConnect"), f("tcpip.sys", "TcpConnectEndpoint")},
+			},
+		},
+		{
+			Name: "ui_message", Type: trace.EventUIMessage,
+			Variants: [][]SysFrame{
+				{f("user32.dll", "GetMessageW"), f("ntdll.dll", "NtUserMessageCall"), f("win32k.sys", "NtUserGetMessage")},
+				{f("user32.dll", "DispatchMessageW"), f("ntdll.dll", "NtUserMessageCall"), f("win32k.sys", "NtUserDispatchMessage")},
+				{f("user32.dll", "PeekMessageW"), f("ntdll.dll", "NtUserMessageCall"), f("win32k.sys", "NtUserGetMessage")},
+			},
+		},
+		{
+			Name: "ui_paint", Type: trace.EventUIMessage,
+			Variants: [][]SysFrame{
+				{f("gdi32.dll", "TextOutW"), f("ntdll.dll", "NtUserMessageCall"), f("win32k.sys", "NtGdiBitBlt")},
+				{f("gdi32.dll", "BitBlt"), f("ntdll.dll", "NtUserMessageCall"), f("win32k.sys", "NtGdiBitBlt")},
+			},
+		},
+		{
+			Name: "ui_dialog", Type: trace.EventUIMessage,
+			Variants: [][]SysFrame{
+				{f("user32.dll", "DialogBoxParamW"), f("user32.dll", "CreateWindowExW"), f("ntdll.dll", "NtUserMessageCall"), f("win32k.sys", "NtUserCreateWindowEx")},
+			},
+		},
+		{
+			Name: "keystate_poll", Type: trace.EventUIMessage,
+			Variants: [][]SysFrame{
+				{f("user32.dll", "GetAsyncKeyState"), f("ntdll.dll", "NtUserMessageCall"), f("win32k.sys", "NtUserCallOneParam")},
+				{f("user32.dll", "SetWindowsHookExW"), f("ntdll.dll", "NtUserMessageCall"), f("win32k.sys", "NtUserCallOneParam")},
+			},
+		},
+		{
+			Name: "screenshot", Type: trace.EventUIMessage,
+			Variants: [][]SysFrame{
+				{f("gdi32.dll", "CreateCompatibleDC"), f("gdi32.dll", "GetDIBits"), f("ntdll.dll", "NtUserMessageCall"), f("win32k.sys", "NtGdiBitBlt")},
+			},
+		},
+		{
+			Name: "proc_create", Type: trace.EventProcessCreate,
+			Variants: [][]SysFrame{
+				{f("kernel32.dll", "CreateProcessW"), f("ntdll.dll", "NtCreateProcess"), f("ntoskrnl.exe", "NtCreateUserProcess")},
+				{f("shell32.dll", "ShellExecuteW"), f("kernel32.dll", "CreateProcessW"), f("ntdll.dll", "NtCreateProcess"), f("ntoskrnl.exe", "NtCreateUserProcess")},
+			},
+		},
+		{
+			Name: "proc_exit", Type: trace.EventProcessExit,
+			Variants: [][]SysFrame{
+				{f("kernel32.dll", "ExitProcess"), f("ntdll.dll", "NtTerminateProcess"), f("ntoskrnl.exe", "NtTerminateProcess")},
+			},
+		},
+		{
+			Name: "thread_create", Type: trace.EventThreadCreate,
+			Variants: [][]SysFrame{
+				{f("kernel32.dll", "CreateThread"), f("ntdll.dll", "NtCreateThreadEx"), f("ntoskrnl.exe", "NtCreateThreadEx")},
+				{f("kernel32.dll", "CreateRemoteThread"), f("ntdll.dll", "NtCreateThreadEx"), f("ntoskrnl.exe", "NtCreateThreadEx")},
+			},
+		},
+		{
+			Name: "mem_alloc", Type: trace.EventMemAlloc,
+			Variants: [][]SysFrame{
+				{f("kernel32.dll", "VirtualAlloc"), f("ntdll.dll", "NtAllocateVirtualMemory"), f("ntoskrnl.exe", "NtAllocateVirtualMemory")},
+				{f("msvcrt.dll", "malloc"), f("ntdll.dll", "NtAllocateVirtualMemory"), f("ntoskrnl.exe", "NtAllocateVirtualMemory")},
+			},
+		},
+		{
+			Name: "mem_free", Type: trace.EventMemFree,
+			Variants: [][]SysFrame{
+				{f("kernel32.dll", "VirtualFree"), f("ntdll.dll", "NtFreeVirtualMemory"), f("ntoskrnl.exe", "NtFreeVirtualMemory")},
+				{f("msvcrt.dll", "free"), f("ntdll.dll", "NtFreeVirtualMemory"), f("ntoskrnl.exe", "NtFreeVirtualMemory")},
+			},
+		},
+		{
+			Name: "image_load", Type: trace.EventImageLoad,
+			Variants: [][]SysFrame{
+				{f("kernel32.dll", "LoadLibraryW"), f("ntdll.dll", "LdrLoadDll"), f("ntoskrnl.exe", "KiSystemServiceStart")},
+			},
+		},
+		{
+			Name: "crypto_random", Type: trace.EventSysCallEnter,
+			Variants: [][]SysFrame{
+				{f("advapi32.dll", "CryptGenRandom"), f("advapi32.dll", "CryptAcquireContextW"), f("ntdll.dll", "KiFastSystemCall"), f("ntoskrnl.exe", "KiSystemServiceStart")},
+			},
+		},
+		{
+			Name: "dns_lookup", Type: trace.EventNetSend,
+			Variants: [][]SysFrame{
+				{f("ws2_32.dll", "getaddrinfo"), f("ntdll.dll", "NtDeviceIoControlFile"), f("ntoskrnl.exe", "NtDeviceIoControlFile"), f("afd.sys", "AfdSend"), f("tcpip.sys", "UdpSendMessages")},
+			},
+		},
+	}
+	out := make(map[string]*SysTemplate, len(list))
+	for _, t := range list {
+		out[t.Name] = t
+	}
+	return out
+}

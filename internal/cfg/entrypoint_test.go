@@ -1,0 +1,115 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/appsim"
+	"repro/internal/partition"
+)
+
+func TestEntryPointsMicro(t *testing.T) {
+	// Benign CFG knows 1 -> 2 -> 3.
+	benign := NewGraph()
+	benign.AddEdge(1, 2)
+	benign.AddEdge(2, 3)
+
+	// Mixed log: one stack walks through the hook (2) into payload code
+	// (100); plus benign activity and an adjacent-event implicit edge to
+	// the payload that must NOT count as an entry point.
+	log := &partition.Log{Events: []partition.Event{
+		partEvent(0, 1, 2, 3),
+		partEvent(1, 1, 2, 100, 101), // explicit detour through 2 into 100
+		partEvent(2, 100, 102),       // payload activity
+		partEvent(3, 1, 2, 3),        // back to benign: implicit 100->1 edge
+	}}
+	inf, err := Infer(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := EntryPoints(benign, inf)
+	if len(eps) != 1 {
+		t.Fatalf("EntryPoints = %v, want exactly the hook edge", eps)
+	}
+	if eps[0].Edge != (Edge{From: 2, To: 100}) {
+		t.Errorf("entry edge = %v, want 2 -> 100", eps[0].Edge)
+	}
+	if len(eps[0].Events) == 0 || eps[0].Events[0] != 1 {
+		t.Errorf("entry events = %v, want first observation at event 1", eps[0].Events)
+	}
+}
+
+func TestEntryPointsIgnoresImplicitCrossEdges(t *testing.T) {
+	benign := NewGraph()
+	benign.AddEdge(1, 2)
+	// Adjacent events with divergence at index 0: implicit edges between
+	// benign and payload roots in both directions, but no explicit
+	// invocation crossing the boundary.
+	log := &partition.Log{Events: []partition.Event{
+		partEvent(0, 1, 2),
+		partEvent(1, 100, 101),
+		partEvent(2, 1, 2),
+	}}
+	inf, err := Infer(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps := EntryPoints(benign, inf); len(eps) != 0 {
+		t.Errorf("EntryPoints = %v, want none (only implicit crossings)", eps)
+	}
+}
+
+// TestEntryPointsSimulatedTrojan backtracks the detour of an
+// offline-infected process to the preamble event.
+func TestEntryPointsSimulatedTrojan(t *testing.T) {
+	payload := appsim.ReverseTCPProfile()
+	victim, err := appsim.NewProcess(appsim.VimProfile(), &payload, appsim.MethodOfflineInfection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := appsim.NewProcess(appsim.VimProfile(), nil, appsim.MethodNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	benignLog, err := clean.GenerateLog(appsim.GenConfig{Seed: 1, Events: 3000, PID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixedLog, err := victim.GenerateLog(appsim.GenConfig{Seed: 2, Events: 3000, PayloadFraction: 0.4, PID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := partition.Split(benignLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := partition.Split(mixedLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bInf, err := Infer(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mInf, err := Infer(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := EntryPoints(bInf.Graph, mInf)
+	if len(eps) == 0 {
+		t.Fatal("no entry points found for an offline-infected process")
+	}
+	// The earliest entry point must be the trigger preamble: event 0,
+	// crossing from benign code into the appended section.
+	first := eps[0]
+	if first.Events[0] != 0 {
+		t.Errorf("earliest entry at event %d, want the preamble (0)", first.Events[0])
+	}
+	bLo, bHi := victim.BenignRange()
+	if first.Edge.From < bLo || first.Edge.From >= bHi {
+		t.Errorf("entry source 0x%x outside benign code range", first.Edge.From)
+	}
+	pLo, pHi, _ := victim.PayloadRange()
+	if first.Edge.To < pLo || first.Edge.To >= pHi {
+		t.Errorf("entry target 0x%x outside payload range", first.Edge.To)
+	}
+}

@@ -1,0 +1,434 @@
+// Package core wires the LEAPS pipeline together: raw logs → stack
+// partitioning → feature preprocessing → CFG inference → weight assessment
+// → weighted SVM training → testing-phase classification. It implements
+// both the paper's evaluation protocol (benign/mixed/malicious dataset
+// triples, §V) and a user-facing Detector for applying a trained model to
+// new logs.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/callgraph"
+	"repro/internal/cfg"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/preprocess"
+	"repro/internal/svm"
+	"repro/internal/trace"
+	"repro/internal/weight"
+)
+
+// Config controls the pipeline. The zero value reproduces the paper's
+// settings where they are specified.
+type Config struct {
+	// Window is the event-coalescing width; default 10 (30 feature
+	// dimensions, §V-A2).
+	Window int
+	// TrainFraction is the share of benign windows used for training
+	// (the rest test); default 0.5.
+	TrainFraction float64
+	// SampleFraction subsamples every selection (training and testing);
+	// default 0.2, per §V-A2.
+	SampleFraction float64
+	// Grid is the λ/σ² search space for model selection; zero value uses
+	// svm.DefaultGrid(). Ignored when FixedParams is set.
+	Grid svm.GridSpec
+	// FixedParams skips cross-validated model selection.
+	FixedParams *svm.Params
+	// Preprocess configures the feature clustering.
+	Preprocess preprocess.Config
+	// Weight configures CFG weight assessment.
+	Weight weight.Config
+	// ShuffleWeights randomly permutes the mixed-window weights before
+	// training — the ablation that checks the weights carry signal, not
+	// just their distribution.
+	ShuffleWeights bool
+	// AlignCFGs enables the §VI-A extension: before weight assessment the
+	// mixed CFG is structurally aligned onto the benign CFG, recovering
+	// correct weights when the trojaned binary was recompiled from source
+	// (benign code shifted).
+	AlignCFGs bool
+	// Seed drives data selection (and weight shuffling).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = 10
+	}
+	if c.TrainFraction == 0 {
+		c.TrainFraction = 0.5
+	}
+	if c.SampleFraction == 0 {
+		c.SampleFraction = 0.2
+	}
+	if len(c.Grid.Lambdas) == 0 {
+		c.Grid = svm.DefaultGrid()
+	}
+	return c
+}
+
+// Validate rejects out-of-range configuration.
+func (c Config) Validate() error {
+	if c.Window < 0 {
+		return fmt.Errorf("core: Window %d must be non-negative", c.Window)
+	}
+	if c.TrainFraction < 0 || c.TrainFraction > 1 {
+		return fmt.Errorf("core: TrainFraction %v out of [0,1]", c.TrainFraction)
+	}
+	if c.SampleFraction < 0 || c.SampleFraction > 1 {
+		return fmt.Errorf("core: SampleFraction %v out of [0,1]", c.SampleFraction)
+	}
+	return nil
+}
+
+// window is one coalesced data point with provenance.
+type window struct {
+	vec   []float64
+	start int // first event ordinal
+}
+
+// TrainingData is the assembled training-phase state, exposed so tools can
+// inspect intermediate artifacts (CFGs, weights, encoders).
+type TrainingData struct {
+	Encoder *preprocess.Encoder
+	Scaler  *svm.Scaler
+
+	// BenignCFG and MixedCFG are the inferred application CFGs.
+	BenignCFG *cfg.Inference
+	MixedCFG  *cfg.Inference
+	// Weights is the Algorithm-2 assessment of the mixed log.
+	Weights *weight.Result
+	// Alignment is the mixed→benign CFG alignment, set only when
+	// Config.AlignCFGs was enabled.
+	Alignment *cfg.Alignment
+
+	// BenignPart and MixedPart are the partitioned training logs.
+	BenignPart *partition.Log
+	MixedPart  *partition.Log
+
+	// benignTrain/benignTest are the benign windows after the 50/50
+	// split; mixed holds all mixed windows with their weights.
+	benignTrain []window
+	benignTest  []window
+	mixed       []window
+	mixedWeight []float64
+
+	cfg Config
+}
+
+// unscoredBenignity is the benignity default for events that contributed
+// no CFG path: maximal uncertainty.
+const unscoredBenignity = 0.5
+
+// BuildTrainingData runs the training-phase data pipeline on a benign and
+// a mixed log: partition, fit the feature encoder, infer both CFGs, assess
+// weights and coalesce windows.
+func BuildTrainingData(benign, mixed *trace.Log, config Config) (*TrainingData, error) {
+	config = config.withDefaults()
+	if err := config.Validate(); err != nil {
+		return nil, err
+	}
+	if benign == nil || mixed == nil {
+		return nil, errors.New("core: nil training log")
+	}
+	td := &TrainingData{cfg: config}
+
+	var err error
+	if td.BenignPart, err = partition.Split(benign); err != nil {
+		return nil, fmt.Errorf("core: partitioning benign log: %w", err)
+	}
+	if td.MixedPart, err = partition.Split(mixed); err != nil {
+		return nil, fmt.Errorf("core: partitioning mixed log: %w", err)
+	}
+
+	// Feature encoder fitted on all training events so cluster ids are
+	// consistent across the benign and mixed sets.
+	fitEvents := make([]partition.Event, 0, td.BenignPart.Len()+td.MixedPart.Len())
+	fitEvents = append(fitEvents, td.BenignPart.Events...)
+	fitEvents = append(fitEvents, td.MixedPart.Events...)
+	if td.Encoder, err = preprocess.Fit(fitEvents, config.Preprocess); err != nil {
+		return nil, err
+	}
+
+	// CFG inference and weight assessment.
+	if td.BenignCFG, err = cfg.Infer(td.BenignPart); err != nil {
+		return nil, err
+	}
+	if td.MixedCFG, err = cfg.Infer(td.MixedPart); err != nil {
+		return nil, err
+	}
+	if config.AlignCFGs {
+		td.Alignment = cfg.AlignGraphs(td.BenignCFG.Graph, td.MixedCFG.Graph)
+		td.Weights, err = weight.AssessAligned(td.BenignCFG.Graph, td.MixedCFG, td.Alignment, config.Weight)
+	} else {
+		td.Weights, err = weight.Assess(td.BenignCFG.Graph, td.MixedCFG, config.Weight)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Coalesce windows.
+	benignWins, err := coalesce(td.Encoder, td.BenignPart, config.Window)
+	if err != nil {
+		return nil, err
+	}
+	mixedWins, err := coalesce(td.Encoder, td.MixedPart, config.Window)
+	if err != nil {
+		return nil, err
+	}
+
+	// 50/50 benign split (deterministic by seed).
+	rng := rand.New(rand.NewSource(config.Seed))
+	perm := rng.Perm(len(benignWins))
+	nTrain := int(float64(len(benignWins)) * config.TrainFraction)
+	for i, p := range perm {
+		if i < nTrain {
+			td.benignTrain = append(td.benignTrain, benignWins[p])
+		} else {
+			td.benignTest = append(td.benignTest, benignWins[p])
+		}
+	}
+
+	// Mixed windows with CFG-derived weights: the WSVM cost cᵢ is the
+	// confidence that the negative label is correct, 1 − benignity.
+	td.mixed = mixedWins
+	td.mixedWeight = make([]float64, len(mixedWins))
+	for i, w := range mixedWins {
+		benignity := td.Weights.MeanBenignity(w.start, w.start+config.Window, unscoredBenignity)
+		td.mixedWeight[i] = 1 - benignity
+	}
+	if config.ShuffleWeights {
+		rng.Shuffle(len(td.mixedWeight), func(i, j int) {
+			td.mixedWeight[i], td.mixedWeight[j] = td.mixedWeight[j], td.mixedWeight[i]
+		})
+	}
+	return td, nil
+}
+
+// coalesce encodes and windows one partitioned log.
+func coalesce(enc *preprocess.Encoder, log *partition.Log, windowSize int) ([]window, error) {
+	tuples := enc.EncodeAll(log)
+	vecs, starts, err := preprocess.Coalesce(tuples, windowSize)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]window, len(vecs))
+	for i := range vecs {
+		out[i] = window{vec: vecs[i], start: starts[i]}
+	}
+	return out, nil
+}
+
+// sampleWindows draws ⌈fraction·n⌉ windows without replacement.
+func sampleWindows(rng *rand.Rand, wins []window, fraction float64) []window {
+	if fraction >= 1 {
+		out := make([]window, len(wins))
+		copy(out, wins)
+		return out
+	}
+	n := int(float64(len(wins))*fraction + 0.5)
+	if n < 1 && len(wins) > 0 {
+		n = 1
+	}
+	perm := rng.Perm(len(wins))
+	out := make([]window, 0, n)
+	for _, p := range perm[:n] {
+		out = append(out, wins[p])
+	}
+	return out
+}
+
+// trainProblem assembles the (possibly weighted) SVM problem from sampled
+// training windows. Scaling is fitted here.
+func (td *TrainingData) trainProblem(rng *rand.Rand, weighted bool) (svm.Problem, *svm.Scaler, error) {
+	benign := sampleWindows(rng, td.benignTrain, td.cfg.SampleFraction)
+	// Sample mixed windows jointly with their weights.
+	type weighted_ struct {
+		w  window
+		wt float64
+	}
+	all := make([]weighted_, len(td.mixed))
+	for i := range td.mixed {
+		all[i] = weighted_{td.mixed[i], td.mixedWeight[i]}
+	}
+	n := int(float64(len(all))*td.cfg.SampleFraction + 0.5)
+	if n < 1 && len(all) > 0 {
+		n = 1
+	}
+	if td.cfg.SampleFraction >= 1 {
+		n = len(all)
+	}
+	perm := rng.Perm(len(all))
+
+	var prob svm.Problem
+	raw := make([][]float64, 0, len(benign)+n)
+	for _, w := range benign {
+		raw = append(raw, w.vec)
+		prob.Y = append(prob.Y, 1)
+		if weighted {
+			prob.Weight = append(prob.Weight, 1)
+		}
+	}
+	for _, p := range perm[:n] {
+		raw = append(raw, all[p].w.vec)
+		prob.Y = append(prob.Y, -1)
+		if weighted {
+			prob.Weight = append(prob.Weight, all[p].wt)
+		}
+	}
+	scaler, err := svm.FitScaler(raw)
+	if err != nil {
+		return svm.Problem{}, nil, err
+	}
+	prob.X = scaler.ApplyAll(raw)
+	return prob, scaler, nil
+}
+
+// Classifier is a trained LEAPS model (the WSVM path) ready for the
+// testing phase.
+type Classifier struct {
+	enc    *preprocess.Encoder
+	scaler *svm.Scaler
+	model  *svm.Model
+	platt  *svm.PlattScaler
+	window int
+	params svm.Params
+}
+
+// Params returns the SVM parameters the classifier was trained with.
+func (c *Classifier) Params() svm.Params { return c.params }
+
+// Model exposes the underlying SVM model (e.g. for support-vector counts).
+func (c *Classifier) Model() *svm.Model { return c.model }
+
+// Train fits the CFG-guided weighted SVM classifier on the training data.
+func (td *TrainingData) Train() (*Classifier, error) {
+	return td.train(true)
+}
+
+// TrainUnweighted fits the plain-SVM comparison model (all weights 1).
+func (td *TrainingData) TrainUnweighted() (*Classifier, error) {
+	return td.train(false)
+}
+
+func (td *TrainingData) train(weighted bool) (*Classifier, error) {
+	rng := rand.New(rand.NewSource(td.cfg.Seed + 1))
+	prob, scaler, err := td.trainProblem(rng, weighted)
+	if err != nil {
+		return nil, err
+	}
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	var params svm.Params
+	if td.cfg.FixedParams != nil {
+		params = *td.cfg.FixedParams
+	} else {
+		grid := td.cfg.Grid
+		grid.Seed = td.cfg.Seed
+		best, _, err := svm.GridSearch(prob, grid)
+		if err != nil {
+			return nil, err
+		}
+		params = best
+	}
+	model, err := svm.Train(prob, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{
+		enc:    td.Encoder,
+		scaler: scaler,
+		model:  model,
+		platt:  fitPlatt(model, prob),
+		window: td.cfg.Window,
+		params: params,
+	}, nil
+}
+
+// fitPlatt calibrates a probability sigmoid on the training decisions;
+// calibration is best-effort (nil on degenerate inputs).
+func fitPlatt(model *svm.Model, prob svm.Problem) *svm.PlattScaler {
+	dec := make([]float64, len(prob.X))
+	for i, x := range prob.X {
+		dec[i] = model.Decision(x)
+	}
+	p, err := svm.FitPlatt(dec, prob.Y)
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
+// Detection is one classified window of a log.
+type Detection struct {
+	// FirstEvent and LastEvent bound the window (event ordinals).
+	FirstEvent, LastEvent int
+	// Score is the decision value; negative means malicious.
+	Score float64
+	// Probability is the Platt-calibrated probability that the window is
+	// malicious (0.5 when no calibration is available).
+	Probability float64
+	// Malicious is the verdict.
+	Malicious bool
+}
+
+// DetectLog applies the classifier to a full log (the testing phase's
+// application slicing is assumed done: one process per log).
+func (c *Classifier) DetectLog(log *trace.Log) ([]Detection, error) {
+	part, err := partition.Split(log)
+	if err != nil {
+		return nil, err
+	}
+	tuples := c.enc.EncodeAll(part)
+	vecs, starts, err := preprocess.Coalesce(tuples, c.window)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Detection, len(vecs))
+	for i, v := range vecs {
+		score := c.model.Decision(c.scaler.Apply(v))
+		pMal := 0.5
+		if c.platt != nil {
+			pMal = 1 - c.platt.Probability(score)
+		}
+		out[i] = Detection{
+			FirstEvent:  starts[i],
+			LastEvent:   starts[i] + c.window - 1,
+			Score:       score,
+			Probability: pMal,
+			Malicious:   score < 0,
+		}
+	}
+	return out, nil
+}
+
+// classifyWindows runs the model over pre-built windows and fills the
+// confusion matrix.
+func (c *Classifier) classifyWindows(wins []window, actualBenign bool, conf *metrics.Confusion) {
+	for _, w := range wins {
+		pred := c.model.Decision(c.scaler.Apply(w.vec)) >= 0
+		conf.Add(actualBenign, pred)
+	}
+}
+
+// cgraphClassify runs the call-graph baseline over windows, resolving each
+// from the partitioned log's events. Undecided verdicts count as
+// misclassifications of the true class.
+func cgraphClassify(m *callgraph.Model, part *partition.Log, wins []window, windowSize int, actualBenign bool, conf *metrics.Confusion, undecided *int) {
+	for _, w := range wins {
+		end := w.start + windowSize
+		if end > part.Len() {
+			end = part.Len()
+		}
+		v := m.ClassifyWindow(part.Events[w.start:end])
+		if v == callgraph.VerdictUndecided {
+			*undecided++
+		}
+		conf.Add(actualBenign, v == callgraph.VerdictBenign)
+	}
+}

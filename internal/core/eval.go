@@ -1,0 +1,225 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/callgraph"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// EvalResult holds one evaluation run of the three models on one dataset:
+// the paper's Figure 6/7 bar groups (and Table I's WSVM row).
+type EvalResult struct {
+	// CGraph, SVM and WSVM are the five measurements per model.
+	CGraph metrics.Summary
+	SVM    metrics.Summary
+	WSVM   metrics.Summary
+	// HMM holds the §VI-B extension model's measurements; populated only
+	// by EvaluateWithHMM, as signalled by HMMIncluded.
+	HMM         metrics.Summary
+	HMMIncluded bool
+	// WSVMAUC and SVMAUC are the areas under the ROC curves of the two
+	// margin classifiers over the test windows (threshold sweeps on the
+	// decision values). NaN when undefined.
+	WSVMAUC, SVMAUC float64
+	// CGraphUndecidedFrac is the fraction of test windows the call-graph
+	// model could not decide (counted as misclassified above).
+	CGraphUndecidedFrac float64
+	// TrainBenign, TrainMixed, TestBenign, TestMalicious are the sampled
+	// set sizes.
+	TrainBenign, TrainMixed, TestBenign, TestMalicious int
+	// MeanMixedWeight is the average WSVM cost over mixed training
+	// windows (diagnostic: how much the CFG pruned).
+	MeanMixedWeight float64
+}
+
+// Evaluate runs the full §V protocol once: build training data from the
+// benign and mixed logs, train CGraph, SVM and WSVM, and test all three on
+// held-out benign windows (positives) and pure-malicious windows
+// (negatives).
+func Evaluate(benign, mixed, malicious *trace.Log, config Config) (*EvalResult, error) {
+	return evaluate(benign, mixed, malicious, config, false)
+}
+
+// EvaluateWithHMM is Evaluate plus the §VI-B HMM extension model as a
+// fourth classifier.
+func EvaluateWithHMM(benign, mixed, malicious *trace.Log, config Config) (*EvalResult, error) {
+	return evaluate(benign, mixed, malicious, config, true)
+}
+
+func evaluate(benign, mixed, malicious *trace.Log, config Config, includeHMM bool) (*EvalResult, error) {
+	if malicious == nil {
+		return nil, errors.New("core: nil malicious log")
+	}
+	config = config.withDefaults()
+	td, err := BuildTrainingData(benign, mixed, config)
+	if err != nil {
+		return nil, err
+	}
+
+	malPart, err := partition.Split(malicious)
+	if err != nil {
+		return nil, fmt.Errorf("core: partitioning malicious log: %w", err)
+	}
+	malWins, err := coalesce(td.Encoder, malPart, config.Window)
+	if err != nil {
+		return nil, err
+	}
+
+	// Test-set sampling (the same 20% protocol as training).
+	rng := rand.New(rand.NewSource(config.Seed + 2))
+	testBenign := sampleWindows(rng, td.benignTest, config.SampleFraction)
+	testMal := sampleWindows(rng, malWins, config.SampleFraction)
+
+	res := &EvalResult{
+		TestBenign:    len(testBenign),
+		TestMalicious: len(testMal),
+	}
+	for _, w := range td.mixedWeight {
+		res.MeanMixedWeight += w
+	}
+	if len(td.mixedWeight) > 0 {
+		res.MeanMixedWeight /= float64(len(td.mixedWeight))
+	}
+
+	// WSVM (the LEAPS model).
+	wsvm, err := td.Train()
+	if err != nil {
+		return nil, fmt.Errorf("core: training WSVM: %w", err)
+	}
+	// Plain SVM comparison.
+	plain, err := td.TrainUnweighted()
+	if err != nil {
+		return nil, fmt.Errorf("core: training SVM: %w", err)
+	}
+	res.TrainBenign = int(float64(len(td.benignTrain))*config.SampleFraction + 0.5)
+	res.TrainMixed = int(float64(len(td.mixed))*config.SampleFraction + 0.5)
+
+	var wsvmConf, svmConf metrics.Confusion
+	wsvm.classifyWindows(testBenign, true, &wsvmConf)
+	wsvm.classifyWindows(testMal, false, &wsvmConf)
+	plain.classifyWindows(testBenign, true, &svmConf)
+	plain.classifyWindows(testMal, false, &svmConf)
+	res.WSVM = wsvmConf.Summary()
+	res.SVM = svmConf.Summary()
+	res.WSVMAUC = testAUC(wsvm, testBenign, testMal)
+	res.SVMAUC = testAUC(plain, testBenign, testMal)
+
+	// Call-graph baseline: BCG from the benign training windows' events,
+	// MCG from the whole mixed log.
+	benignTrainLog := &partition.Log{App: td.BenignPart.App, PID: td.BenignPart.PID}
+	for _, w := range td.benignTrain {
+		end := w.start + config.Window
+		if end > td.BenignPart.Len() {
+			end = td.BenignPart.Len()
+		}
+		benignTrainLog.Events = append(benignTrainLog.Events, td.BenignPart.Events[w.start:end]...)
+	}
+	cg, err := callgraph.Train(benignTrainLog, td.MixedPart)
+	if err != nil {
+		return nil, fmt.Errorf("core: training call-graph model: %w", err)
+	}
+	var cgConf metrics.Confusion
+	var undecided int
+	cgraphClassify(cg, td.BenignPart, testBenign, config.Window, true, &cgConf, &undecided)
+	cgraphClassify(cg, malPart, testMal, config.Window, false, &cgConf, &undecided)
+	res.CGraph = cgConf.Summary()
+	if total := len(testBenign) + len(testMal); total > 0 {
+		res.CGraphUndecidedFrac = float64(undecided) / float64(total)
+	}
+
+	if includeHMM {
+		hc, err := trainHMM(td)
+		if err != nil {
+			return nil, err
+		}
+		var hmmConf metrics.Confusion
+		if err := hc.classifyWindows(testBenign, true, &hmmConf); err != nil {
+			return nil, err
+		}
+		if err := hc.classifyWindows(testMal, false, &hmmConf); err != nil {
+			return nil, err
+		}
+		res.HMM = hmmConf.Summary()
+		res.HMMIncluded = true
+	}
+	return res, nil
+}
+
+// EvaluateRuns repeats Evaluate over several data-selection seeds and
+// averages the measurements, as the paper averages all results over 10
+// runs. The logs are fixed; selection and sampling vary per run.
+func EvaluateRuns(benign, mixed, malicious *trace.Log, config Config, runs int) (*EvalResult, error) {
+	if runs < 1 {
+		return nil, fmt.Errorf("core: runs %d must be positive", runs)
+	}
+	var cgs, svms, wsvms []metrics.Summary
+	var wsvmAUCs, svmAUCs []float64
+	agg := &EvalResult{}
+	for r := 0; r < runs; r++ {
+		cfg := config
+		cfg.Seed = config.Seed + int64(r)*7919
+		res, err := Evaluate(benign, mixed, malicious, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: run %d: %w", r, err)
+		}
+		cgs = append(cgs, res.CGraph)
+		svms = append(svms, res.SVM)
+		wsvms = append(wsvms, res.WSVM)
+		wsvmAUCs = append(wsvmAUCs, res.WSVMAUC)
+		svmAUCs = append(svmAUCs, res.SVMAUC)
+		agg.CGraphUndecidedFrac += res.CGraphUndecidedFrac
+		agg.MeanMixedWeight += res.MeanMixedWeight
+		agg.TrainBenign, agg.TrainMixed = res.TrainBenign, res.TrainMixed
+		agg.TestBenign, agg.TestMalicious = res.TestBenign, res.TestMalicious
+	}
+	agg.CGraph = metrics.Mean(cgs)
+	agg.SVM = metrics.Mean(svms)
+	agg.WSVM = metrics.Mean(wsvms)
+	agg.WSVMAUC = meanSkipNaN(wsvmAUCs)
+	agg.SVMAUC = meanSkipNaN(svmAUCs)
+	agg.CGraphUndecidedFrac /= float64(runs)
+	agg.MeanMixedWeight /= float64(runs)
+	return agg, nil
+}
+
+// meanSkipNaN averages the defined entries; NaN when none are.
+func meanSkipNaN(xs []float64) float64 {
+	var sum float64
+	var n int
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sum += x
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// testAUC sweeps the classifier's decision values over the test windows
+// and returns the area under the ROC curve (NaN when undefined).
+func testAUC(c *Classifier, testBenign, testMal []window) float64 {
+	scores := make([]float64, 0, len(testBenign)+len(testMal))
+	labels := make([]bool, 0, len(testBenign)+len(testMal))
+	for _, w := range testBenign {
+		scores = append(scores, c.model.Decision(c.scaler.Apply(w.vec)))
+		labels = append(labels, true)
+	}
+	for _, w := range testMal {
+		scores = append(scores, c.model.Decision(c.scaler.Apply(w.vec)))
+		labels = append(labels, false)
+	}
+	_, auc, err := metrics.ROC(scores, labels)
+	if err != nil {
+		return math.NaN()
+	}
+	return auc
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hmm"
+	"repro/internal/metrics"
+)
+
+// This file adds the §VI-B extension model to the evaluation: a two-class
+// hidden Markov model over the discretised event-symbol sequence, which
+// (unlike the window-flattening SVMs) can exploit ordering constraints
+// between events.
+
+// hmmStates is the hidden-state count for the extension classifier.
+const hmmStates = 4
+
+// hmmClassifier classifies windows by HMM log-likelihood ratio.
+type hmmClassifier struct {
+	vocab map[[3]int]int
+	clf   *hmm.Classifier
+}
+
+// trainHMM fits the benign HMM on the benign training windows' symbol
+// sequence and the malicious HMM on the mixed windows' sequence.
+func trainHMM(td *TrainingData) (*hmmClassifier, error) {
+	h := &hmmClassifier{vocab: make(map[[3]int]int)}
+	// Symbol 0 is reserved for tuples unseen at training time.
+	next := 1
+	intern := func(wins []window, build bool) []int {
+		var seq []int
+		for _, w := range wins {
+			for i := 0; i+2 < len(w.vec); i += 3 {
+				key := [3]int{int(w.vec[i]), int(w.vec[i+1]), int(w.vec[i+2])}
+				sym, ok := h.vocab[key]
+				if !ok {
+					if !build {
+						sym = 0
+					} else {
+						sym = next
+						h.vocab[key] = sym
+						next++
+					}
+				}
+				seq = append(seq, sym)
+			}
+		}
+		return seq
+	}
+	benignSeq := intern(td.benignTrain, true)
+	mixedSeq := intern(td.mixed, true)
+	clf, err := hmm.TrainClassifier(benignSeq, mixedSeq, next, hmm.Config{
+		States: hmmStates,
+		Seed:   td.cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: training HMM extension: %w", err)
+	}
+	h.clf = clf
+	return h, nil
+}
+
+// windowSymbols interns one window's tuples for prediction (unseen tuples
+// map to the reserved unknown symbol).
+func (h *hmmClassifier) windowSymbols(w window) []int {
+	seq := make([]int, 0, len(w.vec)/3)
+	for i := 0; i+2 < len(w.vec); i += 3 {
+		key := [3]int{int(w.vec[i]), int(w.vec[i+1]), int(w.vec[i+2])}
+		seq = append(seq, h.vocab[key]) // 0 when absent
+	}
+	return seq
+}
+
+// classifyWindows scores windows into the confusion matrix.
+func (h *hmmClassifier) classifyWindows(wins []window, actualBenign bool, conf *metrics.Confusion) error {
+	for _, w := range wins {
+		benign, err := h.clf.PredictBenign(h.windowSymbols(w))
+		if err != nil {
+			return err
+		}
+		conf.Add(actualBenign, benign)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/preprocess"
+	"repro/internal/svm"
+)
+
+// classifierFile is the on-disk form of a trained classifier.
+type classifierFile struct {
+	Magic    string
+	Version  int
+	Window   int
+	Lambda   float64
+	Encoder  []byte
+	Scaler   []byte
+	Model    []byte
+	HasPlatt bool
+	PlattA   float64
+	PlattB   float64
+}
+
+const (
+	classifierMagic   = "LEAPS-MODEL"
+	classifierVersion = 1
+)
+
+// Save serialises the trained classifier so a later process can run the
+// testing phase without retraining.
+func (c *Classifier) Save(w io.Writer) error {
+	encB, err := c.enc.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	scB, err := c.scaler.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	mB, err := c.model.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	f := classifierFile{
+		Magic:   classifierMagic,
+		Version: classifierVersion,
+		Window:  c.window,
+		Lambda:  c.params.Lambda,
+		Encoder: encB,
+		Scaler:  scB,
+		Model:   mB,
+	}
+	if c.platt != nil {
+		f.HasPlatt = true
+		f.PlattA, f.PlattB = c.platt.A, c.platt.B
+	}
+	if err := gob.NewEncoder(w).Encode(f); err != nil {
+		return fmt.Errorf("core: encoding classifier: %w", err)
+	}
+	return nil
+}
+
+// LoadClassifier reads a classifier previously written by Save.
+func LoadClassifier(r io.Reader) (*Classifier, error) {
+	var f classifierFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: decoding classifier: %w", err)
+	}
+	if f.Magic != classifierMagic {
+		return nil, fmt.Errorf("core: not a classifier file (magic %q)", f.Magic)
+	}
+	if f.Version != classifierVersion {
+		return nil, fmt.Errorf("core: unsupported classifier version %d", f.Version)
+	}
+	if f.Window < 1 {
+		return nil, fmt.Errorf("core: classifier window %d invalid", f.Window)
+	}
+	c := &Classifier{window: f.Window, params: svm.Params{Lambda: f.Lambda}}
+	c.enc = new(preprocess.Encoder)
+	if err := c.enc.UnmarshalBinary(f.Encoder); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	c.scaler = new(svm.Scaler)
+	if err := c.scaler.UnmarshalBinary(f.Scaler); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	c.model = new(svm.Model)
+	if err := c.model.UnmarshalBinary(f.Model); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if f.HasPlatt {
+		c.platt = &svm.PlattScaler{A: f.PlattA, B: f.PlattB}
+	}
+	return c, nil
+}

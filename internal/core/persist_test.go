@@ -1,0 +1,57 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestClassifierSaveLoadRoundTrip(t *testing.T) {
+	logs := genLogs(t, "vim_reverse_tcp", 11)
+	td, err := BuildTrainingData(logs.Benign, logs.Mixed, fastConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := td.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadClassifier(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadClassifier: %v", err)
+	}
+
+	// The loaded classifier must produce identical detections.
+	want, err := clf.DetectLog(logs.Malicious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.DetectLog(logs.Malicious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("detection counts differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("detection %d differs: %+v vs %+v", i, want[i], got[i])
+		}
+	}
+	if loaded.Model().NumSVs() != clf.Model().NumSVs() {
+		t.Errorf("SV count = %d, want %d", loaded.Model().NumSVs(), clf.Model().NumSVs())
+	}
+}
+
+func TestLoadClassifierRejectsGarbage(t *testing.T) {
+	if _, err := LoadClassifier(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadClassifier(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}

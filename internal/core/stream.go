@@ -1,0 +1,67 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/partition"
+	"repro/internal/preprocess"
+	"repro/internal/trace"
+)
+
+// StreamDetector applies a trained classifier to a live event stream: feed
+// events as the logger produces them and receive a Detection whenever a
+// window completes. This is the production-monitoring shape of the testing
+// phase (DetectLog is the batch equivalent).
+type StreamDetector struct {
+	clf     *Classifier
+	modules *trace.ModuleMap
+	buf     []preprocess.Tuple
+	// consumed counts events fed so far; windows are aligned to it.
+	consumed int
+}
+
+// Stream starts a streaming session for one process, identified by its
+// module map (needed to partition stack walks).
+func (c *Classifier) Stream(modules *trace.ModuleMap) (*StreamDetector, error) {
+	if modules == nil {
+		return nil, errors.New("core: nil module map")
+	}
+	return &StreamDetector{clf: c, modules: modules}, nil
+}
+
+// Feed consumes one event. It returns a non-nil Detection when the event
+// completed a window.
+func (s *StreamDetector) Feed(e trace.Event) (*Detection, error) {
+	// Partition this single event: reuse the batch splitter on a
+	// one-event log to keep the classification path identical.
+	log := &trace.Log{App: s.modules.AppName(), Modules: s.modules, Events: []trace.Event{e}}
+	part, err := partition.Split(log)
+	if err != nil {
+		return nil, err
+	}
+	s.buf = append(s.buf, s.clf.enc.Encode(&part.Events[0]))
+	s.consumed++
+	if len(s.buf) < s.clf.window {
+		return nil, nil
+	}
+	vecs, _, err := preprocess.Coalesce(s.buf, s.clf.window)
+	if err != nil {
+		return nil, err
+	}
+	s.buf = s.buf[:0]
+	score := s.clf.model.Decision(s.clf.scaler.Apply(vecs[0]))
+	pMal := 0.5
+	if s.clf.platt != nil {
+		pMal = 1 - s.clf.platt.Probability(score)
+	}
+	return &Detection{
+		FirstEvent:  s.consumed - s.clf.window,
+		LastEvent:   s.consumed - 1,
+		Score:       score,
+		Probability: pMal,
+		Malicious:   score < 0,
+	}, nil
+}
+
+// Pending reports how many events are buffered toward the next window.
+func (s *StreamDetector) Pending() int { return len(s.buf) }

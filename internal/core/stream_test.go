@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestStreamMatchesBatch(t *testing.T) {
+	logs := genLogs(t, "vim_reverse_tcp", 21)
+	td, err := BuildTrainingData(logs.Benign, logs.Mixed, fastConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := td.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := clf.DetectLog(logs.Malicious)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream, err := clf.Stream(logs.Malicious.Modules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []Detection
+	for _, e := range logs.Malicious.Events {
+		det, err := stream.Feed(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if det != nil {
+			streamed = append(streamed, *det)
+		}
+	}
+	if len(streamed) != len(batch) {
+		t.Fatalf("streamed %d detections, batch %d", len(streamed), len(batch))
+	}
+	for i := range batch {
+		if streamed[i] != batch[i] {
+			t.Fatalf("detection %d: stream %+v vs batch %+v", i, streamed[i], batch[i])
+		}
+	}
+	if stream.Pending() >= 10 {
+		t.Errorf("Pending() = %d after full drain", stream.Pending())
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	logs := genLogs(t, "vim_reverse_tcp", 22)
+	td, err := BuildTrainingData(logs.Benign, logs.Mixed, fastConfig(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := td.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clf.Stream(nil); err == nil {
+		t.Error("nil module map accepted")
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cfg"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/preprocess"
+	"repro/internal/svm"
+	"repro/internal/trace"
+	"repro/internal/weight"
+)
+
+// This file implements the paper's §II-B2 remark that application-wise
+// classifiers are an evaluation convenience only: "LEAPS can coalesce all
+// application data from the system event log to learn a universal
+// classifier for testing." A universal classifier trains one model over
+// the benign/mixed log pairs of several applications, with one shared
+// feature encoder, and tests on any application's logs.
+
+// LogPair is one application's training material.
+type LogPair struct {
+	// Benign is the clean run; Mixed the infected run of the same
+	// application.
+	Benign *trace.Log
+	Mixed  *trace.Log
+}
+
+// UniversalTrainingData aggregates per-application training data under a
+// single shared feature encoder.
+type UniversalTrainingData struct {
+	// PerApp holds each application's pipeline artifacts (CFGs, weights,
+	// windows), all encoded with the shared encoder.
+	PerApp []*TrainingData
+	// Encoder is the shared feature encoder fitted on every
+	// application's training events.
+	Encoder *preprocess.Encoder
+
+	cfg Config
+}
+
+// BuildUniversalTrainingData runs the training-phase pipeline for every
+// application and re-encodes all windows with one shared encoder so a
+// single classifier can be trained across applications.
+func BuildUniversalTrainingData(pairs []LogPair, config Config) (*UniversalTrainingData, error) {
+	if len(pairs) == 0 {
+		return nil, errors.New("core: no training pairs")
+	}
+	config = config.withDefaults()
+	if err := config.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Fit the shared encoder over every application's events first.
+	var fitEvents []partition.Event
+	parts := make([][2]*partition.Log, len(pairs))
+	for i, p := range pairs {
+		if p.Benign == nil || p.Mixed == nil {
+			return nil, fmt.Errorf("core: pair %d has a nil log", i)
+		}
+		bp, err := partition.Split(p.Benign)
+		if err != nil {
+			return nil, fmt.Errorf("core: pair %d: %w", i, err)
+		}
+		mp, err := partition.Split(p.Mixed)
+		if err != nil {
+			return nil, fmt.Errorf("core: pair %d: %w", i, err)
+		}
+		parts[i] = [2]*partition.Log{bp, mp}
+		fitEvents = append(fitEvents, bp.Events...)
+		fitEvents = append(fitEvents, mp.Events...)
+	}
+	enc, err := preprocess.Fit(fitEvents, config.Preprocess)
+	if err != nil {
+		return nil, err
+	}
+
+	u := &UniversalTrainingData{Encoder: enc, cfg: config}
+	for i := range pairs {
+		td, err := buildTrainingDataWithEncoder(parts[i][0], parts[i][1], enc, config)
+		if err != nil {
+			return nil, fmt.Errorf("core: pair %d: %w", i, err)
+		}
+		u.PerApp = append(u.PerApp, td)
+	}
+	return u, nil
+}
+
+// buildTrainingDataWithEncoder is BuildTrainingData with pre-partitioned
+// logs and a shared, already-fitted encoder.
+func buildTrainingDataWithEncoder(bp, mp *partition.Log, enc *preprocess.Encoder, config Config) (*TrainingData, error) {
+	td := &TrainingData{cfg: config, Encoder: enc, BenignPart: bp, MixedPart: mp}
+	var err error
+	if td.BenignCFG, err = cfg.Infer(bp); err != nil {
+		return nil, err
+	}
+	if td.MixedCFG, err = cfg.Infer(mp); err != nil {
+		return nil, err
+	}
+	if td.Weights, err = weight.Assess(td.BenignCFG.Graph, td.MixedCFG, config.Weight); err != nil {
+		return nil, err
+	}
+	benignWins, err := coalesce(enc, bp, config.Window)
+	if err != nil {
+		return nil, err
+	}
+	mixedWins, err := coalesce(enc, mp, config.Window)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(config.Seed))
+	perm := rng.Perm(len(benignWins))
+	nTrain := int(float64(len(benignWins)) * config.TrainFraction)
+	for i, p := range perm {
+		if i < nTrain {
+			td.benignTrain = append(td.benignTrain, benignWins[p])
+		} else {
+			td.benignTest = append(td.benignTest, benignWins[p])
+		}
+	}
+	td.mixed = mixedWins
+	td.mixedWeight = make([]float64, len(mixedWins))
+	for i, w := range mixedWins {
+		benignity := td.Weights.MeanBenignity(w.start, w.start+config.Window, unscoredBenignity)
+		td.mixedWeight[i] = 1 - benignity
+	}
+	return td, nil
+}
+
+// Train fits one weighted SVM over the pooled training windows of all
+// applications.
+func (u *UniversalTrainingData) Train() (*Classifier, error) {
+	rng := rand.New(rand.NewSource(u.cfg.Seed + 1))
+	var prob svm.Problem
+	var raw [][]float64
+	for _, td := range u.PerApp {
+		benign := sampleWindows(rng, td.benignTrain, u.cfg.SampleFraction)
+		for _, w := range benign {
+			raw = append(raw, w.vec)
+			prob.Y = append(prob.Y, 1)
+			prob.Weight = append(prob.Weight, 1)
+		}
+		n := int(float64(len(td.mixed))*u.cfg.SampleFraction + 0.5)
+		if u.cfg.SampleFraction >= 1 {
+			n = len(td.mixed)
+		}
+		perm := rng.Perm(len(td.mixed))
+		for _, p := range perm[:n] {
+			raw = append(raw, td.mixed[p].vec)
+			prob.Y = append(prob.Y, -1)
+			prob.Weight = append(prob.Weight, td.mixedWeight[p])
+		}
+	}
+	scaler, err := svm.FitScaler(raw)
+	if err != nil {
+		return nil, err
+	}
+	prob.X = scaler.ApplyAll(raw)
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	var params svm.Params
+	if u.cfg.FixedParams != nil {
+		params = *u.cfg.FixedParams
+	} else {
+		grid := u.cfg.Grid
+		grid.Seed = u.cfg.Seed
+		best, _, err := svm.GridSearch(prob, grid)
+		if err != nil {
+			return nil, err
+		}
+		params = best
+	}
+	model, err := svm.Train(prob, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{
+		enc:    u.Encoder,
+		scaler: scaler,
+		model:  model,
+		platt:  fitPlatt(model, prob),
+		window: u.cfg.Window,
+		params: params,
+	}, nil
+}
+
+// EvaluateUniversal trains the universal classifier on all pairs and tests
+// it per application against that application's held-out benign windows
+// and the given pure-malicious logs (one per pair, aligned by index). It
+// returns one Summary per application plus the pooled summary.
+func EvaluateUniversal(pairs []LogPair, malicious []*trace.Log, config Config) ([]metrics.Summary, metrics.Summary, error) {
+	if len(malicious) != len(pairs) {
+		return nil, metrics.Summary{}, fmt.Errorf("core: %d malicious logs for %d pairs", len(malicious), len(pairs))
+	}
+	u, err := BuildUniversalTrainingData(pairs, config)
+	if err != nil {
+		return nil, metrics.Summary{}, err
+	}
+	clf, err := u.Train()
+	if err != nil {
+		return nil, metrics.Summary{}, err
+	}
+	config = config.withDefaults()
+	rng := rand.New(rand.NewSource(config.Seed + 2))
+
+	var pooled metrics.Confusion
+	perApp := make([]metrics.Summary, len(pairs))
+	for i, td := range u.PerApp {
+		malPart, err := partition.Split(malicious[i])
+		if err != nil {
+			return nil, metrics.Summary{}, err
+		}
+		malWins, err := coalesce(u.Encoder, malPart, config.Window)
+		if err != nil {
+			return nil, metrics.Summary{}, err
+		}
+		testBenign := sampleWindows(rng, td.benignTest, config.SampleFraction)
+		testMal := sampleWindows(rng, malWins, config.SampleFraction)
+		var conf metrics.Confusion
+		clf.classifyWindows(testBenign, true, &conf)
+		clf.classifyWindows(testMal, false, &conf)
+		perApp[i] = conf.Summary()
+		pooled.TP += conf.TP
+		pooled.TN += conf.TN
+		pooled.FP += conf.FP
+		pooled.FN += conf.FN
+	}
+	return perApp, pooled.Summary(), nil
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/trace"
+)
+
+func universalFixtures(t *testing.T) (pairs []LogPair, malicious []*trace.Log) {
+	t.Helper()
+	for i, name := range []string{"vim_reverse_tcp", "putty_reverse_https_online"} {
+		spec, err := dataset.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.BenignEvents, spec.MixedEvents, spec.MaliciousEvents = 3000, 3000, 1500
+		logs, err := spec.Generate(int64(20 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs = append(pairs, LogPair{Benign: logs.Benign, Mixed: logs.Mixed})
+		malicious = append(malicious, logs.Malicious)
+	}
+	return pairs, malicious
+}
+
+func TestBuildUniversalTrainingDataValidation(t *testing.T) {
+	if _, err := BuildUniversalTrainingData(nil, fastConfig(1)); err == nil {
+		t.Error("no pairs accepted")
+	}
+	if _, err := BuildUniversalTrainingData([]LogPair{{}}, fastConfig(1)); err == nil {
+		t.Error("nil logs accepted")
+	}
+}
+
+func TestUniversalSharedEncoder(t *testing.T) {
+	pairs, _ := universalFixtures(t)
+	u, err := BuildUniversalTrainingData(pairs, fastConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.PerApp) != 2 {
+		t.Fatalf("PerApp = %d, want 2", len(u.PerApp))
+	}
+	for i, td := range u.PerApp {
+		if td.Encoder != u.Encoder {
+			t.Errorf("app %d does not share the universal encoder", i)
+		}
+		if td.BenignCFG.Graph.NumNodes() == 0 {
+			t.Errorf("app %d has empty benign CFG", i)
+		}
+	}
+}
+
+func TestEvaluateUniversal(t *testing.T) {
+	pairs, malicious := universalFixtures(t)
+	perApp, pooled, err := EvaluateUniversal(pairs, malicious, fastConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perApp) != 2 {
+		t.Fatalf("perApp = %d summaries", len(perApp))
+	}
+	// One cross-application model still has to discriminate: the pooled
+	// accuracy must beat chance clearly.
+	if math.IsNaN(pooled.ACC) || pooled.ACC < 0.65 {
+		t.Errorf("pooled universal ACC = %v, want >= 0.65", pooled.ACC)
+	}
+	for i, s := range perApp {
+		if math.IsNaN(s.ACC) || s.ACC < 0.55 {
+			t.Errorf("app %d universal ACC = %v, want >= 0.55", i, s.ACC)
+		}
+	}
+}
+
+func TestEvaluateUniversalValidation(t *testing.T) {
+	pairs, malicious := universalFixtures(t)
+	if _, _, err := EvaluateUniversal(pairs, malicious[:1], fastConfig(4)); err == nil {
+		t.Error("mismatched malicious count accepted")
+	}
+}

@@ -1,0 +1,299 @@
+// Package dataset defines the paper's 21 evaluation datasets (Table I):
+// every combination of application, payload and attack method the paper
+// measures, with the generation protocol that produces each dataset's
+// three subsets — pure benign samples, mixed samples and pure malicious
+// samples (the recompiled-payload ground truth).
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/appsim"
+	"repro/internal/trace"
+)
+
+// Spec identifies one dataset and its generation parameters.
+type Spec struct {
+	// Name is the dataset identifier, e.g. "winscp_reverse_tcp" or
+	// "putty_reverse_https_online".
+	Name string
+	// App and Payload are profile keys (appsim.AppProfile /
+	// appsim.PayloadProfile).
+	App     string
+	Payload string
+	// Method is the attack method: offline infection or online injection.
+	Method appsim.AttackMethod
+	// BenignEvents, MixedEvents and MaliciousEvents size the three logs.
+	BenignEvents    int
+	MixedEvents     int
+	MaliciousEvents int
+	// PayloadFraction is the payload activity share of the mixed log.
+	PayloadFraction float64
+	// HoldoutOps are benign operations withheld from the pure benign log
+	// so the benign CFG is incomplete relative to the mixed log (§III-B).
+	HoldoutOps []string
+	// MixedHoldoutOps are benign operations withheld from the mixed log:
+	// real benign and infected sessions exercise different functionality
+	// subsets, which is what gives the benign call graph edges the mixed
+	// call graph lacks (without this the CGraph baseline could never
+	// classify anything benign).
+	MixedHoldoutOps []string
+}
+
+// Display strings for Table I.
+func (s Spec) AttackMethodLabel() string {
+	if s.Method == appsim.MethodOnlineInjection {
+		return "Online Injection"
+	}
+	return "Offline Infection"
+}
+
+// Default log sizes: large enough for a few hundred windows per subset.
+const (
+	defaultBenignEvents    = 6000
+	defaultMixedEvents     = 6000
+	defaultMaliciousEvents = 3000
+	defaultPayloadFraction = 0.55
+)
+
+// holdouts lists, per application, the benign operation withheld from the
+// pure benign log (low-weight functionality the controlled benign run
+// plausibly never exercised).
+var holdouts = map[string][]string{
+	"winscp":    {"sync_dirs"},
+	"chrome":    {"extension_sync"},
+	"notepad++": {"plugin_update_check"},
+	"putty":     {"rekey"},
+	"vim":       {"read_vimrc"},
+}
+
+// mixedHoldouts lists, per application, the benign operations the infected
+// session never exercised. They are chosen to carry system behaviour
+// (registry writes, dialogs, process spawns) that no other operation of
+// the app — and no payload — produces, so their call-graph edges are
+// exclusive to the benign model.
+var mixedHoldouts = map[string][]string{
+	"winscp":    {"edit_prefs", "local_browse"},
+	"chrome":    {"history_update", "cache_read"},
+	"notepad++": {"session_save", "find_in_files"},
+	"putty":     {"save_session", "log_output"},
+	"vim":       {"shell_filter", "swap_sync"},
+}
+
+// payloadDisplay maps payload keys to the Table I payload column.
+var payloadDisplay = map[string]string{
+	"reverse_tcp":   "Reverse TCP Shell",
+	"reverse_https": "Reverse HTTPS Shell",
+	"codeinject":    "Pwddlg",
+}
+
+// appDisplay maps app keys to the Table I application column.
+var appDisplay = map[string]string{
+	"winscp":    "WinSCP",
+	"chrome":    "Chrome",
+	"notepad++": "Notepad++",
+	"putty":     "Putty",
+	"vim":       "Vim",
+}
+
+// AppLabel returns the Table I application name.
+func (s Spec) AppLabel() string { return appDisplay[s.App] }
+
+// PayloadLabel returns the Table I payload name.
+func (s Spec) PayloadLabel() string { return payloadDisplay[s.Payload] }
+
+func spec(app, payload string, method appsim.AttackMethod) Spec {
+	name := fmt.Sprintf("%s_%s", app, payload)
+	if payload == "codeinject" {
+		name = fmt.Sprintf("%s_codeinject", app)
+	}
+	if method == appsim.MethodOnlineInjection {
+		name += "_online"
+	}
+	return Spec{
+		Name:            name,
+		App:             app,
+		Payload:         payload,
+		Method:          method,
+		BenignEvents:    defaultBenignEvents,
+		MixedEvents:     defaultMixedEvents,
+		MaliciousEvents: defaultMaliciousEvents,
+		PayloadFraction: defaultPayloadFraction,
+		HoldoutOps:      holdouts[app],
+		MixedHoldoutOps: mixedHoldouts[app],
+	}
+}
+
+// Table1Specs returns the 21 datasets of Table I in the paper's row order:
+// 13 offline-infection datasets followed by 8 online-injection datasets.
+func Table1Specs() []Spec {
+	offline := appsim.MethodOfflineInfection
+	online := appsim.MethodOnlineInjection
+	return []Spec{
+		spec("winscp", "reverse_tcp", offline),
+		spec("winscp", "reverse_https", offline),
+		spec("chrome", "reverse_tcp", offline),
+		spec("chrome", "reverse_https", offline),
+		spec("notepad++", "reverse_tcp", offline),
+		spec("notepad++", "reverse_https", offline),
+		spec("putty", "reverse_tcp", offline),
+		spec("putty", "reverse_https", offline),
+		spec("vim", "reverse_tcp", offline),
+		spec("vim", "reverse_https", offline),
+		spec("vim", "codeinject", offline),
+		spec("notepad++", "codeinject", offline),
+		spec("putty", "codeinject", offline),
+		spec("putty", "reverse_tcp", online),
+		spec("putty", "reverse_https", online),
+		spec("notepad++", "reverse_tcp", online),
+		spec("notepad++", "reverse_https", online),
+		spec("vim", "reverse_tcp", online),
+		spec("vim", "reverse_https", online),
+		spec("winscp", "reverse_tcp", online),
+		spec("winscp", "reverse_https", online),
+	}
+}
+
+// OfflineSpecs returns the 13 offline-infection datasets (Figure 6).
+func OfflineSpecs() []Spec {
+	all := Table1Specs()
+	return all[:13]
+}
+
+// OnlineSpecs returns the 8 online-injection datasets (Figure 7).
+func OnlineSpecs() []Spec {
+	all := Table1Specs()
+	return all[13:]
+}
+
+// ByName returns the named dataset spec.
+func ByName(name string) (Spec, error) {
+	for _, s := range Table1Specs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("dataset: unknown dataset %q", name)
+}
+
+// Names lists all dataset names in Table I order.
+func Names() []string {
+	specs := Table1Specs()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// SourceTrojanVariant returns the named dataset converted to the paper's
+// §VI-A source-level trojan scenario: the payload is compiled into the
+// application from source, shifting every benign function relative to the
+// clean build. Only offline-infection datasets have a source-trojan
+// variant.
+func SourceTrojanVariant(name string) (Spec, error) {
+	s, err := ByName(name)
+	if err != nil {
+		return Spec{}, err
+	}
+	if s.Method != appsim.MethodOfflineInfection {
+		return Spec{}, fmt.Errorf("dataset: %s is not an offline-infection dataset", name)
+	}
+	s.Method = appsim.MethodSourceTrojan
+	s.Name += "_srctrojan"
+	return s, nil
+}
+
+// Logs is one generated dataset: the three raw logs ready for the
+// pipeline.
+type Logs struct {
+	Spec      Spec
+	Benign    *trace.Log
+	Mixed     *trace.Log
+	Malicious *trace.Log
+	// Victim is the attacked process (exposes the payload address range
+	// for diagnostics); Clean is the uninfected process that produced the
+	// benign log.
+	Victim *appsim.Process
+	Clean  *appsim.Process
+}
+
+// Generate synthesises the dataset's three logs deterministically from
+// the seed.
+func (s Spec) Generate(seed int64) (*Logs, error) {
+	app, err := appsim.AppProfile(s.App)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := appsim.PayloadProfile(s.Payload)
+	if err != nil {
+		return nil, err
+	}
+	clean, err := appsim.NewProcess(app, nil, appsim.MethodNone)
+	if err != nil {
+		return nil, fmt.Errorf("dataset %s: %w", s.Name, err)
+	}
+	victim, err := appsim.NewProcess(app, &payload, s.Method)
+	if err != nil {
+		return nil, fmt.Errorf("dataset %s: %w", s.Name, err)
+	}
+	standalone, err := appsim.NewStandaloneProcess(payload)
+	if err != nil {
+		return nil, fmt.Errorf("dataset %s: %w", s.Name, err)
+	}
+
+	out := &Logs{Spec: s, Victim: victim, Clean: clean}
+	if out.Benign, err = clean.GenerateLog(appsim.GenConfig{
+		Seed: seed, Events: s.BenignEvents, ExcludeOps: s.HoldoutOps, PID: 100,
+	}); err != nil {
+		return nil, fmt.Errorf("dataset %s: benign log: %w", s.Name, err)
+	}
+	if out.Mixed, err = victim.GenerateLog(appsim.GenConfig{
+		Seed: seed + 1, Events: s.MixedEvents, PayloadFraction: s.PayloadFraction,
+		ExcludeOps: s.MixedHoldoutOps, MaxBurst: 3, PID: 200,
+	}); err != nil {
+		return nil, fmt.Errorf("dataset %s: mixed log: %w", s.Name, err)
+	}
+	if out.Malicious, err = standalone.GenerateLog(appsim.GenConfig{
+		Seed: seed + 2, Events: s.MaliciousEvents, PID: 300,
+	}); err != nil {
+		return nil, fmt.Errorf("dataset %s: malicious log: %w", s.Name, err)
+	}
+	return out, nil
+}
+
+// SystemLogs bundles a dataset's logs with ambient background-process
+// activity, modelling the full system event log the paper's testing phase
+// slices per application (§II-B2). Background holds one clean log per
+// profile in appsim.BackgroundProfiles order, sized relative to the
+// dataset's logs and sharing their time base so a raw file interleaves
+// realistically.
+type SystemLogs struct {
+	*Logs
+	Background []*trace.Log
+}
+
+// GenerateSystem is Generate plus background processes.
+func (s Spec) GenerateSystem(seed int64) (*SystemLogs, error) {
+	logs, err := s.Generate(seed)
+	if err != nil {
+		return nil, err
+	}
+	out := &SystemLogs{Logs: logs}
+	for i, prof := range appsim.BackgroundProfiles() {
+		proc, err := appsim.NewBackgroundProcess(prof)
+		if err != nil {
+			return nil, fmt.Errorf("dataset %s: background %s: %w", s.Name, prof.Name, err)
+		}
+		log, err := proc.GenerateLog(appsim.GenConfig{
+			Seed:   seed + 100 + int64(i),
+			Events: s.BenignEvents / 2,
+			PID:    400 + i,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dataset %s: background %s: %w", s.Name, prof.Name, err)
+		}
+		out.Background = append(out.Background, log)
+	}
+	return out, nil
+}

@@ -1,0 +1,285 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/appsim"
+)
+
+func TestTable1SpecsShape(t *testing.T) {
+	specs := Table1Specs()
+	if len(specs) != 21 {
+		t.Fatalf("Table1Specs() = %d datasets, want 21", len(specs))
+	}
+	var offline, online int
+	seen := make(map[string]bool)
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Errorf("duplicate dataset name %q", s.Name)
+		}
+		seen[s.Name] = true
+		switch s.Method {
+		case appsim.MethodOfflineInfection:
+			offline++
+			if strings.HasSuffix(s.Name, "_online") {
+				t.Errorf("offline dataset %q has _online suffix", s.Name)
+			}
+		case appsim.MethodOnlineInjection:
+			online++
+			if !strings.HasSuffix(s.Name, "_online") {
+				t.Errorf("online dataset %q missing _online suffix", s.Name)
+			}
+		default:
+			t.Errorf("dataset %q has method %v", s.Name, s.Method)
+		}
+		if s.BenignEvents <= 0 || s.MixedEvents <= 0 || s.MaliciousEvents <= 0 {
+			t.Errorf("dataset %q has non-positive log sizes", s.Name)
+		}
+		if s.PayloadFraction <= 0 || s.PayloadFraction >= 1 {
+			t.Errorf("dataset %q payload fraction %v", s.Name, s.PayloadFraction)
+		}
+		if s.AppLabel() == "" || s.PayloadLabel() == "" {
+			t.Errorf("dataset %q missing display labels", s.Name)
+		}
+	}
+	if offline != 13 || online != 8 {
+		t.Errorf("method split = (%d offline, %d online), want (13, 8)", offline, online)
+	}
+	if got := len(OfflineSpecs()); got != 13 {
+		t.Errorf("OfflineSpecs() = %d", got)
+	}
+	if got := len(OnlineSpecs()); got != 8 {
+		t.Errorf("OnlineSpecs() = %d", got)
+	}
+}
+
+func TestSpecProfilesResolve(t *testing.T) {
+	for _, s := range Table1Specs() {
+		if _, err := appsim.AppProfile(s.App); err != nil {
+			t.Errorf("dataset %q: %v", s.Name, err)
+		}
+		if _, err := appsim.PayloadProfile(s.Payload); err != nil {
+			t.Errorf("dataset %q: %v", s.Name, err)
+		}
+		// Holdouts must name real operations of the app.
+		app, _ := appsim.AppProfile(s.App)
+		opNames := make(map[string]bool, len(app.Ops))
+		for _, op := range app.Ops {
+			opNames[op.Name] = true
+		}
+		for _, h := range append(append([]string{}, s.HoldoutOps...), s.MixedHoldoutOps...) {
+			if !opNames[h] {
+				t.Errorf("dataset %q holdout %q is not an operation of %s", s.Name, h, s.App)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("vim_codeinject")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.App != "vim" || s.Payload != "codeinject" || s.Method != appsim.MethodOfflineInfection {
+		t.Errorf("vim_codeinject = %+v", s)
+	}
+	if _, err := ByName("no_such_dataset"); err == nil {
+		t.Error("ByName(no_such_dataset) succeeded")
+	}
+	if got := len(Names()); got != 21 {
+		t.Errorf("Names() = %d entries", got)
+	}
+}
+
+func TestAttackMethodLabel(t *testing.T) {
+	off, _ := ByName("winscp_reverse_tcp")
+	on, _ := ByName("winscp_reverse_tcp_online")
+	if off.AttackMethodLabel() != "Offline Infection" {
+		t.Errorf("offline label = %q", off.AttackMethodLabel())
+	}
+	if on.AttackMethodLabel() != "Online Injection" {
+		t.Errorf("online label = %q", on.AttackMethodLabel())
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	spec, err := ByName("vim_reverse_tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs, err := spec.Generate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logs.Benign.Len() < spec.BenignEvents {
+		t.Errorf("benign log %d events, want >= %d", logs.Benign.Len(), spec.BenignEvents)
+	}
+	if logs.Mixed.Len() < spec.MixedEvents {
+		t.Errorf("mixed log %d events, want >= %d", logs.Mixed.Len(), spec.MixedEvents)
+	}
+	if logs.Malicious.Len() < spec.MaliciousEvents {
+		t.Errorf("malicious log %d events, want >= %d", logs.Malicious.Len(), spec.MaliciousEvents)
+	}
+	// Identities.
+	if logs.Benign.App != "vim.exe" || logs.Mixed.App != "vim.exe" {
+		t.Error("app logs misattributed")
+	}
+	if logs.Malicious.App != "reverse_tcp" {
+		t.Errorf("malicious log app = %q", logs.Malicious.App)
+	}
+	// The benign log must not contain the holdout op; the mixed log must
+	// not contain the mixed holdouts (checked indirectly: holdout
+	// dispatch symbols never appear in stacks).
+	for _, h := range spec.HoldoutOps {
+		assertOpAbsent(t, logs, "benign", h, true)
+	}
+	for _, h := range spec.MixedHoldoutOps {
+		assertOpAbsent(t, logs, "mixed", h, false)
+	}
+}
+
+func assertOpAbsent(t *testing.T, logs *Logs, which, op string, benign bool) {
+	t.Helper()
+	var dispatch uint64
+	for _, sym := range logs.Clean.App().Symbols() {
+		if sym.Name == "dispatch_"+op {
+			dispatch = sym.Addr
+		}
+	}
+	if dispatch == 0 {
+		t.Fatalf("dispatch_%s not found", op)
+	}
+	log := logs.Mixed
+	if benign {
+		log = logs.Benign
+	}
+	for _, e := range log.Events {
+		for _, f := range e.Stack {
+			if f.Addr == dispatch {
+				t.Fatalf("op %q present in %s log", op, which)
+				return
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec, _ := ByName("putty_reverse_https")
+	a, err := spec.Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Benign.Len() != b.Benign.Len() || a.Mixed.Len() != b.Mixed.Len() {
+		t.Fatal("same seed produced different logs")
+	}
+	for i := range a.Mixed.Events {
+		if a.Mixed.Events[i].Type != b.Mixed.Events[i].Type {
+			t.Fatal("same seed produced different mixed events")
+		}
+	}
+}
+
+func TestGenerateMethodLayout(t *testing.T) {
+	offline, _ := ByName("vim_reverse_tcp")
+	logsOff, err := offline.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _, ok := logsOff.Victim.PayloadRange()
+	if !ok {
+		t.Fatal("offline victim has no payload range")
+	}
+	if logsOff.Victim.Modules().Locate(lo) == nil {
+		t.Error("offline payload outside the trojaned image")
+	}
+
+	online, _ := ByName("vim_reverse_tcp_online")
+	logsOn, err := online.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _, ok = logsOn.Victim.PayloadRange()
+	if !ok {
+		t.Fatal("online victim has no payload range")
+	}
+	if logsOn.Victim.Modules().Locate(lo) != nil {
+		t.Error("online payload inside a module")
+	}
+}
+
+func TestSourceTrojanVariant(t *testing.T) {
+	s, err := SourceTrojanVariant("vim_reverse_tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Method != appsim.MethodSourceTrojan || s.Name != "vim_reverse_tcp_srctrojan" {
+		t.Errorf("variant = %+v", s)
+	}
+	logs, err := s.Generate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trojaned build's benign code is shifted relative to the clean
+	// build: same symbol, different address.
+	cleanMain := symbolAddr(t, logs.Clean, "main")
+	trojanMain := symbolAddr(t, logs.Victim, "main")
+	if cleanMain == trojanMain {
+		t.Error("source trojan did not shift benign code")
+	}
+	// Online datasets have no source-trojan variant.
+	if _, err := SourceTrojanVariant("vim_reverse_tcp_online"); err == nil {
+		t.Error("online variant accepted")
+	}
+	if _, err := SourceTrojanVariant("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func symbolAddr(t *testing.T, p *appsim.Process, name string) uint64 {
+	t.Helper()
+	for _, s := range p.App().Symbols() {
+		if s.Name == name {
+			return s.Addr
+		}
+	}
+	t.Fatalf("symbol %q not found", name)
+	return 0
+}
+
+func TestGenerateSystem(t *testing.T) {
+	spec, err := ByName("vim_reverse_tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.BenignEvents, spec.MixedEvents, spec.MaliciousEvents = 2000, 2000, 1000
+	sys, err := spec.GenerateSystem(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Background) != len(appsim.BackgroundProfiles()) {
+		t.Fatalf("background logs = %d", len(sys.Background))
+	}
+	apps := map[string]bool{}
+	pids := map[int]bool{sys.Benign.PID: true, sys.Mixed.PID: true, sys.Malicious.PID: true}
+	for _, b := range sys.Background {
+		if b.Len() == 0 {
+			t.Error("empty background log")
+		}
+		if apps[b.App] {
+			t.Errorf("duplicate background app %q", b.App)
+		}
+		apps[b.App] = true
+		if pids[b.PID] {
+			t.Errorf("background pid %d collides", b.PID)
+		}
+		pids[b.PID] = true
+	}
+	if !apps["svchost.exe"] || !apps["explorer.exe"] {
+		t.Errorf("background apps = %v", apps)
+	}
+}

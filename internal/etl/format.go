@@ -1,0 +1,147 @@
+// Package etl implements the raw event-trace-log layer of LEAPS: a compact
+// binary container for system event streams with stack walks (standing in
+// for Windows ETL files) and the raw-log parser that, like the Introperf
+// front end the paper builds on, correlates stack-walk records with their
+// system events and slices the stream per process into stack-event
+// correlated logs.
+//
+// File layout (all integers little-endian):
+//
+//	magic "LETL" | version u16 | record*
+//
+// Records, each introduced by a one-byte tag:
+//
+//	recProcess: pid u32, app string, modules
+//	    (module: name string, kind u8, base u64, size u64,
+//	     symbol count u32, symbols (name string, addr u64))
+//	recEvent:   type u16, time i64 (ns), pid u32, tid u32, flags u8
+//	recStack:   pid u32, tid u32, frame count u16, addrs u64*
+//	recEnd:     (nothing; terminates the stream)
+//
+// Strings are a u16 length followed by raw bytes. A recStack attaches to
+// the most recent event of the same pid/tid that declared flagHasStack and
+// has not yet received its walk — mirroring how ETW emits stack-walk events
+// separately from the events that triggered them.
+package etl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Format constants.
+const (
+	magic   = "LETL"
+	version = uint16(1)
+
+	recProcess = 0x01
+	recEvent   = 0x02
+	recStack   = 0x03
+	recEnd     = 0xFF
+
+	flagHasStack = 0x01
+
+	// maxString and maxFrames bound allocations while parsing untrusted
+	// input.
+	maxString = 4096
+	maxFrames = 512
+)
+
+// ErrCorrupt is wrapped by every parse error caused by malformed input.
+var ErrCorrupt = errors.New("etl: corrupt file")
+
+type countingWriter struct {
+	w *bufio.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+func writeU8(w io.Writer, v uint8) error   { return binary.Write(w, binary.LittleEndian, v) }
+func writeU16(w io.Writer, v uint16) error { return binary.Write(w, binary.LittleEndian, v) }
+func writeU32(w io.Writer, v uint32) error { return binary.Write(w, binary.LittleEndian, v) }
+func writeU64(w io.Writer, v uint64) error { return binary.Write(w, binary.LittleEndian, v) }
+func writeI64(w io.Writer, v int64) error  { return binary.Write(w, binary.LittleEndian, v) }
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > maxString {
+		return fmt.Errorf("etl: string of %d bytes exceeds limit %d", len(s), maxString)
+	}
+	if err := writeU16(w, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+type reader struct {
+	r   *bufio.Reader
+	buf [8]byte
+}
+
+func (rd *reader) u8() (uint8, error) {
+	b, err := rd.r.ReadByte()
+	if err != nil {
+		return 0, corrupt(err)
+	}
+	return b, nil
+}
+
+func (rd *reader) u16() (uint16, error) {
+	if _, err := io.ReadFull(rd.r, rd.buf[:2]); err != nil {
+		return 0, corrupt(err)
+	}
+	return binary.LittleEndian.Uint16(rd.buf[:2]), nil
+}
+
+func (rd *reader) u32() (uint32, error) {
+	if _, err := io.ReadFull(rd.r, rd.buf[:4]); err != nil {
+		return 0, corrupt(err)
+	}
+	return binary.LittleEndian.Uint32(rd.buf[:4]), nil
+}
+
+func (rd *reader) u64() (uint64, error) {
+	if _, err := io.ReadFull(rd.r, rd.buf[:8]); err != nil {
+		return 0, corrupt(err)
+	}
+	return binary.LittleEndian.Uint64(rd.buf[:8]), nil
+}
+
+func (rd *reader) i64() (int64, error) {
+	u, err := rd.u64()
+	if err != nil {
+		return 0, err
+	}
+	return int64(u), nil
+}
+
+func (rd *reader) str() (string, error) {
+	n, err := rd.u16()
+	if err != nil {
+		return "", err
+	}
+	if int(n) > maxString {
+		return "", corrupt(fmt.Errorf("string length %d exceeds limit", n))
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(rd.r, b); err != nil {
+		return "", corrupt(err)
+	}
+	return string(b), nil
+}
+
+// corrupt wraps err with ErrCorrupt unless it already is one.
+func corrupt(err error) error {
+	if errors.Is(err, ErrCorrupt) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrCorrupt, err)
+}

@@ -1,0 +1,254 @@
+package etl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// RawFile is the parsed content of a raw event-trace-log: the per-process
+// stack-event correlated logs, ready for application slicing.
+type RawFile struct {
+	byPID map[int]*trace.Log
+	// Dropped counts stack records that could not be correlated with a
+	// pending event and were discarded.
+	Dropped int
+}
+
+// PIDs returns the traced process ids in ascending order.
+func (f *RawFile) PIDs() []int {
+	out := make([]int, 0, len(f.byPID))
+	for pid := range f.byPID {
+		out = append(out, pid)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Slice returns the stack-event correlated log of one process — the
+// paper's per-application slicing step.
+func (f *RawFile) Slice(pid int) (*trace.Log, error) {
+	l, ok := f.byPID[pid]
+	if !ok {
+		return nil, fmt.Errorf("etl: no process %d in file", pid)
+	}
+	return l, nil
+}
+
+// SliceApp returns the log of the process running the named application.
+func (f *RawFile) SliceApp(app string) (*trace.Log, error) {
+	for _, l := range f.byPID {
+		if l.App == app {
+			return l, nil
+		}
+	}
+	return nil, fmt.Errorf("etl: no process running %q in file", app)
+}
+
+// Parse reads a raw event-trace-log, correlates each stack-walk record
+// with the event that triggered it, resolves every frame against the
+// process's module map, and slices the stream per process.
+func Parse(r io.Reader) (*RawFile, error) {
+	rd := &reader{r: bufio.NewReader(r)}
+
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(rd.r, head); err != nil {
+		return nil, corrupt(err)
+	}
+	if string(head) != magic {
+		return nil, corrupt(fmt.Errorf("bad magic %q", head))
+	}
+	ver, err := rd.u16()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, corrupt(fmt.Errorf("unsupported version %d", ver))
+	}
+
+	f := &RawFile{byPID: make(map[int]*trace.Log)}
+	// pending[pid<<32|tid] holds the index of the event awaiting its
+	// stack record.
+	pending := make(map[uint64]int)
+	key := func(pid, tid int) uint64 { return uint64(pid)<<32 | uint64(uint32(tid)) }
+
+	for {
+		tag, err := rd.u8()
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case recEnd:
+			if len(pending) > 0 {
+				f.Dropped += len(pending)
+			}
+			return f, nil
+
+		case recProcess:
+			pid, app, mm, err := parseProcess(rd)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := f.byPID[pid]; dup {
+				return nil, corrupt(fmt.Errorf("duplicate process record for pid %d", pid))
+			}
+			f.byPID[pid] = &trace.Log{App: app, PID: pid, Modules: mm}
+
+		case recEvent:
+			typ, err := rd.u16()
+			if err != nil {
+				return nil, err
+			}
+			ns, err := rd.i64()
+			if err != nil {
+				return nil, err
+			}
+			pid, err := rd.u32()
+			if err != nil {
+				return nil, err
+			}
+			tid, err := rd.u32()
+			if err != nil {
+				return nil, err
+			}
+			flags, err := rd.u8()
+			if err != nil {
+				return nil, err
+			}
+			l, ok := f.byPID[int(pid)]
+			if !ok {
+				return nil, corrupt(fmt.Errorf("event for undeclared pid %d", pid))
+			}
+			e := trace.Event{
+				Seq:  l.Len(),
+				Type: trace.EventType(typ),
+				Time: time.Unix(0, ns).UTC(),
+				PID:  int(pid),
+				TID:  int(tid),
+			}
+			l.Events = append(l.Events, e)
+			if flags&flagHasStack != 0 {
+				k := key(int(pid), int(tid))
+				if _, dangling := pending[k]; dangling {
+					f.Dropped++
+				}
+				pending[k] = l.Len() - 1
+			}
+
+		case recStack:
+			pid, err := rd.u32()
+			if err != nil {
+				return nil, err
+			}
+			tid, err := rd.u32()
+			if err != nil {
+				return nil, err
+			}
+			n, err := rd.u16()
+			if err != nil {
+				return nil, err
+			}
+			if int(n) > maxFrames {
+				return nil, corrupt(fmt.Errorf("stack of %d frames exceeds limit", n))
+			}
+			stack := make(trace.StackWalk, n)
+			for i := range stack {
+				addr, err := rd.u64()
+				if err != nil {
+					return nil, err
+				}
+				stack[i].Addr = addr
+			}
+			l, ok := f.byPID[int(pid)]
+			if !ok {
+				return nil, corrupt(fmt.Errorf("stack for undeclared pid %d", pid))
+			}
+			k := key(int(pid), int(tid))
+			idx, ok := pending[k]
+			if !ok {
+				// Orphan stack walk: no event awaits it. Real parsers
+				// tolerate these (lost events under load); drop it.
+				f.Dropped++
+				continue
+			}
+			delete(pending, k)
+			l.Events[idx].Stack = l.Modules.ResolveStack(stack)
+
+		default:
+			return nil, corrupt(fmt.Errorf("unknown record tag 0x%02x", tag))
+		}
+	}
+}
+
+// parseProcess reads the body of a recProcess record.
+func parseProcess(rd *reader) (int, string, *trace.ModuleMap, error) {
+	pid, err := rd.u32()
+	if err != nil {
+		return 0, "", nil, err
+	}
+	app, err := rd.str()
+	if err != nil {
+		return 0, "", nil, err
+	}
+	nMods, err := rd.u32()
+	if err != nil {
+		return 0, "", nil, err
+	}
+	const maxModules = 4096
+	if nMods > maxModules {
+		return 0, "", nil, corrupt(fmt.Errorf("module count %d exceeds limit", nMods))
+	}
+	mods := make([]*trace.Module, 0, nMods)
+	for i := uint32(0); i < nMods; i++ {
+		name, err := rd.str()
+		if err != nil {
+			return 0, "", nil, err
+		}
+		kind, err := rd.u8()
+		if err != nil {
+			return 0, "", nil, err
+		}
+		base, err := rd.u64()
+		if err != nil {
+			return 0, "", nil, err
+		}
+		size, err := rd.u64()
+		if err != nil {
+			return 0, "", nil, err
+		}
+		nSyms, err := rd.u32()
+		if err != nil {
+			return 0, "", nil, err
+		}
+		const maxSymbols = 1 << 20
+		if nSyms > maxSymbols {
+			return 0, "", nil, corrupt(fmt.Errorf("symbol count %d exceeds limit", nSyms))
+		}
+		syms := make([]trace.Symbol, 0, nSyms)
+		for j := uint32(0); j < nSyms; j++ {
+			sName, err := rd.str()
+			if err != nil {
+				return 0, "", nil, err
+			}
+			sAddr, err := rd.u64()
+			if err != nil {
+				return 0, "", nil, err
+			}
+			syms = append(syms, trace.Symbol{Name: sName, Addr: sAddr})
+		}
+		m, err := trace.NewModule(name, trace.ModuleKind(kind), base, size, syms)
+		if err != nil {
+			return 0, "", nil, corrupt(err)
+		}
+		mods = append(mods, m)
+	}
+	mm, err := trace.NewModuleMap(app, mods)
+	if err != nil {
+		return 0, "", nil, corrupt(err)
+	}
+	return int(pid), app, mm, nil
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/report"
+	"repro/internal/svm"
+	"repro/internal/weight"
+)
+
+// ablationSpecs is the dataset subset ablations run on: one per
+// application, mixing both attack methods.
+func ablationSpecs() ([]dataset.Spec, error) {
+	names := []string{
+		"winscp_reverse_tcp",
+		"chrome_reverse_https",
+		"vim_codeinject",
+		"putty_reverse_https_online",
+		"notepad++_reverse_tcp_online",
+	}
+	out := make([]dataset.Spec, 0, len(names))
+	for _, n := range names {
+		s, err := dataset.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// runVariants evaluates each dataset under several pipeline configurations
+// and tabulates WSVM accuracy per variant.
+func runVariants(opts Options, variants []string, configure func(variant string, cfg *core.Config)) (*report.Table, error) {
+	opts = opts.withDefaults()
+	specs, err := ablationSpecs()
+	if err != nil {
+		return nil, err
+	}
+	header := append([]string{"Dataset"}, variants...)
+	t := report.NewTable(header...)
+	for i, spec := range specs {
+		logs, err := spec.Generate(opts.Seed + int64(i)*104729)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{spec.Name}
+		for _, v := range variants {
+			cfg := opts.coreConfig()
+			configure(v, &cfg)
+			res, err := core.EvaluateRuns(logs.Benign, logs.Mixed, logs.Malicious, cfg, opts.Runs)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s/%s: %w", spec.Name, v, err)
+			}
+			row = append(row, report.Pct(res.WSVM.ACC))
+		}
+		t.AddRow(row...)
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "%v\n", row)
+		}
+	}
+	return t, nil
+}
+
+// AblationWeights (A1) compares the full CFG-guided WSVM against the same
+// model with shuffled weights and against the unweighted SVM, isolating
+// the value of the guidance itself from the weight distribution.
+func AblationWeights(opts Options) (*report.Table, error) {
+	opts = opts.withDefaults()
+	specs, err := ablationSpecs()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Dataset", "WSVM", "WSVM shuffled", "SVM")
+	for i, spec := range specs {
+		logs, err := spec.Generate(opts.Seed + int64(i)*104729)
+		if err != nil {
+			return nil, err
+		}
+		cfg := opts.coreConfig()
+		intact, err := core.EvaluateRuns(logs.Benign, logs.Mixed, logs.Malicious, cfg, opts.Runs)
+		if err != nil {
+			return nil, err
+		}
+		cfg.ShuffleWeights = true
+		shuffled, err := core.EvaluateRuns(logs.Benign, logs.Mixed, logs.Malicious, cfg, opts.Runs)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(spec.Name,
+			report.Pct(intact.WSVM.ACC),
+			report.Pct(shuffled.WSVM.ACC),
+			report.Pct(intact.SVM.ACC))
+	}
+	return t, nil
+}
+
+// AblationDensity (A2) measures the value of Algorithm 2's density-array
+// estimate. Its effect is on the *event-level* weights of benign
+// functionality the benign CFG never observed (the holdout operations):
+// with the estimate those events keep high benignity; with hard 0/1
+// weights they are misjudged as confidently malicious. The table reports
+// the mean benignity assessed for benign-thread and payload-thread events
+// under both settings (window-level accuracy is insensitive because the
+// affected events are a few percent of the log).
+func AblationDensity(opts Options) (*report.Table, error) {
+	opts = opts.withDefaults()
+	specs, err := ablationSpecs()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Dataset",
+		"benign-event w (estimate)", "benign-event w (hard 0/1)",
+		"payload-event w (estimate)", "payload-event w (hard 0/1)")
+	for i, spec := range specs {
+		logs, err := spec.Generate(opts.Seed + int64(i)*104729)
+		if err != nil {
+			return nil, err
+		}
+		var cells []string
+		var byCfg [2][2]float64 // [estimate, hard] x [benign, payload]
+		for vi, wcfg := range []weight.Config{{}, {DisableDensityEstimate: true}} {
+			td, err := core.BuildTrainingData(logs.Benign, logs.Mixed, core.Config{
+				Seed:        opts.Seed,
+				Weight:      wcfg,
+				FixedParams: opts.FixedParams,
+			})
+			if err != nil {
+				return nil, err
+			}
+			var bSum, bN, pSum, pN float64
+			for seq, e := range logs.Mixed.Events {
+				w := td.Weights.Benignity(seq, 0.5)
+				if e.TID == 9 { // payload thread
+					pSum += w
+					pN++
+				} else {
+					bSum += w
+					bN++
+				}
+			}
+			byCfg[vi][0] = bSum / bN
+			byCfg[vi][1] = pSum / pN
+		}
+		cells = append(cells, spec.Name,
+			report.Pct(byCfg[0][0]), report.Pct(byCfg[1][0]),
+			report.Pct(byCfg[0][1]), report.Pct(byCfg[1][1]))
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// AblationWindow (A3) sweeps the event-coalescing window, the paper's
+// "dimensions from 3 up to 30" choice.
+func AblationWindow(opts Options) (*report.Table, error) {
+	windows := map[string]int{"w=1": 1, "w=5": 5, "w=10": 10, "w=20": 20}
+	return runVariants(opts, []string{"w=1", "w=5", "w=10", "w=20"},
+		func(v string, cfg *core.Config) { cfg.Window = windows[v] })
+}
+
+// AblationKernel (A5) compares kernel choices at fixed λ.
+func AblationKernel(opts Options) (*report.Table, error) {
+	kernels := map[string]svm.Kernel{
+		"linear":   svm.LinearKernel{},
+		"rbf":      svm.RBFKernel{Sigma2: 2},
+		"poly(d2)": svm.PolyKernel{Degree: 2, Gamma: 1, Coef0: 1},
+	}
+	return runVariants(opts, []string{"linear", "rbf", "poly(d2)"},
+		func(v string, cfg *core.Config) {
+			cfg.FixedParams = &svm.Params{Lambda: 8, Kernel: kernels[v]}
+		})
+}
+
+// AblationNoise (A4) sweeps the mixed log's payload activity share: the
+// lower the share, the noisier the negative labels and the larger the gap
+// between WSVM and SVM should grow.
+func AblationNoise(opts Options) (*report.Table, error) {
+	opts = opts.withDefaults()
+	spec, err := dataset.ByName("winscp_reverse_tcp")
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Payload fraction", "WSVM ACC", "SVM ACC", "Gap")
+	for _, frac := range []float64{0.2, 0.35, 0.5, 0.65, 0.8} {
+		s := spec
+		s.PayloadFraction = frac
+		logs, err := s.Generate(opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.EvaluateRuns(logs.Benign, logs.Mixed, logs.Malicious, opts.coreConfig(), opts.Runs)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.2f", frac),
+			report.Pct(res.WSVM.ACC), report.Pct(res.SVM.ACC),
+			report.Pct(res.WSVM.ACC-res.SVM.ACC))
+	}
+	return t, nil
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/report"
+	"repro/internal/svm"
+)
+
+// fastOpts keeps harness tests quick: one run, fixed parameters.
+func fastOpts() Options {
+	return Options{
+		Runs:        1,
+		Seed:        99,
+		FixedParams: &svm.Params{Lambda: 8, Kernel: svm.RBFKernel{Sigma2: 2}},
+	}
+}
+
+func TestRunSpecsAndTable1(t *testing.T) {
+	specs := []dataset.Spec{}
+	for _, n := range []string{"vim_reverse_tcp", "vim_reverse_tcp_online"} {
+		s, err := dataset.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	results, err := RunSpecs(specs, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	tab := Table1(results)
+	out := tab.String()
+	if !strings.Contains(out, "vim_reverse_tcp") || !strings.Contains(out, "Offline Infection") {
+		t.Errorf("Table1 output missing rows:\n%s", out)
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("Table1 rows = %d", tab.NumRows())
+	}
+
+	fig := FigureSeries(results)
+	if fig.NumRows() != 6 {
+		t.Errorf("FigureSeries rows = %d, want 6 (3 models × 2 datasets)", fig.NumRows())
+	}
+	if !strings.Contains(fig.String(), "CGraph") || !strings.Contains(fig.String(), "WSVM") {
+		t.Error("FigureSeries missing model rows")
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	out, err := Figure2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"System stack trace:", "Discretised 3-tuple:", "Lib:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	stats, err := Figure4(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MixedNodes <= stats.BenignNodes {
+		t.Errorf("mixed CFG (%d nodes) not larger than benign (%d)", stats.MixedNodes, stats.BenignNodes)
+	}
+	if stats.PayloadRegionNodes == 0 {
+		t.Error("no payload-region nodes found in the mixed CFG")
+	}
+	if stats.CommonEdges == 0 {
+		t.Error("no common edges between benign and mixed CFGs")
+	}
+	if !strings.Contains(stats.BenignDOT, "digraph") || !strings.Contains(stats.MixedDOT, "digraph") {
+		t.Error("DOT outputs malformed")
+	}
+	if !strings.Contains(stats.String(), "payload-region nodes") {
+		t.Error("String() summary incomplete")
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	res, err := Figure5(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WSVMAccuracy < 0.9 {
+		t.Errorf("WSVM toy accuracy = %.3f, want >= 0.9", res.WSVMAccuracy)
+	}
+	if res.WSVMAccuracy <= res.SVMAccuracy {
+		t.Errorf("WSVM %.3f not above SVM %.3f on noisy toy data",
+			res.WSVMAccuracy, res.SVMAccuracy)
+	}
+}
+
+func TestCaseStudies(t *testing.T) {
+	tab, err := CaseStudies(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	for _, want := range []string{"winscp_reverse_tcp", "vim_codeinject", "putty_reverse_https_online", "0.932"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("case studies missing %q:\n%s", want, out)
+		}
+	}
+	if tab.NumRows() != 9 {
+		t.Errorf("case-study rows = %d, want 9", tab.NumRows())
+	}
+}
+
+func TestAblationDensitySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation smoke test is slow")
+	}
+	tab, err := AblationDensity(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 5 {
+		t.Errorf("ablation rows = %d, want 5", tab.NumRows())
+	}
+}
+
+func TestAblationNoiseSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation smoke test is slow")
+	}
+	tab, err := AblationNoise(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 5 {
+		t.Errorf("noise sweep rows = %d, want 5", tab.NumRows())
+	}
+}
+
+func TestExtensionSourceTrojan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension test is slow")
+	}
+	tab, err := ExtensionSourceTrojan(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 3 {
+		t.Errorf("source-trojan rows = %d, want 3", tab.NumRows())
+	}
+	if !strings.Contains(tab.String(), "srctrojan") {
+		t.Error("source-trojan table missing variant names")
+	}
+}
+
+func TestExtensionHMM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension test is slow")
+	}
+	tab, err := ExtensionHMM(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 3 {
+		t.Errorf("HMM extension rows = %d, want 3", tab.NumRows())
+	}
+	if !strings.Contains(tab.String(), "HMM") {
+		t.Error("HMM extension table missing model column")
+	}
+}
+
+func TestExtensionUniversal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension test is slow")
+	}
+	tab, err := ExtensionUniversal(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 6 {
+		t.Errorf("universal rows = %d, want 5 datasets + pooled", tab.NumRows())
+	}
+	if !strings.Contains(tab.String(), "pooled") {
+		t.Error("universal table missing pooled row")
+	}
+}
+
+func TestRemainingAblationsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation smoke test is slow")
+	}
+	for _, tc := range []struct {
+		name string
+		run  func(Options) (*report.Table, error)
+		rows int
+	}{
+		{"weights", AblationWeights, 5},
+		{"window", AblationWindow, 5},
+		{"kernel", AblationKernel, 5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tab, err := tc.run(fastOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tab.NumRows() != tc.rows {
+				t.Errorf("rows = %d, want %d", tab.NumRows(), tc.rows)
+			}
+		})
+	}
+}
+
+func TestFigure6And7Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke test is slow")
+	}
+	opts := fastOpts()
+	t6, r6, err := Figure6(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r6) != 13 || t6.NumRows() != 39 {
+		t.Errorf("Figure6: %d datasets, %d rows", len(r6), t6.NumRows())
+	}
+	t7, r7, err := Figure7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r7) != 8 || t7.NumRows() != 24 {
+		t.Errorf("Figure7: %d datasets, %d rows", len(r7), t7.NumRows())
+	}
+}
+
+func TestExtensionOneClass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension test is slow")
+	}
+	tab, err := ExtensionOneClass(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 5 {
+		t.Errorf("one-class rows = %d, want 5", tab.NumRows())
+	}
+	if !strings.Contains(tab.String(), "OCSVM") {
+		t.Error("one-class table missing model column")
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+// ExtensionSourceTrojan evaluates the §VI-A scenario: trojans recompiled
+// from source, shifting all benign code. Without CFG alignment the weight
+// assessment zeroes genuinely benign paths (every mixed address misses the
+// benign CFG) and WSVM degenerates toward plain SVM; with the
+// pivot-node alignment extension the weights — and WSVM's advantage —
+// are recovered.
+func ExtensionSourceTrojan(opts Options) (*report.Table, error) {
+	opts = opts.withDefaults()
+	names := []string{"vim_reverse_tcp", "notepad++_reverse_https", "winscp_reverse_tcp"}
+	t := report.NewTable("Dataset (source trojan)", "SVM", "WSVM unaligned", "WSVM aligned")
+	for i, name := range names {
+		spec, err := dataset.SourceTrojanVariant(name)
+		if err != nil {
+			return nil, err
+		}
+		logs, err := spec.Generate(opts.Seed + int64(i)*104729)
+		if err != nil {
+			return nil, err
+		}
+		cfg := opts.coreConfig()
+		unaligned, err := core.EvaluateRuns(logs.Benign, logs.Mixed, logs.Malicious, cfg, opts.Runs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s unaligned: %w", spec.Name, err)
+		}
+		cfg.AlignCFGs = true
+		aligned, err := core.EvaluateRuns(logs.Benign, logs.Mixed, logs.Malicious, cfg, opts.Runs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s aligned: %w", spec.Name, err)
+		}
+		t.AddRow(spec.Name,
+			report.Pct(unaligned.SVM.ACC),
+			report.Pct(unaligned.WSVM.ACC),
+			report.Pct(aligned.WSVM.ACC))
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "%-32s unaligned=%s aligned=%s\n",
+				spec.Name, report.Pct(unaligned.WSVM.ACC), report.Pct(aligned.WSVM.ACC))
+		}
+	}
+	return t, nil
+}
+
+// ExtensionHMM evaluates the §VI-B scenario: a two-class HMM over the
+// event-symbol sequence as a fourth model beside CGraph, SVM and WSVM.
+func ExtensionHMM(opts Options) (*report.Table, error) {
+	opts = opts.withDefaults()
+	names := []string{"vim_reverse_tcp", "putty_reverse_https_online", "chrome_reverse_https"}
+	t := report.NewTable("Dataset", "CGraph", "SVM", "HMM", "WSVM")
+	for i, name := range names {
+		spec, err := dataset.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		logs, err := spec.Generate(opts.Seed + int64(i)*104729)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.EvaluateWithHMM(logs.Benign, logs.Mixed, logs.Malicious, opts.coreConfig())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", spec.Name, err)
+		}
+		t.AddRow(spec.Name,
+			report.Pct(res.CGraph.ACC),
+			report.Pct(res.SVM.ACC),
+			report.Pct(res.HMM.ACC),
+			report.Pct(res.WSVM.ACC))
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "%-32s HMM=%s WSVM=%s\n",
+				spec.Name, report.Pct(res.HMM.ACC), report.Pct(res.WSVM.ACC))
+		}
+	}
+	return t, nil
+}
+
+// ExtensionUniversal evaluates the §II-B2 remark that the per-application
+// classifiers are only an evaluation convenience: one universal classifier
+// is trained over several applications' benign/mixed logs and tested per
+// application, side by side with the dedicated per-application WSVMs.
+func ExtensionUniversal(opts Options) (*report.Table, error) {
+	opts = opts.withDefaults()
+	names := []string{
+		"winscp_reverse_tcp",
+		"chrome_reverse_https",
+		"vim_codeinject",
+		"putty_reverse_https_online",
+		"notepad++_reverse_tcp_online",
+	}
+	var pairs []core.LogPair
+	var malicious []*trace.Log
+	var perAppACC []float64
+	for i, name := range names {
+		spec, err := dataset.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		logs, err := spec.Generate(opts.Seed + int64(i)*104729)
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, core.LogPair{Benign: logs.Benign, Mixed: logs.Mixed})
+		malicious = append(malicious, logs.Malicious)
+		res, err := core.Evaluate(logs.Benign, logs.Mixed, logs.Malicious, opts.coreConfig())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		perAppACC = append(perAppACC, res.WSVM.ACC)
+	}
+	uniApp, uniPooled, err := core.EvaluateUniversal(pairs, malicious, opts.coreConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: universal: %w", err)
+	}
+	t := report.NewTable("Dataset", "Per-app WSVM ACC", "Universal WSVM ACC")
+	for i, name := range names {
+		t.AddRow(name, report.Pct(perAppACC[i]), report.Pct(uniApp[i].ACC))
+	}
+	t.AddRow("pooled", "", report.Pct(uniPooled.ACC))
+	return t, nil
+}
+
+// ExtensionOneClass compares the related-work anomaly-detection baseline —
+// a one-class SVM trained on benign data only (Heller et al.) — against
+// plain SVM and LEAPS's WSVM, isolating the value of (de-noised) mixed
+// training data.
+func ExtensionOneClass(opts Options) (*report.Table, error) {
+	opts = opts.withDefaults()
+	specs, err := ablationSpecs()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Dataset", "OCSVM (benign only)", "SVM", "WSVM")
+	for i, spec := range specs {
+		logs, err := spec.Generate(opts.Seed + int64(i)*104729)
+		if err != nil {
+			return nil, err
+		}
+		oc, err := core.EvaluateOneClass(logs.Benign, logs.Malicious, opts.coreConfig())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s one-class: %w", spec.Name, err)
+		}
+		res, err := core.EvaluateRuns(logs.Benign, logs.Mixed, logs.Malicious, opts.coreConfig(), opts.Runs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", spec.Name, err)
+		}
+		t.AddRow(spec.Name, report.Pct(oc.ACC), report.Pct(res.SVM.ACC), report.Pct(res.WSVM.ACC))
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "%-32s OCSVM=%s WSVM=%s\n",
+				spec.Name, report.Pct(oc.ACC), report.Pct(res.WSVM.ACC))
+		}
+	}
+	return t, nil
+}

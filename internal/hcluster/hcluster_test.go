@@ -1,0 +1,327 @@
+package hcluster
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func matrixFromPoints(t *testing.T, pts []float64) *DistMatrix {
+	t.Helper()
+	dm, err := NewDistMatrix(len(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			dm.Set(i, j, math.Abs(pts[i]-pts[j]))
+		}
+	}
+	return dm
+}
+
+func TestNewDistMatrixValidation(t *testing.T) {
+	if _, err := NewDistMatrix(0); err == nil {
+		t.Error("NewDistMatrix(0) succeeded")
+	}
+	if _, err := NewDistMatrix(-2); err == nil {
+		t.Error("NewDistMatrix(-2) succeeded")
+	}
+}
+
+func TestDistMatrixSymmetry(t *testing.T) {
+	dm, err := NewDistMatrix(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm.Set(1, 3, 0.5)
+	if got := dm.Get(3, 1); got != 0.5 {
+		t.Errorf("Get(3,1) = %v, want 0.5", got)
+	}
+	if got := dm.Get(2, 2); got != 0 {
+		t.Errorf("Get(2,2) = %v, want 0", got)
+	}
+	dm.Set(2, 2, 9) // must be ignored
+	if got := dm.Get(2, 2); got != 0 {
+		t.Errorf("diagonal mutated: %v", got)
+	}
+}
+
+func TestDistMatrixValidate(t *testing.T) {
+	dm, _ := NewDistMatrix(3)
+	dm.Set(0, 1, math.NaN())
+	if err := dm.Validate(); err == nil {
+		t.Error("Validate accepted NaN")
+	}
+	dm2, _ := NewDistMatrix(3)
+	dm2.Set(0, 1, -1)
+	if err := dm2.Validate(); err == nil {
+		t.Error("Validate accepted negative distance")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := Cluster(nil, Average); err == nil {
+		t.Error("Cluster(nil) succeeded")
+	}
+	dm, _ := NewDistMatrix(3)
+	if _, err := Cluster(dm, Linkage(99)); err == nil {
+		t.Error("Cluster with unknown linkage succeeded")
+	}
+	dm.Set(0, 1, math.Inf(1))
+	if _, err := Cluster(dm, Average); err == nil {
+		t.Error("Cluster accepted infinite distance")
+	}
+}
+
+func TestClusterSingleObservation(t *testing.T) {
+	dm, _ := NewDistMatrix(1)
+	d, err := Cluster(dm, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Merges()) != 0 {
+		t.Errorf("merges = %d, want 0", len(d.Merges()))
+	}
+	labels := d.CutDistance(1)
+	if !reflect.DeepEqual(labels, []int{0}) {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+// Two well-separated groups on a line: {0, 1, 2} and {10, 11}.
+func TestClusterTwoGroups(t *testing.T) {
+	pts := []float64{0, 1, 2, 10, 11}
+	for _, linkage := range []Linkage{Single, Complete, Average, Weighted, Ward} {
+		t.Run(linkage.String(), func(t *testing.T) {
+			dend, err := Cluster(matrixFromPoints(t, pts), linkage)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(dend.Merges()); got != len(pts)-1 {
+				t.Fatalf("merges = %d, want %d", got, len(pts)-1)
+			}
+			labels := dend.CutK(2)
+			if labels[0] != labels[1] || labels[1] != labels[2] {
+				t.Errorf("group one split: %v", labels)
+			}
+			if labels[3] != labels[4] {
+				t.Errorf("group two split: %v", labels)
+			}
+			if labels[0] == labels[3] {
+				t.Errorf("groups merged: %v", labels)
+			}
+		})
+	}
+}
+
+func TestCutDistanceThresholds(t *testing.T) {
+	pts := []float64{0, 1, 2, 10, 11}
+	dend, err := Cluster(matrixFromPoints(t, pts), Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny threshold: every observation is its own cluster.
+	labels := dend.CutDistance(0)
+	want := []int{0, 1, 2, 3, 4}
+	if !reflect.DeepEqual(labels, want) {
+		t.Errorf("CutDistance(0) = %v, want %v", labels, want)
+	}
+	// Huge threshold: everything merges.
+	labels = dend.CutDistance(100)
+	for _, l := range labels {
+		if l != 0 {
+			t.Errorf("CutDistance(100) = %v, want all 0", labels)
+			break
+		}
+	}
+	if got := dend.NumClustersAt(0); got != 5 {
+		t.Errorf("NumClustersAt(0) = %d, want 5", got)
+	}
+	if got := dend.NumClustersAt(100); got != 1 {
+		t.Errorf("NumClustersAt(100) = %d, want 1", got)
+	}
+	// A threshold between the within-group and between-group scales
+	// yields exactly the two groups.
+	labels = dend.CutDistance(3)
+	if labels[0] != labels[2] || labels[0] == labels[3] || labels[3] != labels[4] {
+		t.Errorf("CutDistance(3) = %v, want two groups", labels)
+	}
+}
+
+func TestCutKBounds(t *testing.T) {
+	pts := []float64{0, 1, 5}
+	dend, err := Cluster(matrixFromPoints(t, pts), Complete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels := dend.CutK(0); !allEqual(labels) {
+		t.Errorf("CutK(0) = %v, want single cluster", labels)
+	}
+	if labels := dend.CutK(10); !reflect.DeepEqual(labels, []int{0, 1, 2}) {
+		t.Errorf("CutK(10) = %v, want singletons", labels)
+	}
+}
+
+func allEqual(xs []int) bool {
+	for _, x := range xs {
+		if x != xs[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// UPGMA on a hand-worked example. Points 0,1 at distance 1 merge first;
+// the average distance from {0,1} to 2 is (4+3)/2 = 3.5.
+func TestAverageLinkageHandWorked(t *testing.T) {
+	dm, _ := NewDistMatrix(3)
+	dm.Set(0, 1, 1)
+	dm.Set(0, 2, 4)
+	dm.Set(1, 2, 3)
+	dend, err := Cluster(dm, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dend.Merges()
+	if m[0].A != 0 || m[0].B != 1 || m[0].Distance != 1 || m[0].Size != 2 {
+		t.Errorf("merge 0 = %+v, want {0 1 1 2}", m[0])
+	}
+	if m[1].Distance != 3.5 {
+		t.Errorf("merge 1 distance = %v, want 3.5", m[1].Distance)
+	}
+	if m[1].Size != 3 {
+		t.Errorf("merge 1 size = %v, want 3", m[1].Size)
+	}
+}
+
+// Single vs complete linkage diverge on a chain of points.
+func TestSingleVersusCompleteChaining(t *testing.T) {
+	// Points: 0, 2, 4, 6 — a chain with equal gaps.
+	pts := []float64{0, 2, 4, 6}
+	single, err := Cluster(matrixFromPoints(t, pts), Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complete, err := Cluster(matrixFromPoints(t, pts), Complete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single linkage joins the whole chain at distance 2.
+	sd := single.Merges()
+	if sd[len(sd)-1].Distance != 2 {
+		t.Errorf("single final merge at %v, want 2", sd[len(sd)-1].Distance)
+	}
+	// Complete linkage's final merge must exceed single's.
+	cd := complete.Merges()
+	if cd[len(cd)-1].Distance <= 2 {
+		t.Errorf("complete final merge at %v, want > 2", cd[len(cd)-1].Distance)
+	}
+}
+
+func TestCopheneticDistance(t *testing.T) {
+	pts := []float64{0, 1, 10}
+	dend, err := Cluster(matrixFromPoints(t, pts), Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dend.CopheneticDistance(0, 1); got != 1 {
+		t.Errorf("CopheneticDistance(0,1) = %v, want 1", got)
+	}
+	c02 := dend.CopheneticDistance(0, 2)
+	c12 := dend.CopheneticDistance(1, 2)
+	if c02 != c12 || c02 != 9.5 {
+		t.Errorf("cophenetic to outlier = (%v, %v), want 9.5 each", c02, c12)
+	}
+	if got := dend.CopheneticDistance(2, 2); got != 0 {
+		t.Errorf("CopheneticDistance(2,2) = %v, want 0", got)
+	}
+}
+
+func TestMergeDistancesSortedAndMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]float64, 30)
+	for i := range pts {
+		pts[i] = rng.Float64() * 100
+	}
+	for _, linkage := range []Linkage{Single, Complete, Average, Weighted, Ward} {
+		dend, err := Cluster(matrixFromPoints(t, pts), linkage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := dend.MergeDistances()
+		if !sort.Float64sAreSorted(ds) {
+			t.Errorf("%v MergeDistances not sorted", linkage)
+		}
+		// For these reducible linkages the raw merge sequence itself is
+		// non-decreasing (no inversions).
+		raw := dend.Merges()
+		for i := 1; i < len(raw); i++ {
+			if raw[i].Distance < raw[i-1].Distance-1e-9 {
+				t.Errorf("%v merge %d at %v after %v (inversion)",
+					linkage, i, raw[i].Distance, raw[i-1].Distance)
+				break
+			}
+		}
+	}
+}
+
+// Property: for arbitrary small point sets, cutting at 0 yields singletons
+// and cutting at +inf yields one cluster; label vectors are always valid
+// partitions.
+func TestClusterPropertyQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 24 {
+			return true
+		}
+		pts := make([]float64, len(raw))
+		for i, v := range raw {
+			pts[i] = float64(v)
+		}
+		dm, err := NewDistMatrix(len(pts))
+		if err != nil {
+			return false
+		}
+		for i := range pts {
+			for j := i + 1; j < len(pts); j++ {
+				dm.Set(i, j, math.Abs(pts[i]-pts[j]))
+			}
+		}
+		dend, err := Cluster(dm, Average)
+		if err != nil {
+			return false
+		}
+		all := dend.CutDistance(math.Inf(1))
+		if !allEqual(all) {
+			return false
+		}
+		for k := 1; k <= len(pts); k++ {
+			labels := dend.CutK(k)
+			distinct := make(map[int]bool)
+			for _, l := range labels {
+				distinct[l] = true
+			}
+			// Exactly k clusters unless duplicate points merged at 0;
+			// never more than k.
+			if len(distinct) > k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	if Average.String() != "average" || Ward.String() != "ward" {
+		t.Error("linkage names wrong")
+	}
+	if Linkage(42).String() != "Linkage(42)" {
+		t.Error("unknown linkage name wrong")
+	}
+}

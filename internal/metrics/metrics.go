@@ -1,0 +1,105 @@
+// Package metrics implements the evaluation measurements of the paper's
+// §V-B: the confusion matrix over benign (positive) and malicious
+// (negative) predictions, and the five derived measures — Accuracy,
+// Positive Predictive Value (precision), True Positive Rate (recall),
+// True Negative Rate (specificity) and Negative Predictive Value — plus
+// multi-run averaging.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Confusion is the 2×2 confusion matrix. Following the paper's
+// convention, the positive class is benign: TP counts benign samples
+// classified benign, TN malicious samples classified malicious, FP
+// malicious samples misclassified benign, FN benign samples misclassified
+// malicious.
+type Confusion struct {
+	TP, TN, FP, FN int
+}
+
+// Add records one prediction.
+func (c *Confusion) Add(actualBenign, predictedBenign bool) {
+	switch {
+	case actualBenign && predictedBenign:
+		c.TP++
+	case actualBenign && !predictedBenign:
+		c.FN++
+	case !actualBenign && predictedBenign:
+		c.FP++
+	default:
+		c.TN++
+	}
+}
+
+// Total returns the number of recorded predictions.
+func (c Confusion) Total() int { return c.TP + c.TN + c.FP + c.FN }
+
+// ratio returns num/den, or NaN when den is zero.
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return math.NaN()
+	}
+	return float64(num) / float64(den)
+}
+
+// ACC is the accuracy (TP+TN)/total (Eqn. 6).
+func (c Confusion) ACC() float64 { return ratio(c.TP+c.TN, c.Total()) }
+
+// PPV is the positive predictive value TP/(FP+TP) (Eqn. 7).
+func (c Confusion) PPV() float64 { return ratio(c.TP, c.FP+c.TP) }
+
+// TPR is the true positive rate TP/(TP+FN) (Eqn. 8).
+func (c Confusion) TPR() float64 { return ratio(c.TP, c.TP+c.FN) }
+
+// TNR is the true negative rate TN/(FP+TN) (Eqn. 9).
+func (c Confusion) TNR() float64 { return ratio(c.TN, c.FP+c.TN) }
+
+// NPV is the negative predictive value TN/(TN+FN) (Eqn. 10).
+func (c Confusion) NPV() float64 { return ratio(c.TN, c.TN+c.FN) }
+
+// Summary bundles the five measurements of one evaluation run.
+type Summary struct {
+	ACC, PPV, TPR, TNR, NPV float64
+}
+
+// Summary computes all five measurements.
+func (c Confusion) Summary() Summary {
+	return Summary{ACC: c.ACC(), PPV: c.PPV(), TPR: c.TPR(), TNR: c.TNR(), NPV: c.NPV()}
+}
+
+// String renders the summary in table-row form.
+func (s Summary) String() string {
+	return fmt.Sprintf("ACC=%.3f PPV=%.3f TPR=%.3f TNR=%.3f NPV=%.3f",
+		s.ACC, s.PPV, s.TPR, s.TNR, s.NPV)
+}
+
+// Mean averages summaries element-wise, skipping NaN entries per element
+// (a run whose denominator was empty does not drag the average).
+func Mean(ss []Summary) Summary {
+	var out Summary
+	acc := func(get func(Summary) float64, set func(*Summary, float64)) {
+		var sum float64
+		var n int
+		for _, s := range ss {
+			v := get(s)
+			if !math.IsNaN(v) {
+				sum += v
+				n++
+			}
+		}
+		if n == 0 {
+			set(&out, math.NaN())
+			return
+		}
+		set(&out, sum/float64(n))
+	}
+	acc(func(s Summary) float64 { return s.ACC }, func(o *Summary, v float64) { o.ACC = v })
+	acc(func(s Summary) float64 { return s.PPV }, func(o *Summary, v float64) { o.PPV = v })
+	acc(func(s Summary) float64 { return s.TPR }, func(o *Summary, v float64) { o.TPR = v })
+	acc(func(s Summary) float64 { return s.TNR }, func(o *Summary, v float64) { o.TNR = v })
+	acc(func(s Summary) float64 { return s.NPV }, func(o *Summary, v float64) { o.NPV = v })
+	return out
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionAdd(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FN
+	c.Add(false, true)  // FP
+	c.Add(false, false) // TN
+	c.Add(true, true)   // TP
+	if c.TP != 2 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Total() != 5 {
+		t.Errorf("Total = %d, want 5", c.Total())
+	}
+}
+
+func TestMeasurements(t *testing.T) {
+	// Worked example: TP=80, FN=20, TN=90, FP=10.
+	c := Confusion{TP: 80, FN: 20, TN: 90, FP: 10}
+	tests := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"ACC", c.ACC(), 0.85},
+		{"PPV", c.PPV(), 80.0 / 90},
+		{"TPR", c.TPR(), 0.8},
+		{"TNR", c.TNR(), 0.9},
+		{"NPV", c.NPV(), 90.0 / 110},
+	}
+	for _, tt := range tests {
+		if math.Abs(tt.got-tt.want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", tt.name, tt.got, tt.want)
+		}
+	}
+}
+
+func TestUndefinedMeasurementsAreNaN(t *testing.T) {
+	var c Confusion
+	if !math.IsNaN(c.ACC()) {
+		t.Error("empty ACC not NaN")
+	}
+	onlyNeg := Confusion{TN: 5, FP: 1}
+	if !math.IsNaN(onlyNeg.TPR()) {
+		t.Error("TPR with no positives not NaN")
+	}
+	if math.IsNaN(onlyNeg.TNR()) {
+		t.Error("TNR with negatives is NaN")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Confusion{TP: 1, TN: 1}.Summary()
+	str := s.String()
+	if !strings.Contains(str, "ACC=1.000") {
+		t.Errorf("String() = %q", str)
+	}
+}
+
+func TestMean(t *testing.T) {
+	ss := []Summary{
+		{ACC: 0.8, PPV: 0.9, TPR: 0.7, TNR: 0.6, NPV: 0.5},
+		{ACC: 0.6, PPV: 0.7, TPR: 0.9, TNR: 0.8, NPV: 0.7},
+	}
+	m := Mean(ss)
+	if math.Abs(m.ACC-0.7) > 1e-12 || math.Abs(m.PPV-0.8) > 1e-12 ||
+		math.Abs(m.TPR-0.8) > 1e-12 || math.Abs(m.TNR-0.7) > 1e-12 ||
+		math.Abs(m.NPV-0.6) > 1e-12 {
+		t.Errorf("Mean = %+v", m)
+	}
+}
+
+func TestMeanSkipsNaN(t *testing.T) {
+	ss := []Summary{
+		{ACC: 0.8, TPR: math.NaN()},
+		{ACC: 0.6, TPR: 0.5},
+	}
+	m := Mean(ss)
+	if math.Abs(m.ACC-0.7) > 1e-12 {
+		t.Errorf("ACC = %v", m.ACC)
+	}
+	if math.Abs(m.TPR-0.5) > 1e-12 {
+		t.Errorf("TPR = %v, want 0.5 (NaN skipped)", m.TPR)
+	}
+}
+
+func TestMeanAllNaN(t *testing.T) {
+	m := Mean([]Summary{{ACC: math.NaN()}, {ACC: math.NaN()}})
+	if !math.IsNaN(m.ACC) {
+		t.Errorf("all-NaN mean ACC = %v, want NaN", m.ACC)
+	}
+}
+
+// Properties: all measures lie in [0,1] when defined, and
+// ACC is a convex combination bounded by min/max of (TPR, TNR).
+func TestMeasurementPropertiesQuick(t *testing.T) {
+	f := func(tp, tn, fp, fn uint8) bool {
+		c := Confusion{TP: int(tp), TN: int(tn), FP: int(fp), FN: int(fn)}
+		for _, v := range []float64{c.ACC(), c.PPV(), c.TPR(), c.TNR(), c.NPV()} {
+			if !math.IsNaN(v) && (v < 0 || v > 1) {
+				return false
+			}
+		}
+		acc, tpr, tnr := c.ACC(), c.TPR(), c.TNR()
+		if !math.IsNaN(acc) && !math.IsNaN(tpr) && !math.IsNaN(tnr) {
+			lo, hi := math.Min(tpr, tnr), math.Max(tpr, tnr)
+			if acc < lo-1e-12 || acc > hi+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"errors"
+	"sort"
+)
+
+// ROCPoint is one operating point of a score-threshold sweep.
+type ROCPoint struct {
+	// FPR is the false positive rate (malicious samples classified
+	// benign) and TPR the true positive rate (benign samples classified
+	// benign) when classifying scores >= Threshold as benign.
+	FPR, TPR  float64
+	Threshold float64
+}
+
+// ROC sweeps the decision threshold over the given scores (higher = more
+// benign, matching the SVM decision convention) against the ground truth
+// and returns the ROC curve plus the area under it. The curve runs from
+// (0,0) to (1,1).
+func ROC(scores []float64, benign []bool) ([]ROCPoint, float64, error) {
+	if len(scores) == 0 || len(scores) != len(benign) {
+		return nil, 0, errors.New("metrics: scores and labels must be non-empty and equal length")
+	}
+	var pos, neg float64
+	for _, b := range benign {
+		if b {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, 0, errors.New("metrics: ROC needs both classes")
+	}
+
+	type sample struct {
+		score  float64
+		benign bool
+	}
+	samples := make([]sample, len(scores))
+	for i := range scores {
+		samples[i] = sample{scores[i], benign[i]}
+	}
+	// Descending by score: thresholds sweep from strict to lax.
+	sort.Slice(samples, func(i, j int) bool { return samples[i].score > samples[j].score })
+
+	curve := []ROCPoint{{FPR: 0, TPR: 0, Threshold: samples[0].score + 1}}
+	var tp, fp float64
+	var auc float64
+	i := 0
+	for i < len(samples) {
+		// Process ties as one block so the curve is threshold-consistent.
+		j := i
+		for j < len(samples) && samples[j].score == samples[i].score {
+			if samples[j].benign {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		prev := curve[len(curve)-1]
+		pt := ROCPoint{FPR: fp / neg, TPR: tp / pos, Threshold: samples[i].score}
+		// Trapezoidal area increment.
+		auc += (pt.FPR - prev.FPR) * (pt.TPR + prev.TPR) / 2
+		curve = append(curve, pt)
+		i = j
+	}
+	return curve, auc, nil
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestROCValidation(t *testing.T) {
+	if _, _, err := ROC(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, _, err := ROC([]float64{1}, []bool{true, false}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := ROC([]float64{1, 2}, []bool{true, true}); err == nil {
+		t.Error("single class accepted")
+	}
+}
+
+func TestROCPerfectSeparation(t *testing.T) {
+	scores := []float64{3, 2, 1, -1, -2, -3}
+	benign := []bool{true, true, true, false, false, false}
+	curve, auc, err := ROC(scores, benign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-1) > 1e-12 {
+		t.Errorf("AUC = %v, want 1", auc)
+	}
+	if curve[0].FPR != 0 || curve[0].TPR != 0 {
+		t.Errorf("curve start = %+v, want origin", curve[0])
+	}
+	last := curve[len(curve)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Errorf("curve end = %+v, want (1,1)", last)
+	}
+}
+
+func TestROCInvertedSeparation(t *testing.T) {
+	scores := []float64{-3, -2, 2, 3}
+	benign := []bool{true, true, false, false}
+	_, auc, err := ROC(scores, benign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc) > 1e-12 {
+		t.Errorf("AUC = %v, want 0 for anti-correlated scores", auc)
+	}
+}
+
+func TestROCRandomScoresNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 4000
+	scores := make([]float64, n)
+	benign := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		benign[i] = rng.Intn(2) == 0
+	}
+	_, auc, err := ROC(scores, benign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.05 {
+		t.Errorf("AUC = %v for random scores, want ~0.5", auc)
+	}
+}
+
+func TestROCTiesHandled(t *testing.T) {
+	// All scores equal: the curve is the diagonal, AUC 0.5.
+	scores := []float64{1, 1, 1, 1}
+	benign := []bool{true, false, true, false}
+	curve, auc, err := ROC(scores, benign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("tied AUC = %v, want 0.5", auc)
+	}
+	if len(curve) != 2 {
+		t.Errorf("tied curve has %d points, want 2", len(curve))
+	}
+}
+
+// Property: AUC is always within [0,1] and the curve is monotone.
+func TestROCPropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		scores := make([]float64, n)
+		benign := make([]bool, n)
+		benign[0], benign[1] = true, false // both classes present
+		for i := range scores {
+			scores[i] = float64(rng.Intn(10))
+			if i >= 2 {
+				benign[i] = rng.Intn(2) == 0
+			}
+		}
+		curve, auc, err := ROC(scores, benign)
+		if err != nil {
+			return false
+		}
+		if auc < -1e-12 || auc > 1+1e-12 {
+			return false
+		}
+		for i := 1; i < len(curve); i++ {
+			if curve[i].FPR < curve[i-1].FPR-1e-12 || curve[i].TPR < curve[i-1].TPR-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package partition implements the paper's Stack Partition Module: it
+// splits the stack walk trace of each system event into an application
+// stack trace (frames within the application itself, including unresolved
+// frames from injected code) and a system stack trace (frames in shared
+// libraries and the OS kernel).
+//
+// Downstream, the application stack trace feeds control-flow-graph
+// inference while the system stack trace supplies the features of the
+// statistical learning model, because system-level behaviour is what best
+// distinguishes benign from malicious functionality.
+package partition
+
+import (
+	"errors"
+
+	"repro/internal/trace"
+)
+
+// Event is one system event with its stack walk partitioned.
+type Event struct {
+	// Seq, Type, TID mirror the source event.
+	Seq  int
+	Type trace.EventType
+	TID  int
+	// AppTrace holds the frames executing application code: frames inside
+	// the application's own image plus unresolved frames (code running
+	// from private allocations, i.e. injected payloads). Ordered from the
+	// outermost frame down.
+	AppTrace trace.StackWalk
+	// SysTrace holds the frames in shared libraries and kernel modules,
+	// ordered from the outermost library frame down to the kernel leaf.
+	SysTrace trace.StackWalk
+}
+
+// Log is a partitioned stack-event correlated log.
+type Log struct {
+	App    string
+	PID    int
+	Events []Event
+}
+
+// Len returns the number of partitioned events.
+func (l *Log) Len() int { return len(l.Events) }
+
+// Split partitions every event of the log. Events without a stack walk are
+// kept with empty traces so event ordinals remain aligned with the source
+// log.
+func Split(log *trace.Log) (*Log, error) {
+	if log == nil {
+		return nil, errors.New("partition: nil log")
+	}
+	if log.Modules == nil {
+		return nil, errors.New("partition: log has no module map")
+	}
+	out := &Log{App: log.App, PID: log.PID, Events: make([]Event, 0, log.Len())}
+	for _, e := range log.Events {
+		pe := Event{Seq: e.Seq, Type: e.Type, TID: e.TID}
+		for _, fr := range e.Stack {
+			if isSystemFrame(log.Modules, fr) {
+				pe.SysTrace = append(pe.SysTrace, fr)
+			} else {
+				pe.AppTrace = append(pe.AppTrace, fr)
+			}
+		}
+		out.Events = append(out.Events, pe)
+	}
+	return out, nil
+}
+
+// isSystemFrame reports whether a frame belongs to the system stack trace:
+// it resolved into a shared library or kernel module. Frames in the
+// application image and unresolved frames (injected code) are application
+// frames.
+func isSystemFrame(mm *trace.ModuleMap, fr trace.Frame) bool {
+	m := mm.Locate(fr.Addr)
+	if m == nil {
+		return false
+	}
+	return m.Kind == trace.ModuleSharedLib || m.Kind == trace.ModuleKernel
+}
+
+// LibSet returns the set of distinct library/kernel module names in the
+// event's system stack trace.
+func (e *Event) LibSet() map[string]bool {
+	out := make(map[string]bool, len(e.SysTrace))
+	for _, fr := range e.SysTrace {
+		if fr.Module != "" {
+			out[fr.Module] = true
+		}
+	}
+	return out
+}
+
+// FuncSet returns the set of distinct module-qualified function names in
+// the event's system stack trace.
+func (e *Event) FuncSet() map[string]bool {
+	out := make(map[string]bool, len(e.SysTrace))
+	for _, fr := range e.SysTrace {
+		if fr.Function != "" {
+			out[fr.Module+"!"+fr.Function] = true
+		}
+	}
+	return out
+}

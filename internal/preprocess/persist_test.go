@@ -1,0 +1,74 @@
+package preprocess
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEncoderMarshalRoundTrip(t *testing.T) {
+	part := partitionedLog(t, 13)
+	enc, err := Fit(part.Events, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := enc.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	var got Encoder
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	if got.NumLibClusters() != enc.NumLibClusters() || got.NumFuncClusters() != enc.NumFuncClusters() {
+		t.Fatalf("cluster counts changed: (%d,%d) vs (%d,%d)",
+			got.NumLibClusters(), got.NumFuncClusters(),
+			enc.NumLibClusters(), enc.NumFuncClusters())
+	}
+	// Identical encodings on the full log, including unseen-set fallback
+	// behaviour.
+	a := enc.EncodeAll(part)
+	b := got.EncodeAll(part)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("round-tripped encoder produces different tuples")
+	}
+}
+
+func TestEncoderUnmarshalRejectsGarbage(t *testing.T) {
+	var enc Encoder
+	if err := enc.UnmarshalBinary([]byte("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := enc.UnmarshalBinary(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestClustersSnapshotValidation(t *testing.T) {
+	bad := clustersSnapshot{
+		Uniq:        [][]string{{"a"}},
+		Labels:      []int{0, 1}, // mismatched
+		Medoids:     []int{0},
+		NumClusters: 1,
+	}
+	if _, err := bad.clusters(); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+	bad2 := clustersSnapshot{
+		Uniq:        [][]string{{"a"}},
+		Labels:      []int{0},
+		Medoids:     []int{5}, // out of range
+		NumClusters: 1,
+	}
+	if _, err := bad2.clusters(); err == nil {
+		t.Error("out-of-range medoid accepted")
+	}
+	bad3 := clustersSnapshot{
+		Uniq:        [][]string{{"a"}},
+		Labels:      []int{0},
+		Medoids:     []int{0, 0}, // wrong count
+		NumClusters: 1,
+	}
+	if _, err := bad3.clusters(); err == nil {
+		t.Error("medoid/cluster count mismatch accepted")
+	}
+}

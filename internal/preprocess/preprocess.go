@@ -1,0 +1,258 @@
+// Package preprocess implements the paper's Data Preprocessing Module: it
+// turns partitioned system events into discretised 3-tuple features
+// {Event_Type, Lib, Func}, where Lib and Func are hierarchical-clustering
+// cluster ids of the event's library set and function set (Jaccard set
+// dissimilarity, UPGMA linkage), and coalesces consecutive tuples into
+// higher-dimensional data points for the statistical learning model.
+package preprocess
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/hcluster"
+	"repro/internal/partition"
+)
+
+// Tuple is the discretised form of one system event.
+type Tuple struct {
+	// EventType is the integer event type (well-defined in the system, so
+	// mapped directly to the integer space).
+	EventType int
+	// Lib is the cluster id of the event's library set.
+	Lib int
+	// Func is the cluster id of the event's function set.
+	Func int
+}
+
+// Config controls feature extraction.
+type Config struct {
+	// Linkage is the clustering criterion; the zero value selects UPGMA
+	// (average linkage), the paper's choice.
+	Linkage hcluster.Linkage
+	// LibCut and FuncCut are the dendrogram cut thresholds on Jaccard
+	// dissimilarity for the library-set and function-set clusterings.
+	// Zero values default to 0.5: sets sharing at least half their
+	// elements (on average) group together.
+	LibCut  float64
+	FuncCut float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Linkage == 0 {
+		c.Linkage = hcluster.Average
+	}
+	if c.LibCut == 0 {
+		c.LibCut = 0.5
+	}
+	if c.FuncCut == 0 {
+		c.FuncCut = 0.5
+	}
+	return c
+}
+
+// Encoder is a fitted feature extractor: the cluster models for library
+// and function sets, learned on training events and reusable on unseen
+// testing events.
+type Encoder struct {
+	cfg  Config
+	libs *setClusters
+	fns  *setClusters
+}
+
+// Fit learns the library/function clusterings from training events, which
+// should cover both the benign and the mixed training logs so cluster ids
+// are consistent across them.
+func Fit(events []partition.Event, cfg Config) (*Encoder, error) {
+	if len(events) == 0 {
+		return nil, errors.New("preprocess: no events to fit on")
+	}
+	cfg = cfg.withDefaults()
+	libSets := make([][]string, len(events))
+	fnSets := make([][]string, len(events))
+	for i := range events {
+		libSets[i] = sortedKeys(events[i].LibSet())
+		fnSets[i] = sortedKeys(events[i].FuncSet())
+	}
+	libs, err := clusterSets(libSets, cfg.Linkage, cfg.LibCut)
+	if err != nil {
+		return nil, fmt.Errorf("preprocess: clustering library sets: %w", err)
+	}
+	fns, err := clusterSets(fnSets, cfg.Linkage, cfg.FuncCut)
+	if err != nil {
+		return nil, fmt.Errorf("preprocess: clustering function sets: %w", err)
+	}
+	return &Encoder{cfg: cfg, libs: libs, fns: fns}, nil
+}
+
+// NumLibClusters returns how many library-set clusters were learned.
+func (enc *Encoder) NumLibClusters() int { return enc.libs.numClusters }
+
+// NumFuncClusters returns how many function-set clusters were learned.
+func (enc *Encoder) NumFuncClusters() int { return enc.fns.numClusters }
+
+// Encode discretises one event. Unseen library/function sets are assigned
+// to the nearest learned cluster by Jaccard distance to cluster medoids.
+func (enc *Encoder) Encode(e *partition.Event) Tuple {
+	return Tuple{
+		EventType: int(e.Type),
+		Lib:       enc.libs.assign(sortedKeys(e.LibSet())),
+		Func:      enc.fns.assign(sortedKeys(e.FuncSet())),
+	}
+}
+
+// EncodeAll discretises every event of a partitioned log, in order.
+func (enc *Encoder) EncodeAll(log *partition.Log) []Tuple {
+	out := make([]Tuple, log.Len())
+	for i := range log.Events {
+		out[i] = enc.Encode(&log.Events[i])
+	}
+	return out
+}
+
+// Coalesce groups consecutive tuples into windows of the given size and
+// flattens each window into one (3*window)-dimensional feature vector,
+// taking the order of adjacent events into account as in the paper
+// (window 10 yields the paper's 30-dimensional data points). The trailing
+// partial window is dropped. It returns, alongside the vectors, the index
+// of the first event of each window.
+func Coalesce(tuples []Tuple, window int) (vecs [][]float64, starts []int, err error) {
+	if window < 1 {
+		return nil, nil, fmt.Errorf("preprocess: window %d must be positive", window)
+	}
+	n := len(tuples) / window
+	vecs = make([][]float64, 0, n)
+	starts = make([]int, 0, n)
+	for w := 0; w < n; w++ {
+		vec := make([]float64, 0, 3*window)
+		for i := w * window; i < (w+1)*window; i++ {
+			vec = append(vec, float64(tuples[i].EventType), float64(tuples[i].Lib), float64(tuples[i].Func))
+		}
+		vecs = append(vecs, vec)
+		starts = append(starts, w*window)
+	}
+	return vecs, starts, nil
+}
+
+// Jaccard returns the Jaccard set dissimilarity of two sorted string
+// slices: 1 - |a∩b| / |a∪b| (Eqn. 1 of the paper). Two empty sets have
+// dissimilarity 0.
+func Jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	var inter, union int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch strings.Compare(a[i], b[j]) {
+		case 0:
+			inter++
+			union++
+			i++
+			j++
+		case -1:
+			union++
+			i++
+		default:
+			union++
+			j++
+		}
+	}
+	union += (len(a) - i) + (len(b) - j)
+	return 1 - float64(inter)/float64(union)
+}
+
+// setClusters is a fitted clustering over unique string sets.
+type setClusters struct {
+	uniq        [][]string // unique sets in first-seen order
+	labels      []int      // cluster label per unique set
+	medoids     []int      // index into uniq per cluster
+	numClusters int
+	keyToLabel  map[string]int
+}
+
+// clusterSets deduplicates the observed sets, hierarchically clusters the
+// unique ones under Jaccard dissimilarity and records per-cluster medoids
+// for assigning unseen sets.
+func clusterSets(sets [][]string, linkage hcluster.Linkage, cut float64) (*setClusters, error) {
+	sc := &setClusters{keyToLabel: make(map[string]int)}
+	seen := make(map[string]bool)
+	for _, s := range sets {
+		k := setKey(s)
+		if !seen[k] {
+			seen[k] = true
+			sc.uniq = append(sc.uniq, s)
+		}
+	}
+	dm, err := hcluster.NewDistMatrix(len(sc.uniq))
+	if err != nil {
+		return nil, err
+	}
+	for i := range sc.uniq {
+		for j := i + 1; j < len(sc.uniq); j++ {
+			dm.Set(i, j, Jaccard(sc.uniq[i], sc.uniq[j]))
+		}
+	}
+	dend, err := hcluster.Cluster(dm, linkage)
+	if err != nil {
+		return nil, err
+	}
+	sc.labels = dend.CutDistance(cut)
+	for _, l := range sc.labels {
+		if l+1 > sc.numClusters {
+			sc.numClusters = l + 1
+		}
+	}
+	for i, s := range sc.uniq {
+		sc.keyToLabel[setKey(s)] = sc.labels[i]
+	}
+	// Medoid of each cluster: the member minimising total dissimilarity
+	// to its cluster mates.
+	sc.medoids = make([]int, sc.numClusters)
+	for c := 0; c < sc.numClusters; c++ {
+		best, bestCost := -1, -1.0
+		for i := range sc.uniq {
+			if sc.labels[i] != c {
+				continue
+			}
+			var cost float64
+			for j := range sc.uniq {
+				if sc.labels[j] == c {
+					cost += Jaccard(sc.uniq[i], sc.uniq[j])
+				}
+			}
+			if best == -1 || cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		sc.medoids[c] = best
+	}
+	return sc, nil
+}
+
+// assign maps a (possibly unseen) set to its cluster id.
+func (sc *setClusters) assign(s []string) int {
+	if l, ok := sc.keyToLabel[setKey(s)]; ok {
+		return l
+	}
+	best, bestD := 0, 2.0
+	for c, mi := range sc.medoids {
+		if d := Jaccard(s, sc.uniq[mi]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+func setKey(s []string) string { return strings.Join(s, "\x00") }
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

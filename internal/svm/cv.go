@@ -1,0 +1,146 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// CrossValidate estimates classification quality of the given parameters
+// by k-fold cross-validation on the problem, shuffling with the seed.
+//
+// The score is the balanced, weight-aware accuracy: each held-out sample
+// contributes its confidence weight cᵢ (so samples the CFG guidance marked
+// as probably mislabeled barely influence model selection), and the two
+// classes' weighted accuracies are averaged (so an imbalanced training set
+// cannot make a degenerate single-class model look good). The per-sample
+// weights also follow their samples into the training folds.
+func CrossValidate(prob Problem, params Params, folds int, seed int64) (float64, error) {
+	if err := prob.Validate(); err != nil {
+		return 0, err
+	}
+	n := len(prob.X)
+	if folds < 2 {
+		return 0, fmt.Errorf("svm: folds %d must be at least 2", folds)
+	}
+	if folds > n {
+		folds = n
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+
+	var posCorrect, posTotal, negCorrect, negTotal float64
+	var tested int
+	for f := 0; f < folds; f++ {
+		var train Problem
+		var testIdx []int
+		for idx, p := range perm {
+			if idx%folds == f {
+				testIdx = append(testIdx, p)
+				continue
+			}
+			train.X = append(train.X, prob.X[p])
+			train.Y = append(train.Y, prob.Y[p])
+			if prob.Weight != nil {
+				train.Weight = append(train.Weight, prob.Weight[p])
+			}
+		}
+		model, err := Train(train, params)
+		if err != nil {
+			// A fold can lose one class entirely; skip it rather than
+			// fail the whole estimate.
+			if len(testIdx) > 0 && isSingleClass(train.Y) {
+				continue
+			}
+			return 0, fmt.Errorf("svm: fold %d: %w", f, err)
+		}
+		for _, p := range testIdx {
+			w := 1.0
+			if prob.Weight != nil {
+				w = prob.Weight[p]
+			}
+			hit := 0.0
+			if model.Predict(prob.X[p]) == prob.Y[p] {
+				hit = w
+			}
+			if prob.Y[p] > 0 {
+				posCorrect += hit
+				posTotal += w
+			} else {
+				negCorrect += hit
+				negTotal += w
+			}
+			tested++
+		}
+	}
+	if tested == 0 {
+		return 0, errors.New("svm: no testable folds")
+	}
+	switch {
+	case posTotal == 0 && negTotal == 0:
+		return 0, errors.New("svm: all held-out weight is zero")
+	case posTotal == 0:
+		return negCorrect / negTotal, nil
+	case negTotal == 0:
+		return posCorrect / posTotal, nil
+	}
+	return (posCorrect/posTotal + negCorrect/negTotal) / 2, nil
+}
+
+func isSingleClass(y []float64) bool {
+	var pos, neg bool
+	for _, v := range y {
+		if v > 0 {
+			pos = true
+		} else {
+			neg = true
+		}
+	}
+	return !(pos && neg)
+}
+
+// GridSpec is the search space for model selection. The paper tunes λ and
+// σ² by 10-fold cross-validation on the training set.
+type GridSpec struct {
+	Lambdas []float64
+	Sigma2s []float64
+	Folds   int
+	Seed    int64
+}
+
+// DefaultGrid returns the grid used by the evaluation harness: a coarse
+// logarithmic sweep, 5 folds.
+func DefaultGrid() GridSpec {
+	return GridSpec{
+		Lambdas: []float64{0.5, 2, 8, 32},
+		Sigma2s: []float64{0.25, 1, 4, 16},
+		Folds:   5,
+	}
+}
+
+// GridSearch selects the (λ, σ²) pair with the best cross-validated
+// accuracy on the problem, breaking ties toward the earlier grid entry.
+// It returns the chosen parameters and the best accuracy.
+func GridSearch(prob Problem, grid GridSpec) (Params, float64, error) {
+	if len(grid.Lambdas) == 0 || len(grid.Sigma2s) == 0 {
+		return Params{}, 0, errors.New("svm: empty grid")
+	}
+	folds := grid.Folds
+	if folds == 0 {
+		folds = 10
+	}
+	var best Params
+	bestAcc := -1.0
+	for _, l := range grid.Lambdas {
+		for _, s2 := range grid.Sigma2s {
+			p := Params{Lambda: l, Kernel: RBFKernel{Sigma2: s2}}
+			acc, err := CrossValidate(prob, p, folds, grid.Seed)
+			if err != nil {
+				return Params{}, 0, fmt.Errorf("svm: grid point (λ=%g, σ²=%g): %w", l, s2, err)
+			}
+			if acc > bestAcc {
+				best, bestAcc = p, acc
+			}
+		}
+	}
+	return best, bestAcc, nil
+}

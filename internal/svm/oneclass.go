@@ -1,0 +1,135 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// One-class SVM (Schölkopf et al.): an anomaly detector trained on benign
+// data only, solving
+//
+//	min_α  ½ ΣᵢΣⱼ αᵢαⱼk(xᵢ,xⱼ)
+//	s.t.   0 ≤ αᵢ ≤ 1/(ν·n),   Σᵢ αᵢ = 1
+//
+// The paper's related work (Heller et al.) uses this model for anomalous
+// registry access; it is the natural "no mixed log available" baseline
+// against which LEAPS's noise-pruned two-class training is motivated.
+
+// OneClassParams configures one-class training.
+type OneClassParams struct {
+	// Nu bounds the fraction of training outliers (and support vectors);
+	// in (0, 1].
+	Nu float64
+	// Kernel defaults to RBFKernel{Sigma2: 1}.
+	Kernel Kernel
+	// Tol is the KKT tolerance (default 1e-3); MaxIter bounds iterations.
+	Tol     float64
+	MaxIter int
+}
+
+// OneClassModel is a trained one-class SVM.
+type OneClassModel struct {
+	kernel Kernel
+	svX    [][]float64
+	svCoef []float64
+	rho    float64
+	// Iters reports solver iterations.
+	Iters int
+}
+
+// TrainOneClass fits a one-class SVM on the (unlabeled) training vectors.
+func TrainOneClass(x [][]float64, params OneClassParams) (*OneClassModel, error) {
+	n := len(x)
+	if n < 2 {
+		return nil, errors.New("svm: one-class training needs at least 2 samples")
+	}
+	dim := len(x[0])
+	for i := range x {
+		if len(x[i]) != dim {
+			return nil, fmt.Errorf("svm: sample %d has dimension %d, want %d", i, len(x[i]), dim)
+		}
+	}
+	if params.Nu <= 0 || params.Nu > 1 {
+		return nil, fmt.Errorf("svm: Nu %v out of (0,1]", params.Nu)
+	}
+	if params.Kernel == nil {
+		params.Kernel = RBFKernel{Sigma2: 1}
+	}
+	if params.Tol <= 0 {
+		params.Tol = 1e-3
+	}
+	if params.MaxIter <= 0 {
+		params.MaxIter = 100 * n
+		if params.MaxIter < 10000 {
+			params.MaxIter = 10000
+		}
+	}
+
+	// Reuse the two-class solver machinery with all labels +1: the pair
+	// update then preserves Σα. The initial point must be feasible
+	// (Σα = 1): LIBSVM's initialisation fills the first ⌊νn⌋ entries at
+	// the bound 1/(νn) and the remainder fractionally.
+	y := make([]float64, n)
+	c := make([]float64, n)
+	upper := 1 / (params.Nu * float64(n))
+	for i := range y {
+		y[i] = 1
+		c[i] = upper
+	}
+	s := newSolver(x, y, c, Params{
+		Lambda:  1, // unused: c is set explicitly above
+		Kernel:  params.Kernel,
+		Tol:     params.Tol,
+		MaxIter: params.MaxIter,
+	})
+	budget := 1.0
+	for i := 0; i < n && budget > 0; i++ {
+		a := math.Min(upper, budget)
+		s.alpha[i] = a
+		budget -= a
+	}
+	// Gradient of the one-class dual: G = Qα (no linear term).
+	for t := 0; t < n; t++ {
+		s.grad[t] = 0
+	}
+	for i := 0; i < n; i++ {
+		if s.alpha[i] == 0 {
+			continue
+		}
+		qi := s.q.row(i)
+		for t := 0; t < n; t++ {
+			s.grad[t] += qi[t] * s.alpha[i]
+		}
+	}
+	s.solve()
+
+	m := &OneClassModel{kernel: params.Kernel, rho: -s.bias(), Iters: s.iters}
+	for i := 0; i < n; i++ {
+		if s.alpha[i] > 1e-12 {
+			m.svX = append(m.svX, x[i])
+			m.svCoef = append(m.svCoef, s.alpha[i])
+		}
+	}
+	return m, nil
+}
+
+// NumSVs returns the support-vector count.
+func (m *OneClassModel) NumSVs() int { return len(m.svX) }
+
+// Rho returns the decision offset.
+func (m *OneClassModel) Rho() float64 { return m.rho }
+
+// Decision returns Σᵢ αᵢk(xᵢ,x) − ρ; negative means anomalous.
+func (m *OneClassModel) Decision(x []float64) float64 {
+	s := -m.rho
+	for i, sv := range m.svX {
+		s += m.svCoef[i] * m.kernel.Compute(sv, x)
+	}
+	return s
+}
+
+// PredictInlier reports whether x lies inside the learned region.
+func (m *OneClassModel) PredictInlier(x []float64) bool {
+	return m.Decision(x) >= 0
+}

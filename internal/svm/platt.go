@@ -1,0 +1,128 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// PlattScaler maps raw SVM decision values to calibrated probabilities
+// P(y=+1 | x) = 1 / (1 + exp(A·f(x) + B)), fitted by regularised maximum
+// likelihood on held-out or training decision values (Platt 1999, with the
+// Lin-Weng-Keerthi target smoothing LIBSVM uses).
+type PlattScaler struct {
+	A, B float64
+}
+
+// FitPlatt fits the sigmoid on decision values and their true labels
+// (+1/-1) with Newton iterations on the regularised log-loss.
+func FitPlatt(decisions []float64, labels []float64) (*PlattScaler, error) {
+	n := len(decisions)
+	if n == 0 || n != len(labels) {
+		return nil, fmt.Errorf("svm: %d decisions for %d labels", n, len(labels))
+	}
+	var nPos, nNeg float64
+	for _, y := range labels {
+		switch y {
+		case 1:
+			nPos++
+		case -1:
+			nNeg++
+		default:
+			return nil, fmt.Errorf("svm: label %v not in {-1,+1}", y)
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return nil, errors.New("svm: Platt fitting needs both classes")
+	}
+	// Smoothed targets avoid infinite weights at probability 0/1.
+	hiTarget := (nPos + 1) / (nPos + 2)
+	loTarget := 1 / (nNeg + 2)
+	t := make([]float64, n)
+	for i, y := range labels {
+		if y > 0 {
+			t[i] = hiTarget
+		} else {
+			t[i] = loTarget
+		}
+	}
+
+	a, b := 0.0, math.Log((nNeg+1)/(nPos+1))
+	const (
+		maxIter = 100
+		minStep = 1e-10
+		sigma   = 1e-12
+		eps     = 1e-5
+	)
+	fval := 0.0
+	for i := 0; i < n; i++ {
+		fApB := decisions[i]*a + b
+		if fApB >= 0 {
+			fval += t[i]*fApB + math.Log1p(math.Exp(-fApB))
+		} else {
+			fval += (t[i]-1)*fApB + math.Log1p(math.Exp(fApB))
+		}
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		// Gradient and Hessian.
+		h11, h22, h21, g1, g2 := sigma, sigma, 0.0, 0.0, 0.0
+		for i := 0; i < n; i++ {
+			fApB := decisions[i]*a + b
+			var p, q float64
+			if fApB >= 0 {
+				p = math.Exp(-fApB) / (1 + math.Exp(-fApB))
+				q = 1 / (1 + math.Exp(-fApB))
+			} else {
+				p = 1 / (1 + math.Exp(fApB))
+				q = math.Exp(fApB) / (1 + math.Exp(fApB))
+			}
+			d2 := p * q
+			h11 += decisions[i] * decisions[i] * d2
+			h22 += d2
+			h21 += decisions[i] * d2
+			d1 := t[i] - p
+			g1 += decisions[i] * d1
+			g2 += d1
+		}
+		if math.Abs(g1) < eps && math.Abs(g2) < eps {
+			break
+		}
+		// Newton direction.
+		det := h11*h22 - h21*h21
+		dA := -(h22*g1 - h21*g2) / det
+		dB := -(-h21*g1 + h11*g2) / det
+		gd := g1*dA + g2*dB
+		// Backtracking line search.
+		step := 1.0
+		for step >= minStep {
+			newA, newB := a+step*dA, b+step*dB
+			newF := 0.0
+			for i := 0; i < n; i++ {
+				fApB := decisions[i]*newA + newB
+				if fApB >= 0 {
+					newF += t[i]*fApB + math.Log1p(math.Exp(-fApB))
+				} else {
+					newF += (t[i]-1)*fApB + math.Log1p(math.Exp(fApB))
+				}
+			}
+			if newF < fval+1e-4*step*gd {
+				a, b, fval = newA, newB, newF
+				break
+			}
+			step /= 2
+		}
+		if step < minStep {
+			break
+		}
+	}
+	return &PlattScaler{A: a, B: b}, nil
+}
+
+// Probability maps a decision value to P(benign | x).
+func (p *PlattScaler) Probability(decision float64) float64 {
+	fApB := decision*p.A + p.B
+	if fApB >= 0 {
+		return math.Exp(-fApB) / (1 + math.Exp(-fApB))
+	}
+	return 1 / (1 + math.Exp(fApB))
+}

@@ -1,0 +1,86 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitPlattValidation(t *testing.T) {
+	if _, err := FitPlatt(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := FitPlatt([]float64{1}, []float64{1, -1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FitPlatt([]float64{1, 2}, []float64{1, 1}); err == nil {
+		t.Error("single class accepted")
+	}
+	if _, err := FitPlatt([]float64{1, 2}, []float64{1, 0}); err == nil {
+		t.Error("bad label accepted")
+	}
+}
+
+func TestPlattMonotoneAndCalibrated(t *testing.T) {
+	// Decision values cleanly separated around 0.
+	rng := rand.New(rand.NewSource(1))
+	var dec, lab []float64
+	for i := 0; i < 200; i++ {
+		dec = append(dec, 1.5+rng.NormFloat64())
+		lab = append(lab, 1)
+		dec = append(dec, -1.5+rng.NormFloat64())
+		lab = append(lab, -1)
+	}
+	p, err := FitPlatt(dec, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotone increasing in the decision value.
+	prev := -1.0
+	for d := -4.0; d <= 4.0; d += 0.5 {
+		pr := p.Probability(d)
+		if pr < 0 || pr > 1 {
+			t.Fatalf("Probability(%v) = %v out of [0,1]", d, pr)
+		}
+		if pr < prev {
+			t.Fatalf("probability not monotone at %v", d)
+		}
+		prev = pr
+	}
+	// Confident regions map near 0/1; boundary maps to the middle.
+	if p.Probability(3) < 0.9 {
+		t.Errorf("P(+3) = %v, want > 0.9", p.Probability(3))
+	}
+	if p.Probability(-3) > 0.1 {
+		t.Errorf("P(-3) = %v, want < 0.1", p.Probability(-3))
+	}
+	if mid := p.Probability(0); math.Abs(mid-0.5) > 0.15 {
+		t.Errorf("P(0) = %v, want near 0.5", mid)
+	}
+}
+
+func TestPlattWithTrainedModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	prob := separableProblem(rng, 40)
+	m, err := Train(prob, Params{Lambda: 5, Kernel: RBFKernel{Sigma2: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := make([]float64, len(prob.X))
+	for i, x := range prob.X {
+		dec[i] = m.Decision(x)
+	}
+	p, err := FitPlatt(dec, prob.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The positive cluster gets high benign probability.
+	pos := p.Probability(m.Decision([]float64{0, 0}))
+	neg := p.Probability(m.Decision([]float64{3, 3}))
+	if pos < 0.8 {
+		t.Errorf("P(benign cluster) = %v, want > 0.8", pos)
+	}
+	if neg > 0.2 {
+		t.Errorf("P(malicious cluster) = %v, want < 0.2", neg)
+	}
+}

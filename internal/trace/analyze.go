@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Log analysis and slicing utilities for tooling built on the library.
+
+// FilterType returns a new log containing only events of the given types,
+// renumbered sequentially. The module map is shared.
+func (l *Log) FilterType(types ...EventType) *Log {
+	want := make(map[EventType]bool, len(types))
+	for _, t := range types {
+		want[t] = true
+	}
+	out := &Log{App: l.App, PID: l.PID, Modules: l.Modules}
+	for _, e := range l.Events {
+		if want[e.Type] {
+			c := e.Clone()
+			c.Seq = len(out.Events)
+			out.Events = append(out.Events, c)
+		}
+	}
+	return out
+}
+
+// FilterTime returns a new log with the events in [from, to), renumbered
+// sequentially. Zero bounds are open.
+func (l *Log) FilterTime(from, to time.Time) *Log {
+	out := &Log{App: l.App, PID: l.PID, Modules: l.Modules}
+	for _, e := range l.Events {
+		if !from.IsZero() && e.Time.Before(from) {
+			continue
+		}
+		if !to.IsZero() && !e.Time.Before(to) {
+			continue
+		}
+		c := e.Clone()
+		c.Seq = len(out.Events)
+		out.Events = append(out.Events, c)
+	}
+	return out
+}
+
+// FilterThread returns a new log with the events of one thread,
+// renumbered sequentially.
+func (l *Log) FilterThread(tid int) *Log {
+	out := &Log{App: l.App, PID: l.PID, Modules: l.Modules}
+	for _, e := range l.Events {
+		if e.TID == tid {
+			c := e.Clone()
+			c.Seq = len(out.Events)
+			out.Events = append(out.Events, c)
+		}
+	}
+	return out
+}
+
+// Stats summarises a log for diagnostics.
+type Stats struct {
+	Events   int
+	Threads  int
+	First    time.Time
+	Last     time.Time
+	ByType   map[EventType]int
+	AvgStack float64
+	MaxStack int
+	// UnresolvedFrames counts frames outside every loaded module
+	// (injected code).
+	UnresolvedFrames int
+	TotalFrames      int
+}
+
+// Stats computes summary statistics over the log.
+func (l *Log) Stats() Stats {
+	s := Stats{Events: l.Len(), ByType: make(map[EventType]int)}
+	threads := make(map[int]bool)
+	var frames int
+	for i, e := range l.Events {
+		s.ByType[e.Type]++
+		threads[e.TID] = true
+		if i == 0 || e.Time.Before(s.First) {
+			s.First = e.Time
+		}
+		if e.Time.After(s.Last) {
+			s.Last = e.Time
+		}
+		frames += len(e.Stack)
+		if len(e.Stack) > s.MaxStack {
+			s.MaxStack = len(e.Stack)
+		}
+		for _, fr := range e.Stack {
+			if !fr.Resolved() {
+				s.UnresolvedFrames++
+			}
+		}
+	}
+	s.Threads = len(threads)
+	s.TotalFrames = frames
+	if l.Len() > 0 {
+		s.AvgStack = float64(frames) / float64(l.Len())
+	}
+	return s
+}
+
+// Span returns the wall-clock duration the log covers.
+func (s Stats) Span() time.Duration {
+	if s.First.IsZero() || s.Last.IsZero() {
+		return 0
+	}
+	return s.Last.Sub(s.First)
+}
+
+// String renders the statistics for diagnostics.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d events across %d threads over %v\n", s.Events, s.Threads, s.Span().Round(time.Millisecond))
+	fmt.Fprintf(&b, "stack depth: avg %.1f, max %d; unresolved frames: %d/%d\n",
+		s.AvgStack, s.MaxStack, s.UnresolvedFrames, s.TotalFrames)
+	types := make([]EventType, 0, len(s.ByType))
+	for t := range s.ByType {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return s.ByType[types[i]] > s.ByType[types[j]] })
+	for _, t := range types {
+		fmt.Fprintf(&b, "  %-16s %d\n", t, s.ByType[t])
+	}
+	return b.String()
+}
+
+// MergeLogs combines several logs of the same process (e.g. slices
+// captured at different times) into one, ordered by timestamp and
+// renumbered. All logs must agree on App and PID; the first log's module
+// map is used.
+func MergeLogs(logs ...*Log) (*Log, error) {
+	if len(logs) == 0 {
+		return nil, fmt.Errorf("trace: no logs to merge")
+	}
+	out := &Log{App: logs[0].App, PID: logs[0].PID, Modules: logs[0].Modules}
+	for i, l := range logs {
+		if l.App != out.App || l.PID != out.PID {
+			return nil, fmt.Errorf("trace: log %d is for (%q,%d), want (%q,%d)",
+				i, l.App, l.PID, out.App, out.PID)
+		}
+		for _, e := range l.Events {
+			out.Events = append(out.Events, e.Clone())
+		}
+	}
+	sort.SliceStable(out.Events, func(i, j int) bool {
+		return out.Events[i].Time.Before(out.Events[j].Time)
+	})
+	for i := range out.Events {
+		out.Events[i].Seq = i
+	}
+	return out, nil
+}

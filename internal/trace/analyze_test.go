@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func analyzedLog(t *testing.T) *Log {
+	t.Helper()
+	mm := testModuleMap(t)
+	base := time.Date(2015, 6, 22, 9, 0, 0, 0, time.UTC)
+	mk := func(seq int, typ EventType, tid int, offset time.Duration, addrs ...uint64) Event {
+		e := Event{Seq: seq, Type: typ, TID: tid, Time: base.Add(offset)}
+		for _, a := range addrs {
+			e.Stack = append(e.Stack, mm.Resolve(Frame{Addr: a}))
+		}
+		return e
+	}
+	return &Log{
+		App:     "vim.exe",
+		PID:     7,
+		Modules: mm,
+		Events: []Event{
+			mk(0, EventFileRead, 1, 0, 0x400100, 0x7ff01000),
+			mk(1, EventFileWrite, 1, time.Millisecond, 0x400100, 0x7ff01000, 0xfffff80000001000),
+			mk(2, EventNetSend, 9, 2*time.Millisecond, 0xdeadbeef), // unresolved
+			mk(3, EventFileRead, 1, 3*time.Millisecond, 0x401000),
+		},
+	}
+}
+
+func TestFilterType(t *testing.T) {
+	l := analyzedLog(t)
+	got := l.FilterType(EventFileRead)
+	if got.Len() != 2 {
+		t.Fatalf("FilterType kept %d events, want 2", got.Len())
+	}
+	for i, e := range got.Events {
+		if e.Type != EventFileRead {
+			t.Errorf("event %d type = %v", i, e.Type)
+		}
+		if e.Seq != i {
+			t.Errorf("event %d Seq = %d, not renumbered", i, e.Seq)
+		}
+	}
+	// Deep copy: mutating the filtered log leaves the original intact.
+	got.Events[0].Stack[0].Addr = 1
+	if l.Events[0].Stack[0].Addr == 1 {
+		t.Error("FilterType shares stacks with the source")
+	}
+}
+
+func TestFilterTime(t *testing.T) {
+	l := analyzedLog(t)
+	base := l.Events[0].Time
+	got := l.FilterTime(base.Add(time.Millisecond), base.Add(3*time.Millisecond))
+	if got.Len() != 2 {
+		t.Fatalf("FilterTime kept %d events, want 2", got.Len())
+	}
+	if got.Events[0].Type != EventFileWrite || got.Events[1].Type != EventNetSend {
+		t.Errorf("wrong events kept: %v, %v", got.Events[0].Type, got.Events[1].Type)
+	}
+	// Open bounds keep everything.
+	if all := l.FilterTime(time.Time{}, time.Time{}); all.Len() != l.Len() {
+		t.Errorf("open bounds kept %d, want %d", all.Len(), l.Len())
+	}
+}
+
+func TestFilterThread(t *testing.T) {
+	l := analyzedLog(t)
+	got := l.FilterThread(9)
+	if got.Len() != 1 || got.Events[0].Type != EventNetSend {
+		t.Fatalf("FilterThread(9) = %d events", got.Len())
+	}
+}
+
+func TestStats(t *testing.T) {
+	l := analyzedLog(t)
+	s := l.Stats()
+	if s.Events != 4 || s.Threads != 2 {
+		t.Errorf("events/threads = %d/%d", s.Events, s.Threads)
+	}
+	if s.ByType[EventFileRead] != 2 || s.ByType[EventNetSend] != 1 {
+		t.Errorf("ByType = %v", s.ByType)
+	}
+	if s.MaxStack != 3 {
+		t.Errorf("MaxStack = %d", s.MaxStack)
+	}
+	if s.UnresolvedFrames != 1 || s.TotalFrames != 7 {
+		t.Errorf("frames = %d unresolved of %d", s.UnresolvedFrames, s.TotalFrames)
+	}
+	if s.Span() != 3*time.Millisecond {
+		t.Errorf("Span = %v", s.Span())
+	}
+	str := s.String()
+	if !strings.Contains(str, "FileRead") || !strings.Contains(str, "4 events") {
+		t.Errorf("String() = %q", str)
+	}
+	if empty := (&Log{}).Stats(); empty.Span() != 0 || empty.AvgStack != 0 {
+		t.Errorf("empty stats = %+v", empty)
+	}
+}
+
+func TestMergeLogs(t *testing.T) {
+	l := analyzedLog(t)
+	a := l.FilterTime(time.Time{}, l.Events[2].Time) // first two events
+	b := l.FilterTime(l.Events[2].Time, time.Time{}) // last two events
+	merged, err := MergeLogs(b, a)                   // out of order on purpose
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != l.Len() {
+		t.Fatalf("merged %d events, want %d", merged.Len(), l.Len())
+	}
+	for i := range merged.Events {
+		if merged.Events[i].Seq != i {
+			t.Errorf("event %d not renumbered", i)
+		}
+		if merged.Events[i].Type != l.Events[i].Type {
+			t.Errorf("event %d out of order: %v", i, merged.Events[i].Type)
+		}
+	}
+	if _, err := MergeLogs(); err == nil {
+		t.Error("MergeLogs() with no logs succeeded")
+	}
+	other := &Log{App: "chrome.exe", PID: 9}
+	if _, err := MergeLogs(l, other); err == nil {
+		t.Error("merging different processes succeeded")
+	}
+}

@@ -1,0 +1,299 @@
+package leaps
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTrainAndDetectFacade(t *testing.T) {
+	logs, err := GenerateDataset("vim_reverse_tcp", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Train(logs.Benign, logs.Mixed,
+		WithSeed(1), WithFixedParams(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.SupportVectors() == 0 {
+		t.Error("no support vectors")
+	}
+	if det.BenignCFG().NumNodes() == 0 || det.MixedCFG().NumNodes() == 0 {
+		t.Error("empty CFGs")
+	}
+	// Benignity of the first mixed event is a probability.
+	if b := det.EventBenignity(0); b < 0 || b > 1 {
+		t.Errorf("EventBenignity(0) = %v", b)
+	}
+
+	dets, err := det.Detect(logs.Malicious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mal int
+	for _, d := range dets {
+		if d.Malicious {
+			mal++
+		}
+	}
+	if frac := float64(mal) / float64(len(dets)); frac < 0.6 {
+		t.Errorf("malicious detection rate = %.2f", frac)
+	}
+	if _, err := det.Detect(nil); err == nil {
+		t.Error("Detect(nil) succeeded")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil); err == nil {
+		t.Error("Train(nil, nil) succeeded")
+	}
+	logs, err := GenerateDataset("vim_reverse_tcp", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(logs.Benign, nil); err == nil {
+		t.Error("Train without mixed log succeeded")
+	}
+	// Invalid option values surface as errors.
+	if _, err := Train(logs.Benign, logs.Mixed, WithSampleFraction(3)); err == nil {
+		t.Error("invalid sample fraction accepted")
+	}
+}
+
+func TestEvaluateFacade(t *testing.T) {
+	logs, err := GenerateDataset("putty_reverse_tcp_online", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(logs.Benign, logs.Mixed, logs.Malicious,
+		WithSeed(3), WithFixedParams(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WSVM.ACC <= res.SVM.ACC {
+		t.Errorf("WSVM %.3f <= SVM %.3f", res.WSVM.ACC, res.SVM.ACC)
+	}
+	multi, err := EvaluateRuns(logs.Benign, logs.Mixed, logs.Malicious, 2,
+		WithSeed(3), WithFixedParams(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.WSVM.ACC <= 0.5 {
+		t.Errorf("averaged WSVM ACC = %v", multi.WSVM.ACC)
+	}
+}
+
+func TestDatasetNames(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 21 {
+		t.Fatalf("DatasetNames() = %d entries", len(names))
+	}
+	if _, err := GenerateDataset("not_a_dataset", 1); err == nil {
+		t.Error("GenerateDataset(not_a_dataset) succeeded")
+	}
+}
+
+func TestRawLogRoundTripFacade(t *testing.T) {
+	logs, err := GenerateDataset("vim_reverse_https", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRawLog(&buf, logs.Benign, logs.Malicious); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseRawLog(bytes.NewReader(buf.Bytes()), "vim.exe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != logs.Benign.Len() {
+		t.Errorf("round trip lost events: %d vs %d", got.Len(), logs.Benign.Len())
+	}
+	// Ambiguous parse without app name over a two-process file fails.
+	if _, err := ParseRawLog(bytes.NewReader(buf.Bytes()), ""); err == nil {
+		t.Error("ambiguous ParseRawLog succeeded")
+	}
+	// Single-process file parses without an app name.
+	buf.Reset()
+	if err := WriteRawLog(&buf, logs.Malicious); err != nil {
+		t.Fatal(err)
+	}
+	single, err := ParseRawLog(&buf, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.App != "reverse_tcp" && single.App != "reverse_https" {
+		t.Errorf("single parse app = %q", single.App)
+	}
+}
+
+func TestWithoutDensityEstimateOption(t *testing.T) {
+	logs, err := GenerateDataset("vim_reverse_tcp", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(logs.Benign, logs.Mixed,
+		WithSeed(5), WithFixedParams(8, 2), WithoutDensityEstimate(), WithWindow(5)); err != nil {
+		t.Fatalf("training with options failed: %v", err)
+	}
+}
+
+func TestStreamFacade(t *testing.T) {
+	logs, err := GenerateDataset("vim_reverse_tcp", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Train(logs.Benign, logs.Mixed, WithSeed(6), WithFixedParams(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := det.Stream(logs.Malicious.Modules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits int
+	for _, e := range logs.Malicious.Events[:100] {
+		d, err := stream.Feed(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != nil {
+			hits++
+			if d.Probability < 0 || d.Probability > 1 {
+				t.Fatalf("Probability = %v", d.Probability)
+			}
+		}
+	}
+	if hits != 10 {
+		t.Errorf("100 events produced %d windows, want 10", hits)
+	}
+}
+
+func TestAttackEntryPointsFacade(t *testing.T) {
+	logs, err := GenerateDataset("vim_reverse_tcp", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Train(logs.Benign, logs.Mixed, WithSeed(7), WithFixedParams(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := det.AttackEntryPoints()
+	if len(eps) == 0 {
+		t.Fatal("no entry points for a trojaned process")
+	}
+	if eps[0].Events[0] != 0 {
+		t.Errorf("earliest entry at event %d, want the detour preamble (0)", eps[0].Events[0])
+	}
+}
+
+func TestEvaluateUniversalFacade(t *testing.T) {
+	var pairs []LogPair
+	var malicious []*Log
+	for i, name := range []string{"vim_reverse_tcp", "putty_reverse_tcp"} {
+		logs, err := GenerateDataset(name, int64(30+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs = append(pairs, LogPair{Benign: logs.Benign, Mixed: logs.Mixed})
+		malicious = append(malicious, logs.Malicious)
+	}
+	perApp, pooled, err := EvaluateUniversal(pairs, malicious, WithSeed(30), WithFixedParams(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perApp) != 2 || pooled.ACC < 0.6 {
+		t.Errorf("universal: perApp=%d pooled ACC=%v", len(perApp), pooled.ACC)
+	}
+}
+
+func TestDetectorSaveLoadFacade(t *testing.T) {
+	logs, err := GenerateDataset("vim_reverse_https", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Train(logs.Benign, logs.Mixed, WithSeed(8), WithFixedParams(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDetector(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loaded detectors classify identically but expose no training
+	// artifacts.
+	a, err := det.Detect(logs.Malicious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Detect(logs.Malicious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || a[0] != b[0] {
+		t.Error("loaded detector behaves differently")
+	}
+	if loaded.BenignCFG() != nil || loaded.MixedCFG() != nil {
+		t.Error("loaded detector exposes CFGs")
+	}
+	if got := loaded.EventBenignity(0); got != 0.5 {
+		t.Errorf("loaded EventBenignity = %v, want 0.5 default", got)
+	}
+	if eps := loaded.AttackEntryPoints(); eps != nil {
+		t.Errorf("loaded AttackEntryPoints = %v, want nil", eps)
+	}
+	if _, err := LoadDetector(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage model accepted")
+	}
+}
+
+func TestGenerateDatasetWithPayloadShare(t *testing.T) {
+	low, err := GenerateDatasetWithPayloadShare("vim_reverse_tcp", 9, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := GenerateDatasetWithPayloadShare("vim_reverse_tcp", 9, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(l *Log) (payload int) {
+		for _, e := range l.Events {
+			if e.TID == 9 {
+				payload++
+			}
+		}
+		return payload
+	}
+	if count(low.Mixed) >= count(high.Mixed) {
+		t.Error("payload share parameter has no effect")
+	}
+	if _, err := GenerateDatasetWithPayloadShare("vim_reverse_tcp", 9, 0); err == nil {
+		t.Error("share 0 accepted")
+	}
+	if _, err := GenerateDatasetWithPayloadShare("vim_reverse_tcp", 9, 1.5); err == nil {
+		t.Error("share > 1 accepted")
+	}
+	if _, err := GenerateDatasetWithPayloadShare("nope", 9, 0.5); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestTrainWithAlignedCFGsFacade(t *testing.T) {
+	logs, err := GenerateDataset("vim_reverse_tcp", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Train(logs.Benign, logs.Mixed,
+		WithSeed(10), WithFixedParams(8, 2), WithAlignedCFGs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.SupportVectors() == 0 {
+		t.Error("aligned training produced no model")
+	}
+}
