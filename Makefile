@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build vet test race fuzz-smoke verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz runs of the raw-log parser, seeded with fault-injected
+# corpora — the CI smoke budget, not a deep campaign.
+fuzz-smoke:
+	$(GO) test ./internal/etl -run='^$$' -fuzz=FuzzParseStrict -fuzztime=10s
+	$(GO) test ./internal/etl -run='^$$' -fuzz=FuzzParseLenient -fuzztime=10s
+
+verify: build vet test race fuzz-smoke

@@ -4,10 +4,14 @@
 // Usage:
 //
 //	leaps-detect -model leaps.model -log suspect.letl [-app vim.exe] \
-//	    [-v] [-expect benign|malicious]
+//	    [-v] [-expect benign|malicious] [-lenient]
 //
 // With -expect, the log is treated as ground truth of one class and the
 // hit rate is reported (how Table I's TPR/TNR columns are produced).
+// With -lenient, corrupt records in the log are skipped and reported
+// instead of rejecting the whole file. A model file whose statistical
+// sections are damaged degrades to the bundled call-graph matcher (with a
+// warning) rather than refusing to run.
 package main
 
 import (
@@ -35,6 +39,7 @@ func run(args []string) error {
 		app       = fs.String("app", "", "application to slice (defaults to the only process)")
 		verbose   = fs.Bool("v", false, "print every window verdict")
 		expect    = fs.String("expect", "", "ground truth class: benign or malicious")
+		lenient   = fs.Bool("lenient", false, "skip corrupt log records instead of rejecting the file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,19 +57,27 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	clf, err := core.LoadClassifier(mf)
+	mon, err := core.LoadMonitor(mf)
 	if cerr := mf.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
 		return err
 	}
+	if mon.Degraded() {
+		fmt.Fprintf(os.Stderr, "leaps-detect: warning: statistical model unusable (%v); running degraded call-graph matcher\n",
+			mon.DegradedCause())
+	}
 
-	log, err := readLog(*logPath, *app)
+	log, raw, err := readLog(*logPath, *app, *lenient)
 	if err != nil {
 		return err
 	}
-	dets, err := clf.DetectLog(log)
+	if len(raw.ErrorLog) > 0 || raw.Dropped > 0 {
+		fmt.Printf("log health: %d corrupt records skipped, %d stack walks dropped, %d events recovered\n",
+			len(raw.ErrorLog), raw.Dropped, log.Len())
+	}
+	dets, err := mon.DetectLog(log)
 	if err != nil {
 		return err
 	}
@@ -99,22 +112,28 @@ func run(args []string) error {
 	return nil
 }
 
-func readLog(path, app string) (*trace.Log, error) {
+func readLog(path, app string, lenient bool) (*trace.Log, *etl.RawFile, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
-	raw, err := etl.Parse(f)
+	raw, err := etl.ParseWith(f, etl.ParseOpts{Lenient: lenient})
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
+	var log *trace.Log
 	if app == "" {
 		pids := raw.PIDs()
 		if len(pids) != 1 {
-			return nil, fmt.Errorf("%s holds %d processes; use -app", path, len(pids))
+			return nil, nil, fmt.Errorf("%s holds %d processes; use -app", path, len(pids))
 		}
-		return raw.Slice(pids[0])
+		log, err = raw.Slice(pids[0])
+	} else {
+		log, err = raw.SliceApp(app)
 	}
-	return raw.SliceApp(app)
+	if err != nil {
+		return nil, nil, err
+	}
+	return log, raw, nil
 }

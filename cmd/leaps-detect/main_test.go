@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/etl"
+	"repro/internal/faultinject"
 	"repro/internal/svm"
 	"repro/internal/trace"
 )
@@ -76,6 +77,37 @@ func TestRunDetects(t *testing.T) {
 	// Verbose path.
 	if err := run([]string{"-model", model, "-log", mal, "-v"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunLenientRecoversCorruptLog(t *testing.T) {
+	dir := t.TempDir()
+	model, mal := buildFixtures(t, dir)
+
+	clean, err := os.ReadFile(mal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, rep, err := faultinject.Inject(clean, faultinject.Config{
+		Seed:  11,
+		Specs: []faultinject.Spec{{Fault: faultinject.Garbage, Rate: 0.03}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total() == 0 {
+		t.Fatal("no faults injected")
+	}
+	corrupt := filepath.Join(dir, "corrupt.letl")
+	if err := os.WriteFile(corrupt, faulty, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run([]string{"-model", model, "-log", corrupt}); err == nil {
+		t.Fatal("strict run accepted the corrupt log")
+	}
+	if err := run([]string{"-model", model, "-log", corrupt, "-lenient", "-expect", "malicious"}); err != nil {
+		t.Fatalf("lenient run failed: %v", err)
 	}
 }
 

@@ -4,16 +4,23 @@
 //
 // Usage:
 //
-//	leaps-trace -dataset vim_reverse_tcp -out ./data [-seed 1] [-list]
+//	leaps-trace -dataset vim_reverse_tcp -out ./data [-seed 1] [-list] \
+//	    [-inject bitflip:0.05,drop:0.02] [-inject-seed 1]
 //
 // It writes three files into the output directory:
 //
 //	<dataset>_benign.letl     clean application run (training positives)
 //	<dataset>_mixed.letl      infected run (training negatives)
 //	<dataset>_malicious.letl  standalone payload (testing ground truth)
+//
+// With -inject, each written file is corrupted by the named deterministic
+// faults (bitflip, drop, dupstack, garbage, truncate; optional per-fault
+// rate after a colon) — fixtures for exercising the lenient parser and
+// fault-tolerant detection.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +28,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/etl"
+	"repro/internal/faultinject"
 	"repro/internal/trace"
 )
 
@@ -39,9 +47,18 @@ func run(args []string) error {
 		seed   = fs.Int64("seed", 1, "generation seed")
 		list   = fs.Bool("list", false, "list available datasets and exit")
 		system = fs.Bool("system", false, "write system-wide files: each log interleaved with background processes (svchost, explorer)")
+		inject = fs.String("inject", "", "corrupt the written files: comma-separated fault[:rate] list (bitflip, drop, dupstack, garbage, truncate)")
+		injSeed = fs.Int64("inject-seed", 1, "fault-injection seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var specs []faultinject.Spec
+	if *inject != "" {
+		var err error
+		if specs, err = faultinject.ParseSpecs(*inject); err != nil {
+			return err
+		}
 	}
 	if *list {
 		for _, n := range dataset.Names() {
@@ -80,9 +97,28 @@ func run(args []string) error {
 		{"mixed", logs.Mixed},
 		{"malicious", logs.Malicious},
 	}
-	for _, f := range files {
+	for i, f := range files {
 		path := filepath.Join(*out, fmt.Sprintf("%s_%s.letl", spec.Name, f.suffix))
-		if err := writeLog(path, append([]*trace.Log{f.log}, background...)...); err != nil {
+		var buf bytes.Buffer
+		if err := etl.WriteLogs(&buf, append([]*trace.Log{f.log}, background...)...); err != nil {
+			return err
+		}
+		data := buf.Bytes()
+		if len(specs) > 0 {
+			// A distinct seed per file keeps the three logs' fault
+			// patterns independent while the whole run stays reproducible.
+			mutated, rep, err := faultinject.Inject(data, faultinject.Config{
+				Seed:  *injSeed + int64(i),
+				Specs: specs,
+			})
+			if err != nil {
+				return err
+			}
+			data = mutated
+			fmt.Printf("injected into %s: %v\n", path, rep)
+			reportRecovery(path, data, f.log.App, f.log.Len())
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
 			return err
 		}
 		extra := ""
@@ -94,15 +130,18 @@ func run(args []string) error {
 	return nil
 }
 
-func writeLog(path string, logs ...*trace.Log) (err error) {
-	f, err := os.Create(path)
+// reportRecovery reparses an injected stream leniently and prints how much
+// of the application's log survives the corruption.
+func reportRecovery(path string, data []byte, app string, total int) {
+	raw, err := etl.ParseWith(bytes.NewReader(data), etl.ParseOpts{Lenient: true})
 	if err != nil {
-		return err
+		fmt.Printf("  lenient reparse failed: %v\n", err)
+		return
 	}
-	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = cerr
-		}
-	}()
-	return etl.WriteLogs(f, logs...)
+	recovered := 0
+	if log, err := raw.SliceApp(app); err == nil {
+		recovered = log.Len()
+	}
+	fmt.Printf("  lenient reparse: %d/%d events recovered, %d records skipped, %d stacks dropped\n",
+		recovered, total, len(raw.ErrorLog), raw.Dropped)
 }

@@ -42,6 +42,45 @@ func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-bogusflag"}); err == nil {
 		t.Error("bogus flag accepted")
 	}
+	if err := run([]string{"-dataset", "vim_reverse_tcp", "-inject", "warp:0.5"}); err == nil {
+		t.Error("unknown fault spec accepted")
+	}
+}
+
+func TestRunInjectCorruptsFiles(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-dataset", "vim_reverse_tcp", "-out", dir, "-seed", "5",
+		"-inject", "bitflip:0.04,garbage:0.03", "-inject-seed", "7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "vim_reverse_tcp_malicious.letl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := etl.Parse(f); err == nil {
+		t.Fatal("strict parse accepted the injected file")
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := etl.ParseWith(f, etl.ParseOpts{Lenient: true})
+	if err != nil {
+		t.Fatalf("lenient parse of injected file: %v", err)
+	}
+	if len(raw.ErrorLog) == 0 {
+		t.Error("injected corruption not reported in ErrorLog")
+	}
+	log, err := raw.SliceApp("reverse_tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() == 0 {
+		t.Error("no events recovered from injected file")
+	}
 }
 
 func TestRunSystemWide(t *testing.T) {

@@ -5,10 +5,12 @@
 // Usage:
 //
 //	leaps-train -benign b.letl -mixed m.letl -model out.model \
-//	    [-app vim.exe] [-window 10] [-lambda 8 -sigma2 2] [-seed 1]
+//	    [-app vim.exe] [-window 10] [-lambda 8 -sigma2 2] [-seed 1] [-lenient]
 //
 // Without -lambda/-sigma2 the parameters are chosen by cross-validated
-// grid search on the training set, as in the paper.
+// grid search on the training set, as in the paper. With -lenient,
+// corrupt records in the training logs are skipped and reported instead
+// of rejecting the file.
 package main
 
 import (
@@ -40,6 +42,7 @@ func run(args []string) error {
 		lambda     = fs.Float64("lambda", 0, "fixed λ (0 = grid search)")
 		sigma2     = fs.Float64("sigma2", 0, "fixed Gaussian σ² (0 = grid search)")
 		seed       = fs.Int64("seed", 1, "data-selection seed")
+		lenient    = fs.Bool("lenient", false, "skip corrupt log records instead of rejecting the file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,11 +51,11 @@ func run(args []string) error {
 		return fmt.Errorf("missing -benign or -mixed")
 	}
 
-	benign, err := readLog(*benignPath, *app)
+	benign, err := readLog(*benignPath, *app, *lenient)
 	if err != nil {
 		return err
 	}
-	mixed, err := readLog(*mixedPath, *app)
+	mixed, err := readLog(*mixedPath, *app, *lenient)
 	if err != nil {
 		return err
 	}
@@ -98,15 +101,19 @@ func saveModel(path string, clf *core.Classifier) (err error) {
 	return clf.Save(f)
 }
 
-func readLog(path, app string) (*trace.Log, error) {
+func readLog(path, app string, lenient bool) (*trace.Log, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	raw, err := etl.Parse(f)
+	raw, err := etl.ParseWith(f, etl.ParseOpts{Lenient: lenient})
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(raw.ErrorLog) > 0 || raw.Dropped > 0 {
+		fmt.Printf("%s: %d corrupt records skipped, %d stack walks dropped\n",
+			path, len(raw.ErrorLog), raw.Dropped)
 	}
 	if app == "" {
 		pids := raw.PIDs()

@@ -47,7 +47,7 @@ func TestRunTrainsAndSavesModel(t *testing.T) {
 	model := filepath.Join(dir, "out.model")
 	err := run([]string{
 		"-benign", benign, "-mixed", mixed, "-model", model,
-		"-lambda", "8", "-sigma2", "2", "-seed", "1",
+		"-lambda", "8", "-sigma2", "2", "-seed", "1", "-lenient",
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -133,16 +133,23 @@ func (m *Model) votes(e *partition.Event) (benign, malicious int) {
 	return benign, malicious
 }
 
+// WindowVotes aggregates the exclusive-edge vote counts of a run of
+// consecutive events — the raw evidence ClassifyWindow decides on, exposed
+// so degraded-mode detectors can report vote margins as scores.
+func (m *Model) WindowVotes(events []partition.Event) (benign, malicious int) {
+	for i := range events {
+		b, mal := m.votes(&events[i])
+		benign += b
+		malicious += mal
+	}
+	return benign, malicious
+}
+
 // ClassifyWindow aggregates the vote counts of a run of consecutive events
 // (the same 10-event windows the statistical models classify) and decides
 // by vote majority.
 func (m *Model) ClassifyWindow(events []partition.Event) Verdict {
-	var benignVotes, maliciousVotes int
-	for i := range events {
-		b, mal := m.votes(&events[i])
-		benignVotes += b
-		maliciousVotes += mal
-	}
+	benignVotes, maliciousVotes := m.WindowVotes(events)
 	switch {
 	case benignVotes > maliciousVotes:
 		return VerdictBenign

@@ -1,0 +1,80 @@
+package callgraph
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// modelFile is the on-disk form of a call-graph model: both edge sets as
+// sorted lists, so identical models serialise to identical bytes.
+type modelFile struct {
+	Magic   string
+	Version int
+	BCG     []edgePair
+	MCG     []edgePair
+}
+
+type edgePair struct {
+	Caller string
+	Callee string
+}
+
+const (
+	modelMagic   = "LEAPS-CGRAPH"
+	modelVersion = 1
+)
+
+func sortedEdges(g map[edge]struct{}) []edgePair {
+	out := make([]edgePair, 0, len(g))
+	for e := range g {
+		out = append(out, edgePair{Caller: e.caller, Callee: e.callee})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Caller != out[j].Caller {
+			return out[i].Caller < out[j].Caller
+		}
+		return out[i].Callee < out[j].Callee
+	})
+	return out
+}
+
+// MarshalBinary serialises the model so a detector can fall back to the
+// call-graph baseline without the training logs at hand.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	f := modelFile{
+		Magic:   modelMagic,
+		Version: modelVersion,
+		BCG:     sortedEdges(m.bcg),
+		MCG:     sortedEdges(m.mcg),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, fmt.Errorf("callgraph: encoding model: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a model written by MarshalBinary.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	var f modelFile
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&f); err != nil {
+		return fmt.Errorf("callgraph: decoding model: %w", err)
+	}
+	if f.Magic != modelMagic {
+		return fmt.Errorf("callgraph: not a call-graph model (magic %q)", f.Magic)
+	}
+	if f.Version != modelVersion {
+		return fmt.Errorf("callgraph: unsupported model version %d", f.Version)
+	}
+	m.bcg = make(map[edge]struct{}, len(f.BCG))
+	for _, p := range f.BCG {
+		m.bcg[edge{caller: p.Caller, callee: p.Callee}] = struct{}{}
+	}
+	m.mcg = make(map[edge]struct{}, len(f.MCG))
+	for _, p := range f.MCG {
+		m.mcg[edge{caller: p.Caller, callee: p.Callee}] = struct{}{}
+	}
+	return nil
+}

@@ -297,6 +297,11 @@ type Classifier struct {
 	platt  *svm.PlattScaler
 	window int
 	params svm.Params
+	// cg is the call-graph baseline trained on the same logs. It travels
+	// with the classifier (persisted since file version 2) so a Monitor
+	// can degrade to it when the statistical sections are unusable. Nil
+	// for classifiers loaded from version-1 files.
+	cg *callgraph.Model
 }
 
 // Params returns the SVM parameters the classifier was trained with.
@@ -304,6 +309,10 @@ func (c *Classifier) Params() svm.Params { return c.params }
 
 // Model exposes the underlying SVM model (e.g. for support-vector counts).
 func (c *Classifier) Model() *svm.Model { return c.model }
+
+// CallGraph exposes the bundled call-graph baseline (nil when the
+// classifier was loaded from a file predating it).
+func (c *Classifier) CallGraph() *callgraph.Model { return c.cg }
 
 // Train fits the CFG-guided weighted SVM classifier on the training data.
 func (td *TrainingData) Train() (*Classifier, error) {
@@ -340,6 +349,10 @@ func (td *TrainingData) train(weighted bool) (*Classifier, error) {
 	if err != nil {
 		return nil, err
 	}
+	cg, err := callgraph.Train(td.BenignPart, td.MixedPart)
+	if err != nil {
+		return nil, err
+	}
 	return &Classifier{
 		enc:    td.Encoder,
 		scaler: scaler,
@@ -347,6 +360,7 @@ func (td *TrainingData) train(weighted bool) (*Classifier, error) {
 		platt:  fitPlatt(model, prob),
 		window: td.cfg.Window,
 		params: params,
+		cg:     cg,
 	}, nil
 }
 

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/callgraph"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// Monitor is the fault-tolerant front of the testing phase: a detector
+// that prefers the statistical WSVM classifier but degrades to the
+// call-graph baseline when the statistical sections of a model file are
+// corrupt or missing, instead of refusing to monitor at all.
+type Monitor struct {
+	clf    *Classifier      // nil in degraded mode
+	cg     *callgraph.Model // the fallback (and bundled baseline)
+	window int
+	cause  error // why the monitor is degraded, nil otherwise
+}
+
+// NewMonitor wraps an in-memory classifier (never degraded).
+func NewMonitor(c *Classifier) *Monitor {
+	return &Monitor{clf: c, cg: c.cg, window: c.window}
+}
+
+// LoadMonitor reads a classifier file like LoadClassifier but degrades
+// instead of failing: when the statistical sections are unusable and the
+// file carries a call-graph section, the returned Monitor runs the
+// call-graph baseline and reports why via DegradedCause. Only a file whose
+// envelope is unreadable — or that offers no usable model at all — is an
+// error.
+func LoadMonitor(r io.Reader) (*Monitor, error) {
+	f, err := decodeClassifierFile(r)
+	if err != nil {
+		return nil, err
+	}
+	clf, cerr := f.classifier()
+	if cerr == nil {
+		return &Monitor{clf: clf, cg: clf.cg, window: clf.window}, nil
+	}
+	cg, gerr := f.callGraph()
+	if gerr != nil {
+		return nil, fmt.Errorf("core: no usable model: %w (call-graph fallback: %v)", cerr, gerr)
+	}
+	return &Monitor{cg: cg, window: f.Window, cause: cerr}, nil
+}
+
+// Degraded reports whether the monitor fell back to the call-graph
+// baseline.
+func (m *Monitor) Degraded() bool { return m.clf == nil }
+
+// DegradedCause returns why the statistical model was unusable (nil when
+// not degraded).
+func (m *Monitor) DegradedCause() error { return m.cause }
+
+// Window returns the event-coalescing width the monitor classifies with.
+func (m *Monitor) Window() int { return m.window }
+
+// Classifier returns the underlying statistical classifier, nil when
+// degraded.
+func (m *Monitor) Classifier() *Classifier { return m.clf }
+
+// DetectLog classifies a full log, batch-style. In degraded mode each
+// window is scored by the call-graph vote margin (see degradedDetection).
+func (m *Monitor) DetectLog(log *trace.Log) ([]Detection, error) {
+	if m.clf != nil {
+		return m.clf.DetectLog(log)
+	}
+	part, err := partition.Split(log)
+	if err != nil {
+		return nil, err
+	}
+	n := part.Len() / m.window
+	out := make([]Detection, 0, n)
+	for w := 0; w < n; w++ {
+		first := w * m.window
+		evs := part.Events[first : first+m.window]
+		out = append(out, degradedDetection(m.cg, evs, first, first+m.window-1))
+	}
+	return out, nil
+}
+
+// Stream starts a streaming session (degraded sessions score windows with
+// the call-graph baseline).
+func (m *Monitor) Stream(modules *trace.ModuleMap) (*StreamDetector, error) {
+	if m.clf != nil {
+		return m.clf.Stream(modules)
+	}
+	if modules == nil {
+		return nil, fmt.Errorf("core: nil module map")
+	}
+	return &StreamDetector{cg: m.cg, window: m.window, modules: modules}, nil
+}
+
+// RestoreStream starts a streaming session and resumes it from a
+// checkpoint written by StreamDetector.Checkpoint. The checkpoint must
+// have been taken in the same mode (degraded or not) as this monitor.
+func (m *Monitor) RestoreStream(modules *trace.ModuleMap, r io.Reader) (*StreamDetector, error) {
+	s, err := m.Stream(modules)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.restore(r); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

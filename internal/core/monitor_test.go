@@ -1,0 +1,234 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// saveFile round-trips a classifier through Save and re-decodes the
+// envelope so tests can corrupt individual sections.
+func saveFile(t *testing.T, clf *Classifier) classifierFile {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := decodeClassifierFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func encodeFile(t *testing.T, f classifierFile) *bytes.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(buf.Bytes())
+}
+
+func TestLoadMonitorHealthyFile(t *testing.T) {
+	clf, mal := trainStream(t, 27)
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mon, err := LoadMonitor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon.Degraded() {
+		t.Fatalf("healthy file loaded degraded: %v", mon.DegradedCause())
+	}
+	if mon.Classifier() == nil || mon.Window() != clf.window {
+		t.Fatalf("monitor state: clf=%v window=%d", mon.Classifier() != nil, mon.Window())
+	}
+	want, err := clf.DetectLog(mal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mon.DetectLog(mal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("monitor %d detections, classifier %d", len(got), len(want))
+	}
+}
+
+func TestLoadMonitorDegradesToCallGraph(t *testing.T) {
+	clf, mal := trainStream(t, 28)
+	f := saveFile(t, clf)
+	f.Model = []byte("rotten")
+
+	mon, err := LoadMonitor(encodeFile(t, f))
+	if err != nil {
+		t.Fatalf("LoadMonitor refused a file with a usable call graph: %v", err)
+	}
+	if !mon.Degraded() || mon.DegradedCause() == nil {
+		t.Fatal("corrupt statistical section did not degrade the monitor")
+	}
+	if mon.Classifier() != nil {
+		t.Fatal("degraded monitor still exposes a classifier")
+	}
+
+	// Degraded batch detection runs and flags the malicious log.
+	dets, err := mon.DetectLog(mal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) == 0 {
+		t.Fatal("degraded DetectLog produced no windows")
+	}
+	var malicious int
+	for _, d := range dets {
+		if d.Malicious {
+			malicious++
+		}
+	}
+	if malicious == 0 {
+		t.Error("degraded call-graph matcher flagged nothing in the pure-malicious log")
+	}
+
+	// Degraded streaming matches degraded batch.
+	stream, err := mon.Stream(mal.Modules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stream.Degraded() {
+		t.Fatal("stream from degraded monitor is not degraded")
+	}
+	var streamed []Detection
+	for _, e := range mal.Events {
+		det, err := stream.Feed(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if det != nil {
+			streamed = append(streamed, *det)
+		}
+	}
+	if len(streamed) != len(dets) {
+		t.Fatalf("degraded stream %d detections, batch %d", len(streamed), len(dets))
+	}
+	for i := range dets {
+		if streamed[i] != dets[i] {
+			t.Fatalf("degraded detection %d: stream %+v vs batch %+v", i, streamed[i], dets[i])
+		}
+	}
+}
+
+func TestLoadMonitorDegradedCheckpointRoundTrip(t *testing.T) {
+	clf, mal := trainStream(t, 29)
+	f := saveFile(t, clf)
+	f.Scaler = nil // unusable statistical section
+
+	mon, err := LoadMonitor(encodeFile(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mon.Degraded() {
+		t.Fatal("monitor not degraded")
+	}
+	n := 3*mon.Window() + 2
+	ref, err := mon.Stream(mal.Modules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Detection
+	for _, e := range mal.Events[:n] {
+		if det, err := ref.Feed(e); err != nil {
+			t.Fatal(err)
+		} else if det != nil {
+			want = append(want, *det)
+		}
+	}
+
+	cut := mon.Window() + 4
+	s1, err := mon.Stream(mal.Modules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Detection
+	for _, e := range mal.Events[:cut] {
+		if det, err := s1.Feed(e); err != nil {
+			t.Fatal(err)
+		} else if det != nil {
+			got = append(got, *det)
+		}
+	}
+	var ckpt bytes.Buffer
+	if err := s1.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := mon.RestoreStream(mal.Modules, &ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range mal.Events[cut:n] {
+		if det, err := s2.Feed(e); err != nil {
+			t.Fatal(err)
+		} else if det != nil {
+			got = append(got, *det)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("interrupted degraded run %d detections, uninterrupted %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("degraded detection %d differs after restore: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLoadMonitorNoFallbackAvailable(t *testing.T) {
+	clf, _ := trainStream(t, 30)
+	f := saveFile(t, clf)
+	f.Model = []byte("rotten")
+	f.CallGraph = []byte("also rotten")
+	if _, err := LoadMonitor(encodeFile(t, f)); err == nil {
+		t.Error("file with no usable model accepted")
+	}
+
+	// Version-1 files carry no call-graph section: a corrupt model is
+	// fatal there too.
+	f = saveFile(t, clf)
+	f.Version = 1
+	f.Model = nil
+	f.CallGraph = nil
+	if _, err := LoadMonitor(encodeFile(t, f)); err == nil {
+		t.Error("v1 file with corrupt model accepted")
+	}
+}
+
+func TestLoadClassifierAcceptsV1Files(t *testing.T) {
+	clf, mal := trainStream(t, 31)
+	f := saveFile(t, clf)
+	f.Version = 1
+	f.CallGraph = nil
+
+	loaded, err := LoadClassifier(encodeFile(t, f))
+	if err != nil {
+		t.Fatalf("version-1 file rejected: %v", err)
+	}
+	if loaded.CallGraph() != nil {
+		t.Error("v1 file produced a call graph out of thin air")
+	}
+	want, err := clf.DetectLog(mal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.DetectLog(mal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("detection %d differs under v1 load", i)
+		}
+	}
+}

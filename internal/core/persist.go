@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/callgraph"
 	"repro/internal/preprocess"
 	"repro/internal/svm"
 )
@@ -21,11 +22,16 @@ type classifierFile struct {
 	HasPlatt bool
 	PlattA   float64
 	PlattB   float64
+	// CallGraph is the serialized call-graph baseline trained alongside
+	// the WSVM (since version 2). It is the degraded-mode fallback: when
+	// the statistical sections fail to decode, a Monitor can still run the
+	// call-graph matcher. Empty in version-1 files.
+	CallGraph []byte
 }
 
 const (
 	classifierMagic   = "LEAPS-MODEL"
-	classifierVersion = 1
+	classifierVersion = 2
 )
 
 // Save serialises the trained classifier so a later process can run the
@@ -56,27 +62,38 @@ func (c *Classifier) Save(w io.Writer) error {
 		f.HasPlatt = true
 		f.PlattA, f.PlattB = c.platt.A, c.platt.B
 	}
+	if c.cg != nil {
+		if f.CallGraph, err = c.cg.MarshalBinary(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
 	if err := gob.NewEncoder(w).Encode(f); err != nil {
 		return fmt.Errorf("core: encoding classifier: %w", err)
 	}
 	return nil
 }
 
-// LoadClassifier reads a classifier previously written by Save.
-func LoadClassifier(r io.Reader) (*Classifier, error) {
+// decodeClassifierFile reads and structurally validates the envelope of a
+// classifier file, without touching the per-section payloads.
+func decodeClassifierFile(r io.Reader) (classifierFile, error) {
 	var f classifierFile
 	if err := gob.NewDecoder(r).Decode(&f); err != nil {
-		return nil, fmt.Errorf("core: decoding classifier: %w", err)
+		return f, fmt.Errorf("core: decoding classifier: %w", err)
 	}
 	if f.Magic != classifierMagic {
-		return nil, fmt.Errorf("core: not a classifier file (magic %q)", f.Magic)
+		return f, fmt.Errorf("core: not a classifier file (magic %q)", f.Magic)
 	}
-	if f.Version != classifierVersion {
-		return nil, fmt.Errorf("core: unsupported classifier version %d", f.Version)
+	if f.Version < 1 || f.Version > classifierVersion {
+		return f, fmt.Errorf("core: unsupported classifier version %d", f.Version)
 	}
 	if f.Window < 1 {
-		return nil, fmt.Errorf("core: classifier window %d invalid", f.Window)
+		return f, fmt.Errorf("core: classifier window %d invalid", f.Window)
 	}
+	return f, nil
+}
+
+// classifier reconstructs the statistical model from the file's sections.
+func (f classifierFile) classifier() (*Classifier, error) {
 	c := &Classifier{window: f.Window, params: svm.Params{Lambda: f.Lambda}}
 	c.enc = new(preprocess.Encoder)
 	if err := c.enc.UnmarshalBinary(f.Encoder); err != nil {
@@ -93,5 +110,31 @@ func LoadClassifier(r io.Reader) (*Classifier, error) {
 	if f.HasPlatt {
 		c.platt = &svm.PlattScaler{A: f.PlattA, B: f.PlattB}
 	}
+	if cg, err := f.callGraph(); err == nil {
+		c.cg = cg
+	}
 	return c, nil
+}
+
+// callGraph reconstructs the embedded call-graph baseline, if present.
+func (f classifierFile) callGraph() (*callgraph.Model, error) {
+	if len(f.CallGraph) == 0 {
+		return nil, fmt.Errorf("core: classifier file carries no call graph")
+	}
+	cg := new(callgraph.Model)
+	if err := cg.UnmarshalBinary(f.CallGraph); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return cg, nil
+}
+
+// LoadClassifier reads a classifier previously written by Save. It fails
+// when any section is unusable; LoadMonitor is the fault-tolerant entry
+// point that degrades to the call-graph baseline instead.
+func LoadClassifier(r io.Reader) (*Classifier, error) {
+	f, err := decodeClassifierFile(r)
+	if err != nil {
+		return nil, err
+	}
+	return f.classifier()
 }

@@ -1,23 +1,63 @@
 package core
 
 import (
+	"encoding/gob"
 	"errors"
+	"fmt"
+	"io"
 
+	"repro/internal/callgraph"
 	"repro/internal/partition"
 	"repro/internal/preprocess"
 	"repro/internal/trace"
 )
 
-// StreamDetector applies a trained classifier to a live event stream: feed
+// splitOne partitions a single-event log; a variable so tests can inject
+// partition failures into the streaming path.
+var splitOne = partition.Split
+
+// EventError reports one event the streaming detector had to skip: its
+// stack walk could not be partitioned or encoded. The detector stays
+// usable — the event is counted as consumed and excluded from windows.
+type EventError struct {
+	// Ordinal is the stream position of the offending event (0-based,
+	// counting every event ever fed).
+	Ordinal int
+	// Cause is the underlying failure.
+	Cause error
+}
+
+func (e *EventError) Error() string {
+	return fmt.Sprintf("core: event %d skipped: %v", e.Ordinal, e.Cause)
+}
+
+func (e *EventError) Unwrap() error { return e.Cause }
+
+// StreamDetector applies a trained model to a live event stream: feed
 // events as the logger produces them and receive a Detection whenever a
 // window completes. This is the production-monitoring shape of the testing
 // phase (DetectLog is the batch equivalent).
+//
+// The detector is crash-safe: Checkpoint serialises the in-flight window
+// state and RestoreStream resumes it, producing the same window boundaries
+// and scores an uninterrupted run would have. In degraded mode (no usable
+// statistical model, see Monitor) it scores windows with the call-graph
+// baseline instead of the WSVM.
 type StreamDetector struct {
-	clf     *Classifier
+	clf     *Classifier      // nil in degraded mode
+	cg      *callgraph.Model // scores windows when clf is nil
+	window  int
 	modules *trace.ModuleMap
-	buf     []preprocess.Tuple
-	// consumed counts events fed so far; windows are aligned to it.
+	// buf holds the encoded tuples of the open window (WSVM mode);
+	// evbuf holds its partitioned events (degraded mode).
+	buf   []preprocess.Tuple
+	evbuf []partition.Event
+	// consumed counts every event ever fed, skipped counts the subset
+	// excluded by per-event errors; winStart is the ordinal of the first
+	// event in the open window.
 	consumed int
+	skipped  int
+	winStart int
 }
 
 // Stream starts a streaming session for one process, identified by its
@@ -26,25 +66,51 @@ func (c *Classifier) Stream(modules *trace.ModuleMap) (*StreamDetector, error) {
 	if modules == nil {
 		return nil, errors.New("core: nil module map")
 	}
-	return &StreamDetector{clf: c, modules: modules}, nil
+	return &StreamDetector{clf: c, cg: c.cg, window: c.window, modules: modules}, nil
 }
 
-// Feed consumes one event. It returns a non-nil Detection when the event
-// completed a window.
-func (s *StreamDetector) Feed(e trace.Event) (*Detection, error) {
-	// Partition this single event: reuse the batch splitter on a
-	// one-event log to keep the classification path identical.
-	log := &trace.Log{App: s.modules.AppName(), Modules: s.modules, Events: []trace.Event{e}}
-	part, err := partition.Split(log)
+// RestoreStream starts a streaming session and resumes it from a
+// checkpoint written by StreamDetector.Checkpoint.
+func (c *Classifier) RestoreStream(modules *trace.ModuleMap, r io.Reader) (*StreamDetector, error) {
+	s, err := c.Stream(modules)
 	if err != nil {
 		return nil, err
 	}
-	s.buf = append(s.buf, s.clf.enc.Encode(&part.Events[0]))
+	if err := s.restore(r); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Feed consumes one event. It returns a non-nil Detection when the event
+// completed a window. A returned *EventError means this event was skipped
+// (counted, excluded from windows) and the detector remains usable.
+func (s *StreamDetector) Feed(e trace.Event) (*Detection, error) {
+	ord := s.consumed
 	s.consumed++
-	if len(s.buf) < s.clf.window {
+	// Partition this single event: reuse the batch splitter on a
+	// one-event log to keep the classification path identical.
+	log := &trace.Log{App: s.modules.AppName(), Modules: s.modules, Events: []trace.Event{e}}
+	part, err := splitOne(log)
+	if err != nil {
+		s.skipped++
+		return nil, &EventError{Ordinal: ord, Cause: err}
+	}
+	if len(part.Events) == 0 {
+		s.skipped++
+		return nil, &EventError{Ordinal: ord, Cause: errors.New("partition produced no events")}
+	}
+	if s.Pending() == 0 {
+		s.winStart = ord
+	}
+	if s.clf == nil {
+		return s.feedDegraded(&part.Events[0], ord)
+	}
+	s.buf = append(s.buf, s.clf.enc.Encode(&part.Events[0]))
+	if len(s.buf) < s.window {
 		return nil, nil
 	}
-	vecs, _, err := preprocess.Coalesce(s.buf, s.clf.window)
+	vecs, _, err := preprocess.Coalesce(s.buf, s.window)
 	if err != nil {
 		return nil, err
 	}
@@ -55,13 +121,135 @@ func (s *StreamDetector) Feed(e trace.Event) (*Detection, error) {
 		pMal = 1 - s.clf.platt.Probability(score)
 	}
 	return &Detection{
-		FirstEvent:  s.consumed - s.clf.window,
-		LastEvent:   s.consumed - 1,
+		FirstEvent:  s.winStart,
+		LastEvent:   ord,
 		Score:       score,
 		Probability: pMal,
 		Malicious:   score < 0,
 	}, nil
 }
 
+// feedDegraded buffers the partitioned event and scores completed windows
+// with the call-graph baseline.
+func (s *StreamDetector) feedDegraded(pe *partition.Event, ord int) (*Detection, error) {
+	s.evbuf = append(s.evbuf, *pe)
+	if len(s.evbuf) < s.window {
+		return nil, nil
+	}
+	det := degradedDetection(s.cg, s.evbuf, s.winStart, ord)
+	s.evbuf = s.evbuf[:0]
+	return &det, nil
+}
+
+// degradedDetection scores one window by call-graph vote margin: the score
+// is the benign-minus-malicious exclusive-edge vote count (negative means
+// malicious, matching the WSVM convention) and the probability is the
+// malicious vote share (0.5 when there is no evidence).
+func degradedDetection(cg *callgraph.Model, events []partition.Event, first, last int) Detection {
+	b, mal := cg.WindowVotes(events)
+	p := 0.5
+	if b+mal > 0 {
+		p = float64(mal) / float64(b+mal)
+	}
+	return Detection{
+		FirstEvent:  first,
+		LastEvent:   last,
+		Score:       float64(b - mal),
+		Probability: p,
+		Malicious:   mal > b,
+	}
+}
+
 // Pending reports how many events are buffered toward the next window.
-func (s *StreamDetector) Pending() int { return len(s.buf) }
+func (s *StreamDetector) Pending() int {
+	if s.clf == nil {
+		return len(s.evbuf)
+	}
+	return len(s.buf)
+}
+
+// Consumed reports how many events were fed so far, including skipped ones.
+func (s *StreamDetector) Consumed() int { return s.consumed }
+
+// Skipped reports how many fed events were excluded by per-event errors.
+func (s *StreamDetector) Skipped() int { return s.skipped }
+
+// Degraded reports whether windows are scored by the call-graph fallback
+// instead of the statistical model.
+func (s *StreamDetector) Degraded() bool { return s.clf == nil }
+
+// checkpointFile is the serialized in-flight state of a StreamDetector.
+// The model itself is not included: restore pairs a checkpoint with a
+// detector built from the same classifier (or monitor).
+type checkpointFile struct {
+	Magic    string
+	Version  int
+	Window   int
+	Degraded bool
+	Consumed int
+	Skipped  int
+	WinStart int
+	Tuples   []preprocess.Tuple
+	Events   []partition.Event
+}
+
+const (
+	checkpointMagic   = "LEAPS-CKPT"
+	checkpointVersion = 1
+)
+
+// Checkpoint serialises the detector's in-flight state — the open window's
+// buffered events and the stream counters — so a crashed or restarted
+// monitor can resume with RestoreStream and produce the same window
+// boundaries and scores as an uninterrupted run.
+func (s *StreamDetector) Checkpoint(w io.Writer) error {
+	f := checkpointFile{
+		Magic:    checkpointMagic,
+		Version:  checkpointVersion,
+		Window:   s.window,
+		Degraded: s.clf == nil,
+		Consumed: s.consumed,
+		Skipped:  s.skipped,
+		WinStart: s.winStart,
+		Tuples:   s.buf,
+		Events:   s.evbuf,
+	}
+	if err := gob.NewEncoder(w).Encode(f); err != nil {
+		return fmt.Errorf("core: encoding checkpoint: %w", err)
+	}
+	return nil
+}
+
+// restore loads a checkpoint into a freshly-constructed detector,
+// validating that it matches the detector's model shape.
+func (s *StreamDetector) restore(r io.Reader) error {
+	var f checkpointFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return fmt.Errorf("core: decoding checkpoint: %w", err)
+	}
+	if f.Magic != checkpointMagic {
+		return fmt.Errorf("core: not a checkpoint file (magic %q)", f.Magic)
+	}
+	if f.Version != checkpointVersion {
+		return fmt.Errorf("core: unsupported checkpoint version %d", f.Version)
+	}
+	if f.Window != s.window {
+		return fmt.Errorf("core: checkpoint window %d does not match model window %d", f.Window, s.window)
+	}
+	if f.Degraded != (s.clf == nil) {
+		return fmt.Errorf("core: checkpoint degraded=%v does not match detector mode", f.Degraded)
+	}
+	if f.Consumed < 0 || f.Skipped < 0 || f.Skipped > f.Consumed {
+		return fmt.Errorf("core: checkpoint counters invalid (consumed %d, skipped %d)", f.Consumed, f.Skipped)
+	}
+	if len(f.Tuples) >= f.Window || len(f.Events) >= f.Window {
+		return fmt.Errorf("core: checkpoint buffers a full window (%d/%d tuples, %d events)",
+			len(f.Tuples), f.Window, len(f.Events))
+	}
+	s.consumed = f.Consumed
+	s.skipped = f.Skipped
+	s.winStart = f.WinStart
+	s.buf = f.Tuples
+	s.evbuf = f.Events
+	return nil
+}

@@ -1,7 +1,12 @@
 package core
 
 import (
+	"bytes"
+	"errors"
 	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/trace"
 )
 
 func TestStreamMatchesBatch(t *testing.T) {
@@ -43,6 +48,212 @@ func TestStreamMatchesBatch(t *testing.T) {
 	}
 	if stream.Pending() >= 10 {
 		t.Errorf("Pending() = %d after full drain", stream.Pending())
+	}
+}
+
+// trainStream builds a classifier for streaming tests.
+func trainStream(t *testing.T, seed int64) (*Classifier, *trace.Log) {
+	t.Helper()
+	logs := genLogs(t, "vim_reverse_tcp", seed)
+	td, err := BuildTrainingData(logs.Benign, logs.Mixed, fastConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := td.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clf, logs.Malicious
+}
+
+func TestStreamFeedRecoversFromEventError(t *testing.T) {
+	clf, mal := trainStream(t, 23)
+	stream, err := clf.Stream(mal.Modules)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail partitioning for exactly one event mid-stream.
+	failAt := 3
+	calls := 0
+	injected := errors.New("boom")
+	splitOne = func(log *trace.Log) (*partition.Log, error) {
+		calls++
+		if calls == failAt+1 {
+			return nil, injected
+		}
+		return partition.Split(log)
+	}
+	defer func() { splitOne = partition.Split }()
+
+	var dets int
+	for i, e := range mal.Events[:3*clf.window] {
+		det, err := stream.Feed(e)
+		if i == failAt {
+			var evErr *EventError
+			if !errors.As(err, &evErr) {
+				t.Fatalf("event %d: got %v, want *EventError", i, err)
+			}
+			if evErr.Ordinal != failAt || !errors.Is(err, injected) {
+				t.Fatalf("EventError = %+v", evErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if det != nil {
+			dets++
+		}
+	}
+	if dets == 0 {
+		t.Error("no detections after recovering from a mid-window error")
+	}
+	if stream.Skipped() != 1 {
+		t.Errorf("Skipped() = %d, want 1", stream.Skipped())
+	}
+	if stream.Consumed() != 3*clf.window {
+		t.Errorf("Consumed() = %d, want %d", stream.Consumed(), 3*clf.window)
+	}
+}
+
+func TestStreamWindowAlignmentWithSkips(t *testing.T) {
+	clf, mal := trainStream(t, 24)
+	stream, err := clf.Stream(mal.Modules)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The 4th event fed is skipped: the first window then spans
+	// window+1 stream ordinals.
+	calls := 0
+	splitOne = func(log *trace.Log) (*partition.Log, error) {
+		calls++
+		if calls == 4 {
+			return nil, errors.New("skip me")
+		}
+		return partition.Split(log)
+	}
+	defer func() { splitOne = partition.Split }()
+
+	var det *Detection
+	for _, e := range mal.Events[:clf.window+1] {
+		d, err := stream.Feed(e)
+		var evErr *EventError
+		if err != nil && !errors.As(err, &evErr) {
+			t.Fatal(err)
+		}
+		if d != nil {
+			det = d
+		}
+	}
+	if det == nil {
+		t.Fatal("no detection after window+1 events with one skip")
+	}
+	if det.FirstEvent != 0 || det.LastEvent != clf.window {
+		t.Errorf("window spans events %d-%d, want 0-%d (skip widens the span)",
+			det.FirstEvent, det.LastEvent, clf.window)
+	}
+	if stream.Pending() != 0 {
+		t.Errorf("Pending() = %d after completed window", stream.Pending())
+	}
+}
+
+func TestStreamCheckpointRestoreMatchesUninterrupted(t *testing.T) {
+	clf, mal := trainStream(t, 25)
+	n := 5 * clf.window
+	events := mal.Events[:n]
+
+	// Uninterrupted reference run.
+	ref, err := clf.Stream(mal.Modules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Detection
+	for _, e := range events {
+		det, err := ref.Feed(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if det != nil {
+			want = append(want, *det)
+		}
+	}
+
+	// Interrupted run: checkpoint mid-window, restore, continue.
+	cut := 2*clf.window + 3
+	s1, err := clf.Stream(mal.Modules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Detection
+	for _, e := range events[:cut] {
+		det, err := s1.Feed(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if det != nil {
+			got = append(got, *det)
+		}
+	}
+	var ckpt bytes.Buffer
+	if err := s1.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := clf.RestoreStream(mal.Modules, &ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Consumed() != cut || s2.Pending() != 3 {
+		t.Fatalf("restored state: consumed %d pending %d, want %d / 3",
+			s2.Consumed(), s2.Pending(), cut)
+	}
+	for _, e := range events[cut:] {
+		det, err := s2.Feed(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if det != nil {
+			got = append(got, *det)
+		}
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("interrupted run produced %d detections, uninterrupted %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("detection %d: interrupted %+v vs uninterrupted %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStreamRestoreRejectsBadCheckpoints(t *testing.T) {
+	clf, mal := trainStream(t, 26)
+	if _, err := clf.RestoreStream(mal.Modules, bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage checkpoint accepted")
+	}
+
+	// A checkpoint from a degraded detector must not restore into a
+	// statistical one.
+	deg := &StreamDetector{cg: clf.CallGraph(), window: clf.window, modules: mal.Modules}
+	var ckpt bytes.Buffer
+	if err := deg.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clf.RestoreStream(mal.Modules, &ckpt); err == nil {
+		t.Error("degraded checkpoint restored into statistical detector")
+	}
+
+	// Window mismatch.
+	other := &StreamDetector{clf: clf, window: clf.window + 1, modules: mal.Modules}
+	ckpt.Reset()
+	if err := other.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clf.RestoreStream(mal.Modules, &ckpt); err == nil {
+		t.Error("window-mismatched checkpoint accepted")
 	}
 }
 

@@ -81,9 +81,31 @@ func writeString(w io.Writer, s string) error {
 	return err
 }
 
+// reader decodes little-endian primitives while tracking the byte
+// offset in the stream, so lenient parsing can report where a record
+// failed and resynchronize from there.
 type reader struct {
 	r   *bufio.Reader
+	off int64
 	buf [8]byte
+}
+
+// full reads exactly len(b) bytes, accounting for partial reads in the
+// offset so error positions stay accurate.
+func (rd *reader) full(b []byte) error {
+	n, err := io.ReadFull(rd.r, b)
+	rd.off += int64(n)
+	if err != nil {
+		return corrupt(err)
+	}
+	return nil
+}
+
+// discard skips n bytes (used by resynchronization scans).
+func (rd *reader) discard(n int) error {
+	m, err := rd.r.Discard(n)
+	rd.off += int64(m)
+	return err
 }
 
 func (rd *reader) u8() (uint8, error) {
@@ -91,26 +113,27 @@ func (rd *reader) u8() (uint8, error) {
 	if err != nil {
 		return 0, corrupt(err)
 	}
+	rd.off++
 	return b, nil
 }
 
 func (rd *reader) u16() (uint16, error) {
-	if _, err := io.ReadFull(rd.r, rd.buf[:2]); err != nil {
-		return 0, corrupt(err)
+	if err := rd.full(rd.buf[:2]); err != nil {
+		return 0, err
 	}
 	return binary.LittleEndian.Uint16(rd.buf[:2]), nil
 }
 
 func (rd *reader) u32() (uint32, error) {
-	if _, err := io.ReadFull(rd.r, rd.buf[:4]); err != nil {
-		return 0, corrupt(err)
+	if err := rd.full(rd.buf[:4]); err != nil {
+		return 0, err
 	}
 	return binary.LittleEndian.Uint32(rd.buf[:4]), nil
 }
 
 func (rd *reader) u64() (uint64, error) {
-	if _, err := io.ReadFull(rd.r, rd.buf[:8]); err != nil {
-		return 0, corrupt(err)
+	if err := rd.full(rd.buf[:8]); err != nil {
+		return 0, err
 	}
 	return binary.LittleEndian.Uint64(rd.buf[:8]), nil
 }
@@ -132,8 +155,8 @@ func (rd *reader) str() (string, error) {
 		return "", corrupt(fmt.Errorf("string length %d exceeds limit", n))
 	}
 	b := make([]byte, n)
-	if _, err := io.ReadFull(rd.r, b); err != nil {
-		return "", corrupt(err)
+	if err := rd.full(b); err != nil {
+		return "", err
 	}
 	return string(b), nil
 }

@@ -1,0 +1,91 @@
+// Fuzz targets for the raw-log parser, in an external test package so the
+// seed corpus can come from faultinject (which imports etl).
+package etl_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/appsim"
+	"repro/internal/etl"
+	"repro/internal/faultinject"
+)
+
+// fuzzStream serialises a small but representative log: process record,
+// events, stack records.
+func fuzzStream(tb testing.TB) []byte {
+	tb.Helper()
+	payload := appsim.ReverseTCPProfile()
+	p, err := appsim.NewProcess(appsim.VimProfile(), &payload, appsim.MethodOfflineInfection)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	log, err := p.GenerateLog(appsim.GenConfig{Seed: 99, Events: 60, PayloadFraction: 0.3, PID: 4})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := etl.WriteLogs(&buf, log); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// seedCorpus adds the clean stream, deterministic single-fault mutants of
+// it, and a few degenerate inputs.
+func seedCorpus(f *testing.F) {
+	data := fuzzStream(f)
+	f.Add(data)
+	mutants, err := faultinject.Corpus(data, 7, 10)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, m := range mutants {
+		f.Add(m)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("LETL"))
+	f.Add(data[:len(data)/3])
+}
+
+func FuzzParseStrict(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		raw, err := etl.Parse(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if raw == nil {
+			t.Fatal("strict parse returned nil file without error")
+		}
+		if len(raw.ErrorLog) != 0 {
+			t.Fatalf("strict parse produced %d parse errors", len(raw.ErrorLog))
+		}
+	})
+}
+
+func FuzzParseLenient(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		soft, err := etl.ParseWith(bytes.NewReader(in), etl.ParseOpts{Lenient: true})
+		if err == nil && soft == nil {
+			t.Fatal("lenient parse returned nil file without error")
+		}
+		// Anything the strict parser accepts, the lenient parser must
+		// accept identically: same events, no logged errors.
+		strict, serr := etl.Parse(bytes.NewReader(in))
+		if serr != nil {
+			return
+		}
+		if err != nil {
+			t.Fatalf("strict parse succeeded but lenient failed: %v", err)
+		}
+		if len(soft.ErrorLog) != 0 {
+			t.Fatalf("lenient parse of a strict-valid stream logged %d errors", len(soft.ErrorLog))
+		}
+		if soft.TotalEvents() != strict.TotalEvents() || soft.Dropped != strict.Dropped {
+			t.Fatalf("lenient = (%d events, %d dropped), strict = (%d, %d)",
+				soft.TotalEvents(), soft.Dropped, strict.TotalEvents(), strict.Dropped)
+		}
+	})
+}

@@ -2,6 +2,8 @@ package etl
 
 import (
 	"bufio"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -10,6 +12,50 @@ import (
 	"repro/internal/trace"
 )
 
+// DefaultMaxErrors is the lenient parser's record-error budget when
+// ParseOpts.MaxErrors is zero.
+const DefaultMaxErrors = 1024
+
+// ErrTooManyErrors is wrapped by the error a lenient parse returns when
+// the stream produced more malformed records than ParseOpts.MaxErrors
+// allows — at that point the input is treated as hopeless rather than
+// noisy.
+var ErrTooManyErrors = errors.New("etl: too many corrupt records")
+
+// ParseOpts controls how Parse treats malformed input.
+type ParseOpts struct {
+	// Lenient makes the parser recover from malformed records: instead
+	// of aborting, it logs the failure, scans forward for the next
+	// plausible record boundary and resumes. Strict mode (the zero
+	// value) rejects the whole stream on the first error.
+	Lenient bool
+	// MaxErrors caps how many record failures a lenient parse tolerates
+	// before giving up with ErrTooManyErrors. Zero selects
+	// DefaultMaxErrors; a negative value removes the cap.
+	MaxErrors int
+}
+
+// ParseError is one record the lenient parser had to skip.
+type ParseError struct {
+	// Offset is the byte position of the record's tag in the stream
+	// (for failures that precede any tag, the position of the failure).
+	Offset int64
+	// Tag is the record tag being parsed, 0 when none was read.
+	Tag byte
+	// Cause is the underlying decode or correlation failure.
+	Cause error
+	// ResyncBytes is how many bytes the parser discarded after the
+	// failure before finding the next plausible record boundary (zero
+	// for failures that left the stream at a boundary).
+	ResyncBytes int64
+}
+
+func (e ParseError) Error() string {
+	return fmt.Sprintf("etl: record 0x%02x at offset %d: %v", e.Tag, e.Offset, e.Cause)
+}
+
+func (e ParseError) Unwrap() error { return e.Cause }
+
 // RawFile is the parsed content of a raw event-trace-log: the per-process
 // stack-event correlated logs, ready for application slicing.
 type RawFile struct {
@@ -17,6 +63,9 @@ type RawFile struct {
 	// Dropped counts stack records that could not be correlated with a
 	// pending event and were discarded.
 	Dropped int
+	// ErrorLog records every record a lenient parse skipped, in stream
+	// order. Always empty after a strict parse.
+	ErrorLog []ParseError
 }
 
 // PIDs returns the traced process ids in ascending order.
@@ -27,6 +76,16 @@ func (f *RawFile) PIDs() []int {
 	}
 	sort.Ints(out)
 	return out
+}
+
+// TotalEvents returns the number of events recovered across all
+// processes.
+func (f *RawFile) TotalEvents() int {
+	var n int
+	for _, l := range f.byPID {
+		n += l.Len()
+	}
+	return n
 }
 
 // Slice returns the stack-event correlated log of one process — the
@@ -51,18 +110,61 @@ func (f *RawFile) SliceApp(app string) (*trace.Log, error) {
 
 // Parse reads a raw event-trace-log, correlates each stack-walk record
 // with the event that triggered it, resolves every frame against the
-// process's module map, and slices the stream per process.
+// process's module map, and slices the stream per process. It is strict:
+// any malformed record rejects the whole file (see ParseWith for the
+// lenient variant).
 func Parse(r io.Reader) (*RawFile, error) {
-	rd := &reader{r: bufio.NewReader(r)}
+	return ParseWith(r, ParseOpts{})
+}
 
+// semanticError marks a record whose bytes decoded cleanly but whose
+// content could not be used (undeclared pid, duplicate process). The
+// stream position is at the next record boundary, so lenient recovery
+// skips the resynchronization scan.
+type semanticError struct{ err error }
+
+func (e *semanticError) Error() string { return e.err.Error() }
+func (e *semanticError) Unwrap() error { return e.err }
+
+func semantic(err error) error { return &semanticError{err: err} }
+
+type parser struct {
+	rd      *reader
+	opts    ParseOpts
+	f       *RawFile
+	// pending[pid<<32|tid] holds the index of the event awaiting its
+	// stack record.
+	pending map[uint64]int
+}
+
+func pendingKey(pid, tid int) uint64 { return uint64(pid)<<32 | uint64(uint32(tid)) }
+
+// ParseWith is Parse with explicit fault-tolerance options. In lenient
+// mode a malformed record is logged in RawFile.ErrorLog and the parser
+// resynchronizes on the next plausible record boundary; truncated
+// streams yield whatever was recovered up to the cut.
+func ParseWith(r io.Reader, opts ParseOpts) (*RawFile, error) {
+	if opts.MaxErrors == 0 {
+		opts.MaxErrors = DefaultMaxErrors
+	}
+	p := &parser{
+		rd:      &reader{r: bufio.NewReader(r)},
+		opts:    opts,
+		f:       &RawFile{byPID: make(map[int]*trace.Log)},
+		pending: make(map[uint64]int),
+	}
+
+	// The header is the anchor of the whole stream: without a valid
+	// magic and version there is nothing to resynchronize against, so
+	// it is strict even in lenient mode.
 	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(rd.r, head); err != nil {
-		return nil, corrupt(err)
+	if err := p.rd.full(head); err != nil {
+		return nil, err
 	}
 	if string(head) != magic {
 		return nil, corrupt(fmt.Errorf("bad magic %q", head))
 	}
-	ver, err := rd.u16()
+	ver, err := p.rd.u16()
 	if err != nil {
 		return nil, err
 	}
@@ -70,119 +172,278 @@ func Parse(r io.Reader) (*RawFile, error) {
 		return nil, corrupt(fmt.Errorf("unsupported version %d", ver))
 	}
 
-	f := &RawFile{byPID: make(map[int]*trace.Log)}
-	// pending[pid<<32|tid] holds the index of the event awaiting its
-	// stack record.
-	pending := make(map[uint64]int)
-	key := func(pid, tid int) uint64 { return uint64(pid)<<32 | uint64(uint32(tid)) }
-
 	for {
-		tag, err := rd.u8()
+		tagOff := p.rd.off
+		tag, err := p.rd.u8()
 		if err != nil {
-			return nil, err
+			if !opts.Lenient {
+				return nil, err
+			}
+			// Truncated stream: keep what was recovered, note the
+			// missing terminator.
+			if nerr := p.note(tagOff, 0, errors.New("stream truncated before end record")); nerr != nil {
+				return nil, nerr
+			}
+			p.f.Dropped += len(p.pending)
+			return p.f, nil
 		}
-		switch tag {
-		case recEnd:
-			if len(pending) > 0 {
-				f.Dropped += len(pending)
-			}
-			return f, nil
-
-		case recProcess:
-			pid, app, mm, err := parseProcess(rd)
-			if err != nil {
-				return nil, err
-			}
-			if _, dup := f.byPID[pid]; dup {
-				return nil, corrupt(fmt.Errorf("duplicate process record for pid %d", pid))
-			}
-			f.byPID[pid] = &trace.Log{App: app, PID: pid, Modules: mm}
-
-		case recEvent:
-			typ, err := rd.u16()
-			if err != nil {
-				return nil, err
-			}
-			ns, err := rd.i64()
-			if err != nil {
-				return nil, err
-			}
-			pid, err := rd.u32()
-			if err != nil {
-				return nil, err
-			}
-			tid, err := rd.u32()
-			if err != nil {
-				return nil, err
-			}
-			flags, err := rd.u8()
-			if err != nil {
-				return nil, err
-			}
-			l, ok := f.byPID[int(pid)]
-			if !ok {
-				return nil, corrupt(fmt.Errorf("event for undeclared pid %d", pid))
-			}
-			e := trace.Event{
-				Seq:  l.Len(),
-				Type: trace.EventType(typ),
-				Time: time.Unix(0, ns).UTC(),
-				PID:  int(pid),
-				TID:  int(tid),
-			}
-			l.Events = append(l.Events, e)
-			if flags&flagHasStack != 0 {
-				k := key(int(pid), int(tid))
-				if _, dangling := pending[k]; dangling {
-					f.Dropped++
+		if tag == recEnd {
+			if opts.Lenient {
+				// An end record is only trustworthy at end of input: a
+				// corrupted byte that happens to read 0xFF mid-stream must
+				// not silently discard everything after it.
+				if b, _ := p.rd.r.Peek(1); len(b) > 0 {
+					if nerr := p.note(tagOff, tag, corrupt(errors.New("end record before end of input"))); nerr != nil {
+						return nil, nerr
+					}
+					before := p.rd.off
+					p.resync()
+					p.f.ErrorLog[len(p.f.ErrorLog)-1].ResyncBytes = p.rd.off - before
+					continue
 				}
-				pending[k] = l.Len() - 1
 			}
-
-		case recStack:
-			pid, err := rd.u32()
-			if err != nil {
-				return nil, err
-			}
-			tid, err := rd.u32()
-			if err != nil {
-				return nil, err
-			}
-			n, err := rd.u16()
-			if err != nil {
-				return nil, err
-			}
-			if int(n) > maxFrames {
-				return nil, corrupt(fmt.Errorf("stack of %d frames exceeds limit", n))
-			}
-			stack := make(trace.StackWalk, n)
-			for i := range stack {
-				addr, err := rd.u64()
-				if err != nil {
-					return nil, err
+			p.f.Dropped += len(p.pending)
+			return p.f, nil
+		}
+		if err := p.record(tag); err != nil {
+			var sem *semanticError
+			isSem := errors.As(err, &sem)
+			if !opts.Lenient {
+				if isSem {
+					return nil, sem.err
 				}
-				stack[i].Addr = addr
+				return nil, err
 			}
-			l, ok := f.byPID[int(pid)]
-			if !ok {
-				return nil, corrupt(fmt.Errorf("stack for undeclared pid %d", pid))
+			if nerr := p.note(tagOff, tag, err); nerr != nil {
+				return nil, nerr
 			}
-			k := key(int(pid), int(tid))
-			idx, ok := pending[k]
-			if !ok {
-				// Orphan stack walk: no event awaits it. Real parsers
-				// tolerate these (lost events under load); drop it.
-				f.Dropped++
-				continue
+			if !isSem {
+				before := p.rd.off
+				p.resync()
+				p.f.ErrorLog[len(p.f.ErrorLog)-1].ResyncBytes = p.rd.off - before
 			}
-			delete(pending, k)
-			l.Events[idx].Stack = l.Modules.ResolveStack(stack)
-
-		default:
-			return nil, corrupt(fmt.Errorf("unknown record tag 0x%02x", tag))
 		}
 	}
 }
+
+// note logs one skipped record, failing the parse once the error budget
+// is exhausted.
+func (p *parser) note(off int64, tag byte, cause error) error {
+	var sem *semanticError
+	if errors.As(cause, &sem) {
+		cause = sem.err
+	}
+	p.f.ErrorLog = append(p.f.ErrorLog, ParseError{Offset: off, Tag: tag, Cause: cause})
+	if p.opts.MaxErrors > 0 && len(p.f.ErrorLog) > p.opts.MaxErrors {
+		return fmt.Errorf("%w: %w: %d records skipped", ErrCorrupt, ErrTooManyErrors, len(p.f.ErrorLog))
+	}
+	return nil
+}
+
+// record parses one record body for the given tag.
+func (p *parser) record(tag byte) error {
+	switch tag {
+	case recProcess:
+		pid, app, mm, err := parseProcess(p.rd)
+		if err != nil {
+			return err
+		}
+		if _, dup := p.f.byPID[pid]; dup {
+			return semantic(corrupt(fmt.Errorf("duplicate process record for pid %d", pid)))
+		}
+		p.f.byPID[pid] = &trace.Log{App: app, PID: pid, Modules: mm}
+		return nil
+
+	case recEvent:
+		return p.event()
+
+	case recStack:
+		return p.stack()
+
+	default:
+		return corrupt(fmt.Errorf("unknown record tag 0x%02x", tag))
+	}
+}
+
+func (p *parser) event() error {
+	rd := p.rd
+	typ, err := rd.u16()
+	if err != nil {
+		return err
+	}
+	ns, err := rd.i64()
+	if err != nil {
+		return err
+	}
+	pid, err := rd.u32()
+	if err != nil {
+		return err
+	}
+	tid, err := rd.u32()
+	if err != nil {
+		return err
+	}
+	flags, err := rd.u8()
+	if err != nil {
+		return err
+	}
+	l, ok := p.f.byPID[int(pid)]
+	if !ok {
+		return semantic(corrupt(fmt.Errorf("event for undeclared pid %d", pid)))
+	}
+	e := trace.Event{
+		Seq:  l.Len(),
+		Type: trace.EventType(typ),
+		Time: time.Unix(0, ns).UTC(),
+		PID:  int(pid),
+		TID:  int(tid),
+	}
+	l.Events = append(l.Events, e)
+	if flags&flagHasStack != 0 {
+		k := pendingKey(int(pid), int(tid))
+		if _, dangling := p.pending[k]; dangling {
+			p.f.Dropped++
+		}
+		p.pending[k] = l.Len() - 1
+	}
+	return nil
+}
+
+func (p *parser) stack() error {
+	rd := p.rd
+	pid, err := rd.u32()
+	if err != nil {
+		return err
+	}
+	tid, err := rd.u32()
+	if err != nil {
+		return err
+	}
+	n, err := rd.u16()
+	if err != nil {
+		return err
+	}
+	if int(n) > maxFrames {
+		return corrupt(fmt.Errorf("stack of %d frames exceeds limit", n))
+	}
+	stack := make(trace.StackWalk, n)
+	for i := range stack {
+		addr, err := rd.u64()
+		if err != nil {
+			return err
+		}
+		stack[i].Addr = addr
+	}
+	l, ok := p.f.byPID[int(pid)]
+	if !ok {
+		return semantic(corrupt(fmt.Errorf("stack for undeclared pid %d", pid)))
+	}
+	k := pendingKey(int(pid), int(tid))
+	idx, ok := p.pending[k]
+	if !ok {
+		// Orphan stack walk: no event awaits it. Real parsers
+		// tolerate these (lost events under load); drop it.
+		p.f.Dropped++
+		return nil
+	}
+	delete(p.pending, k)
+	l.Events[idx].Stack = l.Modules.ResolveStack(stack)
+	return nil
+}
+
+// resync advances the stream to the next plausible record boundary
+// after a structural failure, byte by byte. It stops at end of input;
+// the main loop then records the truncation.
+func (p *parser) resync() {
+	for {
+		b, err := p.rd.r.Peek(resyncPeek)
+		if len(b) == 0 {
+			_ = err
+			return
+		}
+		if p.plausibleBoundary(b) {
+			return
+		}
+		if p.rd.discard(1) != nil {
+			return
+		}
+	}
+}
+
+// resyncPeek is the lookahead window of the resynchronization scan:
+// enough for the largest fixed-size validity check (a full event record
+// of 20 bytes, or a process-record prefix plus a few name bytes).
+const resyncPeek = 32
+
+// plausibleBoundary reports whether the peeked bytes look like the
+// start of a valid record. The checks trade a small false-negative rate
+// (a valid boundary can be rejected when its fields happen to look
+// corrupt) for a very low false-positive rate on garbage: random bytes
+// must name a known tag AND satisfy per-record invariants such as a
+// declared pid, a bounded frame count or a printable process name.
+func (p *parser) plausibleBoundary(b []byte) bool {
+	switch b[0] {
+	case recEnd:
+		// recEnd terminates the stream, so it is only plausible as the
+		// final byte of the input.
+		return len(b) == 1
+
+	case recEvent:
+		// tag + type u16 + time i64 + pid u32 + tid u32 + flags u8
+		if len(b) < 20 {
+			return false
+		}
+		typ := binary.LittleEndian.Uint16(b[1:3])
+		ns := int64(binary.LittleEndian.Uint64(b[3:11]))
+		pid := binary.LittleEndian.Uint32(b[11:15])
+		flags := b[19]
+		if typ >= plausibleMaxEventType || ns < 0 || flags > flagHasStack {
+			return false
+		}
+		_, ok := p.f.byPID[int(pid)]
+		return ok
+
+	case recStack:
+		// tag + pid u32 + tid u32 + frame count u16
+		if len(b) < 11 {
+			return false
+		}
+		pid := binary.LittleEndian.Uint32(b[1:5])
+		n := binary.LittleEndian.Uint16(b[9:11])
+		if int(n) > maxFrames {
+			return false
+		}
+		_, ok := p.f.byPID[int(pid)]
+		return ok
+
+	case recProcess:
+		// tag + pid u32 + app string (u16 length prefix)
+		if len(b) < 7 {
+			return false
+		}
+		n := int(binary.LittleEndian.Uint16(b[5:7]))
+		if n == 0 || n > maxString {
+			return false
+		}
+		name := b[7:]
+		if len(name) > n {
+			name = name[:n]
+		}
+		for _, c := range name {
+			if c < 0x20 || c > 0x7e {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// plausibleMaxEventType bounds the event-type field during
+// resynchronization. It is deliberately far above the real type count so
+// the format can grow, while still rejecting the vast majority of random
+// 16-bit values.
+const plausibleMaxEventType = 1024
 
 // parseProcess reads the body of a recProcess record.
 func parseProcess(rd *reader) (int, string, *trace.ModuleMap, error) {

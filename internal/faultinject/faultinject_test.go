@@ -1,0 +1,169 @@
+package faultinject
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/etl"
+	"repro/internal/trace"
+)
+
+func genLogs(t *testing.T, seed int64) *dataset.Logs {
+	t.Helper()
+	spec, err := dataset.ByName("vim_reverse_tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs, err := spec.Generate(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return logs
+}
+
+func serialize(t *testing.T, log *trace.Log) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := etl.WriteLogs(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestInjectDeterministic(t *testing.T) {
+	data := serialize(t, genLogs(t, 41).Benign)
+	cfg := Config{Seed: 7, Specs: []Spec{{BitFlip, 0.1}, {DropRecord, 0.05}}}
+	a, repA, err := Inject(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, repB, err := Inject(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different mutants")
+	}
+	if repA.Total() != repB.Total() {
+		t.Fatalf("reports differ: %v vs %v", repA, repB)
+	}
+	if repA.Total() == 0 {
+		t.Fatal("nothing injected at 10%/5% rates")
+	}
+	cfg.Seed = 8
+	c, _, err := Inject(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical mutants")
+	}
+}
+
+func TestInjectFaultKinds(t *testing.T) {
+	data := serialize(t, genLogs(t, 42).Benign)
+
+	t.Run("drop shrinks", func(t *testing.T) {
+		out, rep, err := Inject(data, Config{Seed: 1, Specs: []Spec{{DropRecord, 0.2}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Counts[DropRecord] == 0 || len(out) >= len(data) {
+			t.Fatalf("drop: %v, %d → %d bytes", rep, len(data), len(out))
+		}
+	})
+	t.Run("dupstack grows and orphans", func(t *testing.T) {
+		out, rep, err := Inject(data, Config{Seed: 2, Specs: []Spec{{DupStack, 0.3}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Counts[DupStack] == 0 || len(out) <= len(data) {
+			t.Fatalf("dupstack: %v", rep)
+		}
+		// Duplicated stack records are structurally valid: even the
+		// strict parser accepts them, discarding orphans.
+		f, err := etl.Parse(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("strict parse of dupstack stream: %v", err)
+		}
+		if f.Dropped < rep.Counts[DupStack] {
+			t.Errorf("Dropped = %d, want ≥ %d orphans", f.Dropped, rep.Counts[DupStack])
+		}
+	})
+	t.Run("truncate cuts tail", func(t *testing.T) {
+		out, rep, err := Inject(data, Config{Seed: 3, Specs: []Spec{{Truncate, 0.3}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Counts[Truncate] != 1 || len(out) >= len(data) {
+			t.Fatalf("truncate: %v", rep)
+		}
+	})
+	t.Run("garbage inserts", func(t *testing.T) {
+		out, rep, err := Inject(data, Config{Seed: 4, Specs: []Spec{{Garbage, 0.1}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Counts[Garbage] == 0 || len(out) <= len(data) {
+			t.Fatalf("garbage: %v", rep)
+		}
+	})
+}
+
+func TestInjectValidation(t *testing.T) {
+	data := serialize(t, genLogs(t, 43).Benign)
+	if _, _, err := Inject(data, Config{Specs: []Spec{{Fault: "meteor"}}}); err == nil {
+		t.Error("unknown fault accepted")
+	}
+	if _, _, err := Inject(data, Config{Specs: []Spec{{BitFlip, 1.5}}}); err == nil {
+		t.Error("out-of-range rate accepted")
+	}
+	if _, _, err := Inject(data, Config{Specs: []Spec{{BitFlip, 0.1}, {BitFlip, 0.2}}}); err == nil {
+		t.Error("duplicate fault accepted")
+	}
+	if _, _, err := Inject([]byte("not a stream"), Config{}); err == nil {
+		t.Error("invalid input stream accepted")
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	specs, err := ParseSpecs("bitflip:0.05, drop:0.02,garbage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("parsed %d specs, want 3", len(specs))
+	}
+	if specs[0].Fault != BitFlip || specs[0].Rate != 0.05 {
+		t.Errorf("spec 0 = %+v", specs[0])
+	}
+	if specs[2].Fault != Garbage || specs[2].Rate != 0 {
+		t.Errorf("spec 2 = %+v (rate filled at Inject time)", specs[2])
+	}
+	for _, bad := range []string{"", "warp:0.1", "bitflip:x", "bitflip:2"} {
+		if _, err := ParseSpecs(bad); err == nil {
+			t.Errorf("ParseSpecs(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	data := serialize(t, genLogs(t, 44).Benign)
+	corpus, err := Corpus(data, 9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != 8 {
+		t.Fatalf("corpus size %d, want 8", len(corpus))
+	}
+	distinct := 0
+	for _, m := range corpus {
+		if !bytes.Equal(m, data) {
+			distinct++
+		}
+	}
+	if distinct == 0 {
+		t.Error("no corpus entry differs from the clean stream")
+	}
+}

@@ -1,0 +1,95 @@
+package faultinject
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/etl"
+	"repro/internal/svm"
+)
+
+// TestLenientRecoveryEndToEnd is the robustness acceptance check: with
+// ~10% of records corrupted at a fixed seed, the lenient parser must
+// recover ≥90% of the events, report every skipped record, and the
+// recovered log must classify within 2 points of the clean run.
+func TestLenientRecoveryEndToEnd(t *testing.T) {
+	logs := genLogs(t, 5)
+	clean := serialize(t, logs.Malicious)
+
+	faulty, rep, err := Inject(clean, Config{
+		Seed:  42,
+		Specs: []Spec{{BitFlip, 0.06}, {DropRecord, 0.02}, {Garbage, 0.02}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total() == 0 {
+		t.Fatal("no faults injected")
+	}
+	t.Logf("injected: %v", rep)
+
+	// Strict parsing must reject the corrupted stream.
+	if _, err := etl.Parse(bytes.NewReader(faulty)); err == nil {
+		t.Fatal("strict parse accepted the fault-injected stream")
+	}
+
+	// Lenient parsing recovers.
+	f, err := etl.ParseWith(bytes.NewReader(faulty), etl.ParseOpts{Lenient: true})
+	if err != nil {
+		t.Fatalf("lenient parse: %v", err)
+	}
+	if len(f.ErrorLog) == 0 {
+		t.Fatal("corruption not reported in ErrorLog")
+	}
+	recovered, err := f.SliceApp(logs.Malicious.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := logs.Malicious.Len()
+	if recovered.Len() < total*9/10 {
+		t.Fatalf("recovered %d/%d events (< 90%%), %d records skipped",
+			recovered.Len(), total, len(f.ErrorLog))
+	}
+	t.Logf("recovered %d/%d events, %d records skipped, %d stacks dropped",
+		recovered.Len(), total, len(f.ErrorLog), f.Dropped)
+
+	// Detection on the recovered log stays within 2 points of clean.
+	cfg := core.Config{Seed: 5, FixedParams: &svm.Params{Lambda: 8, Kernel: svm.RBFKernel{Sigma2: 2}}}
+	td, err := core.BuildTrainingData(logs.Benign, logs.Mixed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := td.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanDets, err := clf.DetectLog(logs.Malicious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanHit := maliciousFraction(cleanDets)
+	faultyDets, err := clf.DetectLog(recovered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultyHit := maliciousFraction(faultyDets)
+	if d := math.Abs(cleanHit - faultyHit); d > 0.02 {
+		t.Fatalf("hit rate drifted %.3f points (clean %.3f, recovered %.3f)", d, cleanHit, faultyHit)
+	}
+	t.Logf("hit rate: clean %.3f, recovered %.3f", cleanHit, faultyHit)
+}
+
+func maliciousFraction(dets []core.Detection) float64 {
+	if len(dets) == 0 {
+		return 0
+	}
+	var n int
+	for _, d := range dets {
+		if d.Malicious {
+			n++
+		}
+	}
+	return float64(n) / float64(len(dets))
+}

@@ -68,9 +68,23 @@ type (
 	EntryPoint = cfg.EntryPoint
 	// StreamDetector classifies a live event stream window by window.
 	StreamDetector = core.StreamDetector
+	// EventError reports one event a StreamDetector skipped.
+	EventError = core.EventError
+	// Monitor is the fault-tolerant detector front: it prefers the
+	// statistical classifier and degrades to the call-graph baseline when
+	// the model file's statistical sections are unusable.
+	Monitor = core.Monitor
 	// LogPair is one application's benign/mixed training material for the
 	// universal classifier.
 	LogPair = core.LogPair
+
+	// ParseOpts controls raw-log parsing fault tolerance.
+	ParseOpts = etl.ParseOpts
+	// ParseError is one record a lenient parse skipped.
+	ParseError = etl.ParseError
+	// RawFile is a parsed raw event-trace log before per-process slicing,
+	// including lenient-parse telemetry (Dropped, ErrorLog).
+	RawFile = etl.RawFile
 )
 
 // Option customises training and evaluation.
@@ -343,4 +357,29 @@ func ParseRawLog(r io.Reader, app string) (*Log, error) {
 		return nil, fmt.Errorf("leaps: %w", err)
 	}
 	return log, nil
+}
+
+// ParseRawFile parses a binary raw event-trace log with explicit fault
+// tolerance and returns the whole multi-process file, exposing recovery
+// telemetry (skipped records, dropped stack walks) alongside the logs. In
+// lenient mode corrupt records are skipped and reported in ErrorLog
+// instead of rejecting the file.
+func ParseRawFile(r io.Reader, opts ParseOpts) (*RawFile, error) {
+	f, err := etl.ParseWith(r, opts)
+	if err != nil {
+		return nil, fmt.Errorf("leaps: %w", err)
+	}
+	return f, nil
+}
+
+// LoadMonitor reads a model file like LoadDetector but degrades instead of
+// failing when the statistical sections are corrupt: if the file carries a
+// usable call-graph section the returned Monitor runs the call-graph
+// matcher and reports why via DegradedCause.
+func LoadMonitor(r io.Reader) (*Monitor, error) {
+	m, err := core.LoadMonitor(r)
+	if err != nil {
+		return nil, fmt.Errorf("leaps: %w", err)
+	}
+	return m, nil
 }
