@@ -1,9 +1,14 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz-smoke verify
+.PHONY: build fmt-check vet test race fuzz-smoke bench verify verify-telemetry
 
 build:
 	$(GO) build ./...
+
+# Fails when any tracked Go file is not gofmt-clean; prints the offenders.
+fmt-check:
+	@out=$$(gofmt -l ./cmd ./internal); \
+	if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -20,4 +25,16 @@ fuzz-smoke:
 	$(GO) test ./internal/etl -run='^$$' -fuzz=FuzzParseStrict -fuzztime=10s
 	$(GO) test ./internal/etl -run='^$$' -fuzz=FuzzParseLenient -fuzztime=10s
 
-verify: build vet test race fuzz-smoke
+# Measures the pipeline hot paths (parse, featurize, train, detect) and
+# writes BENCH_baseline.json; diff it against the committed baseline to
+# spot perf regressions.
+bench:
+	$(GO) run ./cmd/leaps-bench -perf-baseline BENCH_baseline.json
+
+# End-to-end smoke test of the -debug-addr introspection endpoints:
+# generates data, trains, then scrapes /metrics, /spans and pprof from a
+# live leaps-detect run.
+verify-telemetry:
+	./scripts/verify-telemetry.sh
+
+verify: build fmt-check vet test race fuzz-smoke verify-telemetry

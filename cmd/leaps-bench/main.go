@@ -12,6 +12,7 @@
 //	leaps-bench -extensions             # §VI future-work extensions
 //	leaps-bench -all -runs 10           # everything at paper fidelity
 //	leaps-bench -table1 -csv            # machine-readable output
+//	leaps-bench -perf-baseline BENCH_baseline.json   # perf baseline (ns/op, MB/s)
 package main
 
 import (
@@ -22,6 +23,8 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/slogx"
 )
 
 func main() {
@@ -49,9 +52,20 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 0, "base seed (0 = fixed default)")
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		quiet      = fs.Bool("q", false, "suppress per-dataset progress")
+		perfOut    = fs.String("perf-baseline", "", "benchmark pipeline hot paths and write a JSON baseline to this file")
+		debugAddr  = fs.String("debug-addr", "", "serve /metrics, /spans and pprof on this address while running")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	slogx.Configure(slogx.Options{Level: slogx.CLILevel(*quiet, false)})
+	if *debugAddr != "" {
+		srv, err := telemetry.Serve(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		slogx.Info("debug server listening", "addr", srv.Addr)
 	}
 	opts := experiments.Options{Runs: *runs, Seed: *seed}
 	if !*quiet {
@@ -68,6 +82,13 @@ func run(args []string) error {
 	}
 	any := false
 	start := time.Now()
+
+	if *perfOut != "" {
+		any = true
+		if err := runPerfBaseline(*perfOut); err != nil {
+			return err
+		}
+	}
 
 	if *fig2 || *all {
 		any = true
@@ -179,7 +200,7 @@ func run(args []string) error {
 	}
 	if !any {
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -table1, -fig2..-fig7, -cases, -ablations or -all")
+		return fmt.Errorf("nothing to do: pass -table1, -fig2..-fig7, -cases, -ablations, -perf-baseline or -all")
 	}
 	fmt.Fprintf(os.Stderr, "total: %.1fs\n", time.Since(start).Seconds())
 	return nil

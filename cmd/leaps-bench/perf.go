@@ -1,0 +1,174 @@
+package main
+
+// Performance baseline: measures the pipeline's hot paths with
+// testing.Benchmark and writes the results as JSON, so perf regressions
+// show up as diffs against a committed BENCH_baseline.json.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/etl"
+	"repro/internal/partition"
+	"repro/internal/preprocess"
+	"repro/internal/svm"
+)
+
+// perfResult is one benchmark measurement.
+type perfResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"alloc_bytes_per_op"`
+	// MBPerSec is the processed-byte throughput, present only for
+	// benchmarks with a defined byte volume (parse).
+	MBPerSec float64 `json:"mb_per_s,omitempty"`
+}
+
+// perfBaseline is the file layout of BENCH_baseline.json.
+type perfBaseline struct {
+	GeneratedAt string       `json:"generated_at"`
+	GoVersion   string       `json:"go_version"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	Dataset     string       `json:"dataset"`
+	Results     []perfResult `json:"results"`
+}
+
+func toPerfResult(name string, r testing.BenchmarkResult) perfResult {
+	out := perfResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if r.Bytes > 0 && r.T > 0 {
+		out.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+	}
+	return out
+}
+
+// runPerfBaseline benchmarks parse, featurize, train and detect on a
+// reduced fixed dataset and writes the JSON baseline to path.
+func runPerfBaseline(path string) error {
+	const name = "vim_reverse_tcp"
+	spec, err := dataset.ByName(name)
+	if err != nil {
+		return err
+	}
+	// Reduced volumes keep the whole baseline run under a minute while
+	// still exercising every stage.
+	spec.BenignEvents, spec.MixedEvents, spec.MaliciousEvents = 2000, 2000, 1000
+	logs, err := spec.Generate(1)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := etl.WriteLogs(&buf, logs.Benign); err != nil {
+		return err
+	}
+	rawBenign := buf.Bytes()
+
+	cfg := core.Config{
+		Seed:        1,
+		FixedParams: &svm.Params{Lambda: 8, Kernel: svm.RBFKernel{Sigma2: 2}},
+	}
+	part, err := partition.Split(logs.Benign)
+	if err != nil {
+		return err
+	}
+	enc, err := preprocess.Fit(part.Events, preprocess.Config{})
+	if err != nil {
+		return err
+	}
+	td, err := core.BuildTrainingData(logs.Benign, logs.Mixed, cfg)
+	if err != nil {
+		return err
+	}
+	clf, err := td.Train()
+	if err != nil {
+		return err
+	}
+
+	base := perfBaseline{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Dataset:     fmt.Sprintf("%s (%d/%d/%d events)", name, spec.BenignEvents, spec.MixedEvents, spec.MaliciousEvents),
+	}
+
+	base.Results = append(base.Results, toPerfResult("parse", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(rawBenign)))
+		for i := 0; i < b.N; i++ {
+			if _, err := etl.Parse(bytes.NewReader(rawBenign)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})))
+
+	base.Results = append(base.Results, toPerfResult("featurize", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tuples := enc.EncodeAll(part)
+			if _, _, err := preprocess.Coalesce(tuples, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})))
+
+	base.Results = append(base.Results, toPerfResult("train", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			td, err := core.BuildTrainingData(logs.Benign, logs.Mixed, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := td.Train(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})))
+
+	base.Results = append(base.Results, toPerfResult("detect", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := clf.DetectLog(logs.Malicious); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})))
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc2 := json.NewEncoder(f)
+	enc2.SetIndent("", "  ")
+	if err := enc2.Encode(base); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, r := range base.Results {
+		line := fmt.Sprintf("%-10s %12.0f ns/op %8d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+		if r.MBPerSec > 0 {
+			line += fmt.Sprintf(" %8.1f MB/s", r.MBPerSec)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

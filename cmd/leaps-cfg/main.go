@@ -16,6 +16,8 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/etl"
 	"repro/internal/partition"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/slogx"
 	"repro/internal/trace"
 )
 
@@ -29,16 +31,29 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("leaps-cfg", flag.ContinueOnError)
 	var (
-		logPath  = fs.String("log", "", "raw event-trace-log file (.letl)")
-		app      = fs.String("app", "", "application to slice (defaults to the only process)")
-		dotPath  = fs.String("dot", "", "write the inferred CFG as Graphviz DOT to this file")
-		diffPath = fs.String("diff", "", "second raw log; compare its CFG against -log's")
+		logPath   = fs.String("log", "", "raw event-trace-log file (.letl)")
+		app       = fs.String("app", "", "application to slice (defaults to the only process)")
+		dotPath   = fs.String("dot", "", "write the inferred CFG as Graphviz DOT to this file")
+		diffPath  = fs.String("diff", "", "second raw log; compare its CFG against -log's")
+		quiet     = fs.Bool("quiet", false, "only warnings and errors")
+		verbose   = fs.Bool("verbose", false, "debug-level logging")
+		logJSON   = fs.Bool("log-json", false, "emit JSON log records instead of key=value text")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, /spans and pprof on this address while running")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	slogx.Configure(slogx.Options{Level: slogx.CLILevel(*quiet, *verbose), JSON: *logJSON})
 	if *logPath == "" {
 		return fmt.Errorf("missing -log")
+	}
+	if *debugAddr != "" {
+		srv, err := telemetry.Serve(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		slogx.Info("debug server listening", "addr", srv.Addr)
 	}
 
 	base, inf, err := inferFromFile(*logPath, *app)

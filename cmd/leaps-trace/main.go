@@ -29,6 +29,8 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/etl"
 	"repro/internal/faultinject"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/slogx"
 	"repro/internal/trace"
 )
 
@@ -42,16 +44,29 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("leaps-trace", flag.ContinueOnError)
 	var (
-		name   = fs.String("dataset", "", "dataset to generate (see -list)")
-		out    = fs.String("out", ".", "output directory")
-		seed   = fs.Int64("seed", 1, "generation seed")
-		list   = fs.Bool("list", false, "list available datasets and exit")
-		system = fs.Bool("system", false, "write system-wide files: each log interleaved with background processes (svchost, explorer)")
-		inject = fs.String("inject", "", "corrupt the written files: comma-separated fault[:rate] list (bitflip, drop, dupstack, garbage, truncate)")
-		injSeed = fs.Int64("inject-seed", 1, "fault-injection seed")
+		name      = fs.String("dataset", "", "dataset to generate (see -list)")
+		out       = fs.String("out", ".", "output directory")
+		seed      = fs.Int64("seed", 1, "generation seed")
+		list      = fs.Bool("list", false, "list available datasets and exit")
+		system    = fs.Bool("system", false, "write system-wide files: each log interleaved with background processes (svchost, explorer)")
+		inject    = fs.String("inject", "", "corrupt the written files: comma-separated fault[:rate] list (bitflip, drop, dupstack, garbage, truncate)")
+		injSeed   = fs.Int64("inject-seed", 1, "fault-injection seed")
+		quiet     = fs.Bool("quiet", false, "only warnings and errors")
+		verbose   = fs.Bool("verbose", false, "debug-level logging")
+		logJSON   = fs.Bool("log-json", false, "emit JSON log records instead of key=value text")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, /spans and pprof on this address while running")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	slogx.Configure(slogx.Options{Level: slogx.CLILevel(*quiet, *verbose), JSON: *logJSON})
+	if *debugAddr != "" {
+		srv, err := telemetry.Serve(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		slogx.Info("debug server listening", "addr", srv.Addr)
 	}
 	var specs []faultinject.Spec
 	if *inject != "" {
@@ -115,33 +130,32 @@ func run(args []string) error {
 				return err
 			}
 			data = mutated
-			fmt.Printf("injected into %s: %v\n", path, rep)
+			slogx.Info("injected faults", "path", path, "report", fmt.Sprint(rep))
 			reportRecovery(path, data, f.log.App, f.log.Len())
 		}
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			return err
 		}
-		extra := ""
-		if len(background) > 0 {
-			extra = fmt.Sprintf(" + %d background processes", len(background))
-		}
-		fmt.Printf("wrote %s (%d events, app %s%s)\n", path, f.log.Len(), f.log.App, extra)
+		slogx.Info("wrote log", "path", path, "events", f.log.Len(), "app", f.log.App,
+			"background_processes", len(background))
 	}
 	return nil
 }
 
-// reportRecovery reparses an injected stream leniently and prints how much
-// of the application's log survives the corruption.
+// reportRecovery reparses an injected stream leniently and logs how much
+// of the application's log survives the corruption. Per-cause skip counts
+// land in the etl_skipped_records_total metric family.
 func reportRecovery(path string, data []byte, app string, total int) {
 	raw, err := etl.ParseWith(bytes.NewReader(data), etl.ParseOpts{Lenient: true})
 	if err != nil {
-		fmt.Printf("  lenient reparse failed: %v\n", err)
+		slogx.Warn("lenient reparse failed", "path", path, "err", err.Error())
 		return
 	}
 	recovered := 0
 	if log, err := raw.SliceApp(app); err == nil {
 		recovered = log.Len()
 	}
-	fmt.Printf("  lenient reparse: %d/%d events recovered, %d records skipped, %d stacks dropped\n",
-		recovered, total, len(raw.ErrorLog), raw.Dropped)
+	slogx.Info("lenient reparse recovery", "path", path,
+		"events_recovered", recovered, "events_total", total,
+		"records_skipped", len(raw.ErrorLog), "stacks_dropped", raw.Dropped)
 }

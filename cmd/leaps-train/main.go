@@ -5,12 +5,19 @@
 // Usage:
 //
 //	leaps-train -benign b.letl -mixed m.letl -model out.model \
-//	    [-app vim.exe] [-window 10] [-lambda 8 -sigma2 2] [-seed 1] [-lenient]
+//	    [-app vim.exe] [-window 10] [-lambda 8 -sigma2 2] [-seed 1] [-lenient] \
+//	    [-quiet] [-verbose] [-log-json] [-debug-addr 127.0.0.1:6060] \
+//	    [-telemetry-out report.json]
 //
 // Without -lambda/-sigma2 the parameters are chosen by cross-validated
 // grid search on the training set, as in the paper. With -lenient,
 // corrupt records in the training logs are skipped and reported instead
 // of rejecting the file.
+//
+// A telemetry report (pipeline metrics plus stage timings) is written
+// next to the model as <model>.telemetry.json; -telemetry-out overrides
+// the path and -telemetry-out none disables it. -debug-addr serves live
+// /metrics, /spans, expvar and pprof endpoints while training runs.
 package main
 
 import (
@@ -21,6 +28,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/etl"
 	"repro/internal/svm"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/slogx"
 	"repro/internal/trace"
 )
 
@@ -34,21 +43,35 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("leaps-train", flag.ContinueOnError)
 	var (
-		benignPath = fs.String("benign", "", "benign raw log (.letl)")
-		mixedPath  = fs.String("mixed", "", "mixed raw log (.letl)")
-		modelPath  = fs.String("model", "leaps.model", "output model file")
-		app        = fs.String("app", "", "application to slice (defaults to the only process)")
-		window     = fs.Int("window", 10, "event-coalescing window")
-		lambda     = fs.Float64("lambda", 0, "fixed λ (0 = grid search)")
-		sigma2     = fs.Float64("sigma2", 0, "fixed Gaussian σ² (0 = grid search)")
-		seed       = fs.Int64("seed", 1, "data-selection seed")
-		lenient    = fs.Bool("lenient", false, "skip corrupt log records instead of rejecting the file")
+		benignPath   = fs.String("benign", "", "benign raw log (.letl)")
+		mixedPath    = fs.String("mixed", "", "mixed raw log (.letl)")
+		modelPath    = fs.String("model", "leaps.model", "output model file")
+		app          = fs.String("app", "", "application to slice (defaults to the only process)")
+		window       = fs.Int("window", 10, "event-coalescing window")
+		lambda       = fs.Float64("lambda", 0, "fixed λ (0 = grid search)")
+		sigma2       = fs.Float64("sigma2", 0, "fixed Gaussian σ² (0 = grid search)")
+		seed         = fs.Int64("seed", 1, "data-selection seed")
+		lenient      = fs.Bool("lenient", false, "skip corrupt log records instead of rejecting the file")
+		quiet        = fs.Bool("quiet", false, "only warnings and errors")
+		verbose      = fs.Bool("verbose", false, "debug-level logging")
+		logJSON      = fs.Bool("log-json", false, "emit JSON log records instead of key=value text")
+		debugAddr    = fs.String("debug-addr", "", "serve /metrics, /spans and pprof on this address while running")
+		telemetryOut = fs.String("telemetry-out", "", "telemetry report path (default <model>.telemetry.json, \"none\" disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	slogx.Configure(slogx.Options{Level: slogx.CLILevel(*quiet, *verbose), JSON: *logJSON})
 	if *benignPath == "" || *mixedPath == "" {
 		return fmt.Errorf("missing -benign or -mixed")
+	}
+	if *debugAddr != "" {
+		srv, err := telemetry.Serve(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		slogx.Info("debug server listening", "addr", srv.Addr)
 	}
 
 	benign, err := readLog(*benignPath, *app, *lenient)
@@ -68,24 +91,50 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("benign CFG: %d nodes / %d edges; mixed CFG: %d nodes / %d edges\n",
-		td.BenignCFG.Graph.NumNodes(), td.BenignCFG.Graph.NumEdges(),
-		td.MixedCFG.Graph.NumNodes(), td.MixedCFG.Graph.NumEdges())
-	fmt.Printf("weights: %d connected paths, %d estimated, %d outside benign range\n",
-		td.Weights.ConnectedPaths, td.Weights.EstimatedPaths, td.Weights.OutsidePaths)
+	slogx.Info("inferred CFGs",
+		"benign_nodes", td.BenignCFG.Graph.NumNodes(), "benign_edges", td.BenignCFG.Graph.NumEdges(),
+		"mixed_nodes", td.MixedCFG.Graph.NumNodes(), "mixed_edges", td.MixedCFG.Graph.NumEdges())
+	slogx.Info("assessed weights",
+		"connected_paths", td.Weights.ConnectedPaths,
+		"estimated_paths", td.Weights.EstimatedPaths,
+		"outside_paths", td.Weights.OutsidePaths)
 
 	clf, err := td.Train()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("trained WSVM: %d support vectors, λ=%g, kernel %s\n",
-		clf.Model().NumSVs(), clf.Params().Lambda, clf.Params().Kernel)
+	slogx.Info("trained WSVM",
+		"support_vectors", clf.Model().NumSVs(),
+		"smo_iterations", clf.Model().Iters,
+		"objective", clf.Model().Objective,
+		"lambda", clf.Params().Lambda,
+		"kernel", fmt.Sprint(clf.Params().Kernel))
 
 	if err := saveModel(*modelPath, clf); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", *modelPath)
+	slogx.Info("wrote model", "path", *modelPath)
+
+	if path := reportPath(*telemetryOut, *modelPath); path != "" {
+		if err := telemetry.WriteJSONFile(path); err != nil {
+			return fmt.Errorf("writing telemetry report: %w", err)
+		}
+		slogx.Info("wrote telemetry report", "path", path)
+	}
 	return nil
+}
+
+// reportPath resolves the -telemetry-out flag: empty derives the report
+// path from the primary output, "none" disables the report.
+func reportPath(flagValue, output string) string {
+	switch flagValue {
+	case "":
+		return output + ".telemetry.json"
+	case "none":
+		return ""
+	default:
+		return flagValue
+	}
 }
 
 func saveModel(path string, clf *core.Classifier) (err error) {
@@ -112,8 +161,8 @@ func readLog(path, app string, lenient bool) (*trace.Log, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if len(raw.ErrorLog) > 0 || raw.Dropped > 0 {
-		fmt.Printf("%s: %d corrupt records skipped, %d stack walks dropped\n",
-			path, len(raw.ErrorLog), raw.Dropped)
+		slogx.Warn("log damage skipped", "path", path,
+			"corrupt_records", len(raw.ErrorLog), "dropped_stacks", raw.Dropped)
 	}
 	if app == "" {
 		pids := raw.PIDs()

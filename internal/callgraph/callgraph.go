@@ -18,6 +18,23 @@ import (
 	"fmt"
 
 	"repro/internal/partition"
+	"repro/internal/telemetry"
+)
+
+// Matcher telemetry: verdict mix (the undecided share is the model's
+// headline weakness) and the sizes of the trained graphs. Verdict counters
+// are resolved once here so the per-event path stays a plain atomic add.
+var (
+	mVerdicts         = telemetry.NewCounterVec("callgraph_verdicts_total", "event classifications by the call-graph matcher", "verdict")
+	mVerdictBenign    = mVerdicts.With("benign")
+	mVerdictMalicious = mVerdicts.With("malicious")
+	mVerdictUndecided = mVerdicts.With("undecided")
+	mWindowVerdicts   = telemetry.NewCounterVec("callgraph_window_verdicts_total", "window classifications by the call-graph matcher", "verdict")
+	mWinVerdBenign    = mWindowVerdicts.With("benign")
+	mWinVerdMalicious = mWindowVerdicts.With("malicious")
+	mWinVerdUndecided = mWindowVerdicts.With("undecided")
+	mBCGEdges         = telemetry.NewGauge("callgraph_bcg_edges", "edges in the last trained benign call graph")
+	mMCGEdges         = telemetry.NewGauge("callgraph_mcg_edges", "edges in the last trained mixed call graph")
 )
 
 // Verdict is the outcome of classifying one event or window.
@@ -69,6 +86,8 @@ func Train(benign, mixed *partition.Log) (*Model, error) {
 	}
 	addAll(m.bcg, benign)
 	addAll(m.mcg, mixed)
+	mBCGEdges.Set(float64(len(m.bcg)))
+	mMCGEdges.Set(float64(len(m.mcg)))
 	return m, nil
 }
 
@@ -110,10 +129,13 @@ func (m *Model) Classify(e *partition.Event) Verdict {
 	benignVotes, maliciousVotes := m.votes(e)
 	switch {
 	case benignVotes > maliciousVotes:
+		mVerdictBenign.Inc()
 		return VerdictBenign
 	case maliciousVotes > benignVotes:
+		mVerdictMalicious.Inc()
 		return VerdictMalicious
 	default:
+		mVerdictUndecided.Inc()
 		return VerdictUndecided
 	}
 }
@@ -152,10 +174,13 @@ func (m *Model) ClassifyWindow(events []partition.Event) Verdict {
 	benignVotes, maliciousVotes := m.WindowVotes(events)
 	switch {
 	case benignVotes > maliciousVotes:
+		mWinVerdBenign.Inc()
 		return VerdictBenign
 	case maliciousVotes > benignVotes:
+		mWinVerdMalicious.Inc()
 		return VerdictMalicious
 	default:
+		mWinVerdUndecided.Inc()
 		return VerdictUndecided
 	}
 }

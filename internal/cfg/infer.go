@@ -4,6 +4,17 @@ import (
 	"errors"
 
 	"repro/internal/partition"
+	"repro/internal/telemetry"
+)
+
+// CFG telemetry: size of the last inferred graph and how much of the log
+// could not contribute (stackless events carry no application frames).
+var (
+	mInferRuns     = telemetry.NewCounter("cfg_infer_runs_total", "CFG inference runs")
+	mInferSkipped  = telemetry.NewCounter("cfg_skipped_events_total", "events without application frames, skipped by CFG inference")
+	mInferNodes    = telemetry.NewGauge("cfg_nodes", "nodes in the last inferred CFG")
+	mInferExplicit = telemetry.NewGauge("cfg_explicit_edges", "explicit (within-stack) edges in the last inferred CFG")
+	mInferImplicit = telemetry.NewGauge("cfg_implicit_edges", "implicit (branch-point) edges in the last inferred CFG")
 )
 
 // Inference is the output of CFG inference over one partitioned log: the
@@ -95,6 +106,11 @@ func Infer(log *partition.Log) (*Inference, error) {
 		}
 		prev = curr
 	}
+	mInferRuns.Inc()
+	mInferSkipped.Add(uint64(inf.SkippedEvents))
+	mInferNodes.Set(float64(inf.Graph.NumNodes()))
+	mInferExplicit.Set(float64(inf.ExplicitEdges))
+	mInferImplicit.Set(float64(inf.ImplicitEdges))
 	return inf, nil
 }
 

@@ -7,8 +7,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/callgraph"
@@ -17,9 +19,26 @@ import (
 	"repro/internal/partition"
 	"repro/internal/preprocess"
 	"repro/internal/svm"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/weight"
 )
+
+// Pipeline telemetry: batch-detection volume and verdict mix. Training
+// effort is covered by spans ("train", "train/build" and children) and by
+// the per-package metrics of the stage implementations.
+var (
+	mDetectWindows   = telemetry.NewCounter("core_detect_windows_total", "windows classified by batch detection")
+	mDetectMalicious = telemetry.NewCounter("core_detect_malicious_total", "windows flagged malicious by batch detection")
+)
+
+// ErrNoWindows reports a window-sampling request over an empty window set,
+// typically a log shorter than one coalescing window.
+var ErrNoWindows = errors.New("core: no windows to sample")
+
+// ErrBadSampleFraction reports a sampling fraction that cannot select
+// anything (non-positive or NaN).
+var ErrBadSampleFraction = errors.New("core: sample fraction must be positive")
 
 // Config controls the pipeline. The zero value reproduces the paper's
 // settings where they are specified.
@@ -135,48 +154,66 @@ func BuildTrainingData(benign, mixed *trace.Log, config Config) (*TrainingData, 
 	if benign == nil || mixed == nil {
 		return nil, errors.New("core: nil training log")
 	}
+	ctx, sp := telemetry.StartSpan(context.Background(), "train/build")
+	defer sp.End()
 	td := &TrainingData{cfg: config}
 
 	var err error
+	_, spPart := telemetry.StartSpan(ctx, "partition")
 	if td.BenignPart, err = partition.Split(benign); err != nil {
+		spPart.End()
 		return nil, fmt.Errorf("core: partitioning benign log: %w", err)
 	}
 	if td.MixedPart, err = partition.Split(mixed); err != nil {
+		spPart.End()
 		return nil, fmt.Errorf("core: partitioning mixed log: %w", err)
 	}
+	spPart.End()
 
 	// Feature encoder fitted on all training events so cluster ids are
 	// consistent across the benign and mixed sets.
 	fitEvents := make([]partition.Event, 0, td.BenignPart.Len()+td.MixedPart.Len())
 	fitEvents = append(fitEvents, td.BenignPart.Events...)
 	fitEvents = append(fitEvents, td.MixedPart.Events...)
+	_, spFit := telemetry.StartSpan(ctx, "preprocess")
 	if td.Encoder, err = preprocess.Fit(fitEvents, config.Preprocess); err != nil {
+		spFit.End()
 		return nil, err
 	}
+	spFit.End()
 
 	// CFG inference and weight assessment.
+	_, spCFG := telemetry.StartSpan(ctx, "cfg")
 	if td.BenignCFG, err = cfg.Infer(td.BenignPart); err != nil {
+		spCFG.End()
 		return nil, err
 	}
 	if td.MixedCFG, err = cfg.Infer(td.MixedPart); err != nil {
+		spCFG.End()
 		return nil, err
 	}
+	spCFG.End()
+	_, spW := telemetry.StartSpan(ctx, "weights")
 	if config.AlignCFGs {
 		td.Alignment = cfg.AlignGraphs(td.BenignCFG.Graph, td.MixedCFG.Graph)
 		td.Weights, err = weight.AssessAligned(td.BenignCFG.Graph, td.MixedCFG, td.Alignment, config.Weight)
 	} else {
 		td.Weights, err = weight.Assess(td.BenignCFG.Graph, td.MixedCFG, config.Weight)
 	}
+	spW.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Coalesce windows.
+	_, spCo := telemetry.StartSpan(ctx, "coalesce")
 	benignWins, err := coalesce(td.Encoder, td.BenignPart, config.Window)
 	if err != nil {
+		spCo.End()
 		return nil, err
 	}
 	mixedWins, err := coalesce(td.Encoder, td.MixedPart, config.Window)
+	spCo.End()
 	if err != nil {
 		return nil, err
 	}
@@ -223,15 +260,23 @@ func coalesce(enc *preprocess.Encoder, log *partition.Log, windowSize int) ([]wi
 	return out, nil
 }
 
-// sampleWindows draws ⌈fraction·n⌉ windows without replacement.
-func sampleWindows(rng *rand.Rand, wins []window, fraction float64) []window {
+// sampleWindows draws ⌈fraction·n⌉ windows without replacement. It rejects
+// an empty window set (ErrNoWindows) and a non-positive or NaN fraction
+// (ErrBadSampleFraction) instead of silently producing zero samples.
+func sampleWindows(rng *rand.Rand, wins []window, fraction float64) ([]window, error) {
+	if len(wins) == 0 {
+		return nil, ErrNoWindows
+	}
+	if fraction <= 0 || math.IsNaN(fraction) {
+		return nil, fmt.Errorf("%w (got %v)", ErrBadSampleFraction, fraction)
+	}
 	if fraction >= 1 {
 		out := make([]window, len(wins))
 		copy(out, wins)
-		return out
+		return out, nil
 	}
 	n := int(float64(len(wins))*fraction + 0.5)
-	if n < 1 && len(wins) > 0 {
+	if n < 1 {
 		n = 1
 	}
 	perm := rng.Perm(len(wins))
@@ -239,14 +284,20 @@ func sampleWindows(rng *rand.Rand, wins []window, fraction float64) []window {
 	for _, p := range perm[:n] {
 		out = append(out, wins[p])
 	}
-	return out
+	return out, nil
 }
 
 // trainProblem assembles the (possibly weighted) SVM problem from sampled
 // training windows. Scaling is fitted here.
 func (td *TrainingData) trainProblem(rng *rand.Rand, weighted bool) (svm.Problem, *svm.Scaler, error) {
-	benign := sampleWindows(rng, td.benignTrain, td.cfg.SampleFraction)
+	benign, err := sampleWindows(rng, td.benignTrain, td.cfg.SampleFraction)
+	if err != nil {
+		return svm.Problem{}, nil, fmt.Errorf("sampling benign training windows: %w", err)
+	}
 	// Sample mixed windows jointly with their weights.
+	if len(td.mixed) == 0 {
+		return svm.Problem{}, nil, fmt.Errorf("sampling mixed training windows: %w", ErrNoWindows)
+	}
 	type weighted_ struct {
 		w  window
 		wt float64
@@ -256,7 +307,7 @@ func (td *TrainingData) trainProblem(rng *rand.Rand, weighted bool) (svm.Problem
 		all[i] = weighted_{td.mixed[i], td.mixedWeight[i]}
 	}
 	n := int(float64(len(all))*td.cfg.SampleFraction + 0.5)
-	if n < 1 && len(all) > 0 {
+	if n < 1 {
 		n = 1
 	}
 	if td.cfg.SampleFraction >= 1 {
@@ -325,6 +376,8 @@ func (td *TrainingData) TrainUnweighted() (*Classifier, error) {
 }
 
 func (td *TrainingData) train(weighted bool) (*Classifier, error) {
+	ctx, sp := telemetry.StartSpan(context.Background(), "train")
+	defer sp.End()
 	rng := rand.New(rand.NewSource(td.cfg.Seed + 1))
 	prob, scaler, err := td.trainProblem(rng, weighted)
 	if err != nil {
@@ -339,25 +392,34 @@ func (td *TrainingData) train(weighted bool) (*Classifier, error) {
 	} else {
 		grid := td.cfg.Grid
 		grid.Seed = td.cfg.Seed
+		_, spGrid := telemetry.StartSpan(ctx, "gridsearch")
 		best, _, err := svm.GridSearch(prob, grid)
+		spGrid.End()
 		if err != nil {
 			return nil, err
 		}
 		params = best
 	}
+	_, spSMO := telemetry.StartSpan(ctx, "smo")
 	model, err := svm.Train(prob, params)
+	spSMO.End()
 	if err != nil {
 		return nil, err
 	}
+	_, spCG := telemetry.StartSpan(ctx, "callgraph")
 	cg, err := callgraph.Train(td.BenignPart, td.MixedPart)
+	spCG.End()
 	if err != nil {
 		return nil, err
 	}
+	_, spPlatt := telemetry.StartSpan(ctx, "platt")
+	platt := fitPlatt(model, prob)
+	spPlatt.End()
 	return &Classifier{
 		enc:    td.Encoder,
 		scaler: scaler,
 		model:  model,
-		platt:  fitPlatt(model, prob),
+		platt:  platt,
 		window: td.cfg.Window,
 		params: params,
 		cg:     cg,
@@ -394,16 +456,25 @@ type Detection struct {
 // DetectLog applies the classifier to a full log (the testing phase's
 // application slicing is assumed done: one process per log).
 func (c *Classifier) DetectLog(log *trace.Log) ([]Detection, error) {
+	ctx, sp := telemetry.StartSpan(context.Background(), "detect")
+	defer sp.End()
+	_, spPart := telemetry.StartSpan(ctx, "partition")
 	part, err := partition.Split(log)
+	spPart.End()
 	if err != nil {
 		return nil, err
 	}
+	_, spEnc := telemetry.StartSpan(ctx, "encode")
 	tuples := c.enc.EncodeAll(part)
 	vecs, starts, err := preprocess.Coalesce(tuples, c.window)
+	spEnc.End()
 	if err != nil {
 		return nil, err
 	}
+	_, spScore := telemetry.StartSpan(ctx, "score")
+	defer spScore.End()
 	out := make([]Detection, len(vecs))
+	var malicious uint64
 	for i, v := range vecs {
 		score := c.model.Decision(c.scaler.Apply(v))
 		pMal := 0.5
@@ -417,7 +488,12 @@ func (c *Classifier) DetectLog(log *trace.Log) ([]Detection, error) {
 			Probability: pMal,
 			Malicious:   score < 0,
 		}
+		if out[i].Malicious {
+			malicious++
+		}
 	}
+	mDetectWindows.Add(uint64(len(out)))
+	mDetectMalicious.Add(malicious)
 	return out, nil
 }
 

@@ -73,8 +73,14 @@ func evaluate(benign, mixed, malicious *trace.Log, config Config, includeHMM boo
 
 	// Test-set sampling (the same 20% protocol as training).
 	rng := rand.New(rand.NewSource(config.Seed + 2))
-	testBenign := sampleWindows(rng, td.benignTest, config.SampleFraction)
-	testMal := sampleWindows(rng, malWins, config.SampleFraction)
+	testBenign, err := sampleWindows(rng, td.benignTest, config.SampleFraction)
+	if err != nil {
+		return nil, fmt.Errorf("sampling benign test windows: %w", err)
+	}
+	testMal, err := sampleWindows(rng, malWins, config.SampleFraction)
+	if err != nil {
+		return nil, fmt.Errorf("sampling malicious test windows: %w", err)
+	}
 
 	res := &EvalResult{
 		TestBenign:    len(testBenign),

@@ -65,9 +65,18 @@ func EvaluateOneClass(benign, malicious *trace.Log, config Config) (metrics.Summ
 			test = append(test, benignWins[p])
 		}
 	}
-	trainSample := sampleWindows(rng, train, config.SampleFraction)
-	testBenign := sampleWindows(rng, test, config.SampleFraction)
-	testMal := sampleWindows(rng, malWins, config.SampleFraction)
+	trainSample, err := sampleWindows(rng, train, config.SampleFraction)
+	if err != nil {
+		return metrics.Summary{}, fmt.Errorf("sampling benign training windows: %w", err)
+	}
+	testBenign, err := sampleWindows(rng, test, config.SampleFraction)
+	if err != nil {
+		return metrics.Summary{}, fmt.Errorf("sampling benign test windows: %w", err)
+	}
+	testMal, err := sampleWindows(rng, malWins, config.SampleFraction)
+	if err != nil {
+		return metrics.Summary{}, fmt.Errorf("sampling malicious test windows: %w", err)
+	}
 	if len(trainSample) < 2 {
 		return metrics.Summary{}, errors.New("core: too few benign windows for one-class training")
 	}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sampleRNG() *rand.Rand { return rand.New(rand.NewSource(7)) }
+
+func someWindows(n int) []window {
+	out := make([]window, n)
+	for i := range out {
+		out[i] = window{vec: []float64{float64(i)}, start: i}
+	}
+	return out
+}
+
+func TestSampleWindowsEmptySet(t *testing.T) {
+	_, err := sampleWindows(sampleRNG(), nil, 0.5)
+	if !errors.Is(err, ErrNoWindows) {
+		t.Fatalf("empty set: err = %v, want ErrNoWindows", err)
+	}
+	_, err = sampleWindows(sampleRNG(), []window{}, 1)
+	if !errors.Is(err, ErrNoWindows) {
+		t.Fatalf("empty slice: err = %v, want ErrNoWindows", err)
+	}
+}
+
+func TestSampleWindowsBadFraction(t *testing.T) {
+	for _, f := range []float64{0, -0.2, math.NaN()} {
+		_, err := sampleWindows(sampleRNG(), someWindows(5), f)
+		if !errors.Is(err, ErrBadSampleFraction) {
+			t.Errorf("fraction %v: err = %v, want ErrBadSampleFraction", f, err)
+		}
+	}
+}
+
+func TestSampleWindowsDraws(t *testing.T) {
+	wins := someWindows(10)
+	got, err := sampleWindows(sampleRNG(), wins, 0.2)
+	if err != nil {
+		t.Fatalf("sampleWindows: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("sampled %d windows, want 2", len(got))
+	}
+
+	// A tiny fraction still draws at least one window.
+	got, err = sampleWindows(sampleRNG(), wins, 1e-9)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("tiny fraction: got %d windows, err %v; want 1, nil", len(got), err)
+	}
+
+	// fraction >= 1 copies the set in order.
+	got, err = sampleWindows(sampleRNG(), wins, 1)
+	if err != nil || len(got) != len(wins) {
+		t.Fatalf("full fraction: got %d windows, err %v", len(got), err)
+	}
+	for i := range got {
+		if got[i].start != wins[i].start {
+			t.Fatalf("full fraction reordered windows at %d", i)
+		}
+	}
+}

@@ -5,11 +5,23 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/callgraph"
 	"repro/internal/partition"
 	"repro/internal/preprocess"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
+)
+
+// Streaming telemetry: event throughput (rate = d events_total / dt),
+// skip volume, completed windows and checkpoint latency.
+var (
+	mStreamEvents    = telemetry.NewCounter("core_stream_events_total", "events fed to streaming detectors")
+	mStreamSkipped   = telemetry.NewCounter("core_stream_skipped_events_total", "fed events skipped by per-event errors")
+	mStreamWindows   = telemetry.NewCounter("core_stream_windows_total", "windows completed by streaming detectors")
+	mStreamMalicious = telemetry.NewCounter("core_stream_malicious_total", "streamed windows flagged malicious")
+	mCheckpointSecs  = telemetry.NewHistogram("core_checkpoint_seconds", "streaming checkpoint write latency", telemetry.DurationBuckets())
 )
 
 // splitOne partitions a single-event log; a variable so tests can inject
@@ -88,16 +100,19 @@ func (c *Classifier) RestoreStream(modules *trace.ModuleMap, r io.Reader) (*Stre
 func (s *StreamDetector) Feed(e trace.Event) (*Detection, error) {
 	ord := s.consumed
 	s.consumed++
+	mStreamEvents.Inc()
 	// Partition this single event: reuse the batch splitter on a
 	// one-event log to keep the classification path identical.
 	log := &trace.Log{App: s.modules.AppName(), Modules: s.modules, Events: []trace.Event{e}}
 	part, err := splitOne(log)
 	if err != nil {
 		s.skipped++
+		mStreamSkipped.Inc()
 		return nil, &EventError{Ordinal: ord, Cause: err}
 	}
 	if len(part.Events) == 0 {
 		s.skipped++
+		mStreamSkipped.Inc()
 		return nil, &EventError{Ordinal: ord, Cause: errors.New("partition produced no events")}
 	}
 	if s.Pending() == 0 {
@@ -120,6 +135,10 @@ func (s *StreamDetector) Feed(e trace.Event) (*Detection, error) {
 	if s.clf.platt != nil {
 		pMal = 1 - s.clf.platt.Probability(score)
 	}
+	mStreamWindows.Inc()
+	if score < 0 {
+		mStreamMalicious.Inc()
+	}
 	return &Detection{
 		FirstEvent:  s.winStart,
 		LastEvent:   ord,
@@ -138,6 +157,10 @@ func (s *StreamDetector) feedDegraded(pe *partition.Event, ord int) (*Detection,
 	}
 	det := degradedDetection(s.cg, s.evbuf, s.winStart, ord)
 	s.evbuf = s.evbuf[:0]
+	mStreamWindows.Inc()
+	if det.Malicious {
+		mStreamMalicious.Inc()
+	}
 	return &det, nil
 }
 
@@ -203,6 +226,8 @@ const (
 // monitor can resume with RestoreStream and produce the same window
 // boundaries and scores as an uninterrupted run.
 func (s *StreamDetector) Checkpoint(w io.Writer) error {
+	start := time.Now()
+	defer func() { mCheckpointSecs.Observe(time.Since(start).Seconds()) }()
 	f := checkpointFile{
 		Magic:    checkpointMagic,
 		Version:  checkpointVersion,

@@ -137,7 +137,10 @@ func (u *UniversalTrainingData) Train() (*Classifier, error) {
 	var prob svm.Problem
 	var raw [][]float64
 	for _, td := range u.PerApp {
-		benign := sampleWindows(rng, td.benignTrain, u.cfg.SampleFraction)
+		benign, err := sampleWindows(rng, td.benignTrain, u.cfg.SampleFraction)
+		if err != nil {
+			return nil, fmt.Errorf("sampling benign training windows: %w", err)
+		}
 		for _, w := range benign {
 			raw = append(raw, w.vec)
 			prob.Y = append(prob.Y, 1)
@@ -218,8 +221,14 @@ func EvaluateUniversal(pairs []LogPair, malicious []*trace.Log, config Config) (
 		if err != nil {
 			return nil, metrics.Summary{}, err
 		}
-		testBenign := sampleWindows(rng, td.benignTest, config.SampleFraction)
-		testMal := sampleWindows(rng, malWins, config.SampleFraction)
+		testBenign, err := sampleWindows(rng, td.benignTest, config.SampleFraction)
+		if err != nil {
+			return nil, metrics.Summary{}, fmt.Errorf("sampling benign test windows: %w", err)
+		}
+		testMal, err := sampleWindows(rng, malWins, config.SampleFraction)
+		if err != nil {
+			return nil, metrics.Summary{}, fmt.Errorf("sampling malicious test windows: %w", err)
+		}
 		var conf metrics.Confusion
 		clf.classifyWindows(testBenign, true, &conf)
 		clf.classifyWindows(testMal, false, &conf)

@@ -2,14 +2,30 @@ package etl
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/trace"
+)
+
+// Parser telemetry: throughput, record outcomes and lenient-recovery
+// activity, labeled by skip cause so trace quality is visible at runtime
+// (etl_skipped_records_total{cause=...}).
+var (
+	mParseBytes    = telemetry.NewCounter("etl_parsed_bytes_total", "bytes consumed by the raw-log parser")
+	mParseRecords  = telemetry.NewCounter("etl_records_total", "raw-log records decoded successfully")
+	mParseEvents   = telemetry.NewCounter("etl_events_total", "events recovered across all processes")
+	mParseSkipped  = telemetry.NewCounterVec("etl_skipped_records_total", "records skipped by the lenient parser", "cause")
+	mParseDropped  = telemetry.NewCounter("etl_dropped_stacks_total", "stack walks dropped (orphaned, superseded or left pending)")
+	mResyncBytes   = telemetry.NewCounter("etl_resync_bytes_total", "bytes discarded while resynchronizing after corrupt records")
+	mParseFailures = telemetry.NewCounter("etl_parse_failures_total", "parses rejected outright (strict error or error budget exhausted)")
 )
 
 // DefaultMaxErrors is the lenient parser's record-error budget when
@@ -129,9 +145,9 @@ func (e *semanticError) Unwrap() error { return e.err }
 func semantic(err error) error { return &semanticError{err: err} }
 
 type parser struct {
-	rd      *reader
-	opts    ParseOpts
-	f       *RawFile
+	rd   *reader
+	opts ParseOpts
+	f    *RawFile
 	// pending[pid<<32|tid] holds the index of the event awaiting its
 	// stack record.
 	pending map[uint64]int
@@ -139,11 +155,43 @@ type parser struct {
 
 func pendingKey(pid, tid int) uint64 { return uint64(pid)<<32 | uint64(uint32(tid)) }
 
+// errTruncatedStream marks a lenient parse that ran out of input before
+// the end record.
+var errTruncatedStream = errors.New("stream truncated before end record")
+
+// errEarlyEnd marks an end record observed before the end of input — a
+// corrupted byte masquerading as a terminator.
+var errEarlyEnd = errors.New("end record before end of input")
+
+// skipCause labels a skipped record for etl_skipped_records_total.
+func skipCause(err error) string {
+	var sem *semanticError
+	switch {
+	case errors.Is(err, errTruncatedStream):
+		return "truncated"
+	case errors.Is(err, errEarlyEnd):
+		return "early_end"
+	case errors.As(err, &sem):
+		msg := sem.err.Error()
+		switch {
+		case strings.Contains(msg, "duplicate process"):
+			return "duplicate_process"
+		case strings.Contains(msg, "undeclared pid"):
+			return "undeclared_pid"
+		}
+		return "semantic"
+	default:
+		return "corrupt"
+	}
+}
+
 // ParseWith is Parse with explicit fault-tolerance options. In lenient
 // mode a malformed record is logged in RawFile.ErrorLog and the parser
 // resynchronizes on the next plausible record boundary; truncated
 // streams yield whatever was recovered up to the cut.
 func ParseWith(r io.Reader, opts ParseOpts) (*RawFile, error) {
+	_, sp := telemetry.StartSpan(context.Background(), "etl/parse")
+	defer sp.End()
 	if opts.MaxErrors == 0 {
 		opts.MaxErrors = DefaultMaxErrors
 	}
@@ -153,6 +201,21 @@ func ParseWith(r io.Reader, opts ParseOpts) (*RawFile, error) {
 		f:       &RawFile{byPID: make(map[int]*trace.Log)},
 		pending: make(map[uint64]int),
 	}
+	f, err := p.parse()
+	mParseBytes.Add(uint64(p.rd.off))
+	if err != nil {
+		mParseFailures.Inc()
+		return nil, err
+	}
+	mParseEvents.Add(uint64(f.TotalEvents()))
+	mParseDropped.Add(uint64(f.Dropped))
+	return f, nil
+}
+
+// parse runs the record loop; the ParseWith wrapper layers telemetry on
+// top of it.
+func (p *parser) parse() (*RawFile, error) {
+	opts := p.opts
 
 	// The header is the anchor of the whole stream: without a valid
 	// magic and version there is nothing to resynchronize against, so
@@ -181,7 +244,7 @@ func ParseWith(r io.Reader, opts ParseOpts) (*RawFile, error) {
 			}
 			// Truncated stream: keep what was recovered, note the
 			// missing terminator.
-			if nerr := p.note(tagOff, 0, errors.New("stream truncated before end record")); nerr != nil {
+			if nerr := p.note(tagOff, 0, errTruncatedStream); nerr != nil {
 				return nil, nerr
 			}
 			p.f.Dropped += len(p.pending)
@@ -193,12 +256,13 @@ func ParseWith(r io.Reader, opts ParseOpts) (*RawFile, error) {
 				// corrupted byte that happens to read 0xFF mid-stream must
 				// not silently discard everything after it.
 				if b, _ := p.rd.r.Peek(1); len(b) > 0 {
-					if nerr := p.note(tagOff, tag, corrupt(errors.New("end record before end of input"))); nerr != nil {
+					if nerr := p.note(tagOff, tag, corrupt(errEarlyEnd)); nerr != nil {
 						return nil, nerr
 					}
 					before := p.rd.off
 					p.resync()
 					p.f.ErrorLog[len(p.f.ErrorLog)-1].ResyncBytes = p.rd.off - before
+					mResyncBytes.Add(uint64(p.rd.off - before))
 					continue
 				}
 			}
@@ -221,14 +285,18 @@ func ParseWith(r io.Reader, opts ParseOpts) (*RawFile, error) {
 				before := p.rd.off
 				p.resync()
 				p.f.ErrorLog[len(p.f.ErrorLog)-1].ResyncBytes = p.rd.off - before
+				mResyncBytes.Add(uint64(p.rd.off - before))
 			}
+			continue
 		}
+		mParseRecords.Inc()
 	}
 }
 
 // note logs one skipped record, failing the parse once the error budget
 // is exhausted.
 func (p *parser) note(off int64, tag byte, cause error) error {
+	mParseSkipped.With(skipCause(cause)).Inc()
 	var sem *semanticError
 	if errors.As(cause, &sem) {
 		cause = sem.err

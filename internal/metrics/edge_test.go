@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestROCAllOneClass(t *testing.T) {
+	scores := []float64{0.9, 0.5, 0.1}
+	for _, label := range []bool{true, false} {
+		labels := []bool{label, label, label}
+		if _, _, err := ROC(scores, labels); err == nil {
+			t.Errorf("all-%v labels: ROC accepted a single-class input", label)
+		}
+	}
+}
+
+func TestROCRejectsNaNScores(t *testing.T) {
+	scores := []float64{0.9, math.NaN(), 0.1}
+	labels := []bool{true, false, true}
+	_, _, err := ROC(scores, labels)
+	if err == nil {
+		t.Fatal("ROC accepted a NaN score")
+	}
+	if !strings.Contains(err.Error(), "NaN") {
+		t.Errorf("error %q does not mention NaN", err)
+	}
+}
+
+func TestROCInfiniteScoresStillSweep(t *testing.T) {
+	// ±Inf scores are orderable, so the sweep must handle them.
+	scores := []float64{math.Inf(1), 1, -1, math.Inf(-1)}
+	labels := []bool{true, true, false, false}
+	_, auc, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatalf("ROC with infinite scores: %v", err)
+	}
+	if auc != 1 {
+		t.Errorf("perfectly separated scores: AUC = %v, want 1", auc)
+	}
+}
+
+func TestConfusionEmptyDenominators(t *testing.T) {
+	var c Confusion
+	// No predictions at all: every measure is NaN, not a panic or zero.
+	s := c.Summary()
+	for name, v := range map[string]float64{
+		"ACC": s.ACC, "PPV": s.PPV, "TPR": s.TPR, "TNR": s.TNR, "NPV": s.NPV,
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("empty confusion: %s = %v, want NaN", name, v)
+		}
+	}
+
+	// Only benign predictions recorded: TNR's denominator stays empty.
+	c.Add(true, true)
+	c.Add(true, true)
+	if got := c.TNR(); !math.IsNaN(got) {
+		t.Errorf("TNR with no malicious samples = %v, want NaN", got)
+	}
+	if got := c.ACC(); got != 1 {
+		t.Errorf("ACC = %v, want 1", got)
+	}
+	if got := c.TPR(); got != 1 {
+		t.Errorf("TPR = %v, want 1", got)
+	}
+}
+
+func TestMeanSkipsNaNPerElement(t *testing.T) {
+	ss := []Summary{
+		{ACC: 1, PPV: math.NaN(), TPR: 0.5, TNR: math.NaN(), NPV: 0.2},
+		{ACC: 0, PPV: 0.8, TPR: math.NaN(), TNR: math.NaN(), NPV: 0.4},
+	}
+	m := Mean(ss)
+	if m.ACC != 0.5 {
+		t.Errorf("ACC mean = %v, want 0.5", m.ACC)
+	}
+	if m.PPV != 0.8 {
+		t.Errorf("PPV mean should skip the NaN run, got %v", m.PPV)
+	}
+	if m.TPR != 0.5 {
+		t.Errorf("TPR mean should skip the NaN run, got %v", m.TPR)
+	}
+	if !math.IsNaN(m.TNR) {
+		t.Errorf("TNR mean of all-NaN runs = %v, want NaN", m.TNR)
+	}
+	if math.Abs(m.NPV-0.3) > 1e-15 {
+		t.Errorf("NPV mean = %v, want 0.3", m.NPV)
+	}
+}

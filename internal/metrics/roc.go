@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"errors"
+	"fmt"
+	"math"
 	"sort"
 )
 
@@ -21,6 +23,11 @@ type ROCPoint struct {
 func ROC(scores []float64, benign []bool) ([]ROCPoint, float64, error) {
 	if len(scores) == 0 || len(scores) != len(benign) {
 		return nil, 0, errors.New("metrics: scores and labels must be non-empty and equal length")
+	}
+	for i, s := range scores {
+		if math.IsNaN(s) {
+			return nil, 0, fmt.Errorf("metrics: score %d is NaN", i)
+		}
 	}
 	var pos, neg float64
 	for _, b := range benign {

@@ -13,7 +13,18 @@ package partition
 import (
 	"errors"
 
+	"repro/internal/telemetry"
 	"repro/internal/trace"
+)
+
+// Partition telemetry: event volume and stack-walk coverage — the
+// "stackless" share is the part of the trace that can feed neither the
+// CFG nor the feature extractor.
+var (
+	mSplitEvents    = telemetry.NewCounter("partition_events_total", "events partitioned into app/system stack traces")
+	mSplitStackless = telemetry.NewCounter("partition_stackless_events_total", "partitioned events that carried no stack walk")
+	mSplitAppFrames = telemetry.NewCounter("partition_app_frames_total", "frames routed to application stack traces")
+	mSplitSysFrames = telemetry.NewCounter("partition_sys_frames_total", "frames routed to system stack traces")
 )
 
 // Event is one system event with its stack walk partitioned.
@@ -53,8 +64,12 @@ func Split(log *trace.Log) (*Log, error) {
 		return nil, errors.New("partition: log has no module map")
 	}
 	out := &Log{App: log.App, PID: log.PID, Events: make([]Event, 0, log.Len())}
+	var stackless, appFrames, sysFrames int
 	for _, e := range log.Events {
 		pe := Event{Seq: e.Seq, Type: e.Type, TID: e.TID}
+		if len(e.Stack) == 0 {
+			stackless++
+		}
 		for _, fr := range e.Stack {
 			if isSystemFrame(log.Modules, fr) {
 				pe.SysTrace = append(pe.SysTrace, fr)
@@ -62,8 +77,14 @@ func Split(log *trace.Log) (*Log, error) {
 				pe.AppTrace = append(pe.AppTrace, fr)
 			}
 		}
+		appFrames += len(pe.AppTrace)
+		sysFrames += len(pe.SysTrace)
 		out.Events = append(out.Events, pe)
 	}
+	mSplitEvents.Add(uint64(log.Len()))
+	mSplitStackless.Add(uint64(stackless))
+	mSplitAppFrames.Add(uint64(appFrames))
+	mSplitSysFrames.Add(uint64(sysFrames))
 	return out, nil
 }
 

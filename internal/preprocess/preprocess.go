@@ -7,6 +7,7 @@
 package preprocess
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -14,6 +15,19 @@ import (
 
 	"repro/internal/hcluster"
 	"repro/internal/partition"
+	"repro/internal/telemetry"
+)
+
+// Preprocessing telemetry: how many events were discretised, how many
+// windows the coalescer produced (the statistical model's sample count),
+// and the learned cluster-space sizes.
+var (
+	mFitEvents     = telemetry.NewCounter("preprocess_fit_events_total", "events the feature encoder was fitted on")
+	mEncodedEvents = telemetry.NewCounter("preprocess_encoded_events_total", "events discretised into 3-tuples")
+	mWindows       = telemetry.NewCounter("preprocess_windows_total", "coalesced windows produced")
+	mTailDropped   = telemetry.NewCounter("preprocess_tail_events_total", "events dropped in trailing partial windows")
+	mLibClusters   = telemetry.NewGauge("preprocess_lib_clusters", "library-set clusters in the last fitted encoder")
+	mFuncClusters  = telemetry.NewGauge("preprocess_func_clusters", "function-set clusters in the last fitted encoder")
 )
 
 // Tuple is the discretised form of one system event.
@@ -69,6 +83,8 @@ func Fit(events []partition.Event, cfg Config) (*Encoder, error) {
 	if len(events) == 0 {
 		return nil, errors.New("preprocess: no events to fit on")
 	}
+	_, sp := telemetry.StartSpan(context.Background(), "preprocess/fit")
+	defer sp.End()
 	cfg = cfg.withDefaults()
 	libSets := make([][]string, len(events))
 	fnSets := make([][]string, len(events))
@@ -84,6 +100,9 @@ func Fit(events []partition.Event, cfg Config) (*Encoder, error) {
 	if err != nil {
 		return nil, fmt.Errorf("preprocess: clustering function sets: %w", err)
 	}
+	mFitEvents.Add(uint64(len(events)))
+	mLibClusters.Set(float64(libs.numClusters))
+	mFuncClusters.Set(float64(fns.numClusters))
 	return &Encoder{cfg: cfg, libs: libs, fns: fns}, nil
 }
 
@@ -109,6 +128,7 @@ func (enc *Encoder) EncodeAll(log *partition.Log) []Tuple {
 	for i := range log.Events {
 		out[i] = enc.Encode(&log.Events[i])
 	}
+	mEncodedEvents.Add(uint64(len(out)))
 	return out
 }
 
@@ -133,6 +153,8 @@ func Coalesce(tuples []Tuple, window int) (vecs [][]float64, starts []int, err e
 		vecs = append(vecs, vec)
 		starts = append(starts, w*window)
 	}
+	mWindows.Add(uint64(n))
+	mTailDropped.Add(uint64(len(tuples) - n*window))
 	return vecs, starts, nil
 }
 

@@ -4,7 +4,27 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/telemetry"
 )
+
+// Solver telemetry: kernel work (the dominant training cost), cache
+// effectiveness and SMO convergence behaviour across training runs.
+var (
+	mKernelEvals = telemetry.NewCounter("svm_kernel_evals_total", "kernel function evaluations")
+	mCacheHits   = telemetry.NewCounter("svm_kernel_cache_hits_total", "kernel cache row hits")
+	mCacheMisses = telemetry.NewCounter("svm_kernel_cache_misses_total", "kernel cache row misses (rows computed on demand)")
+	mTrainRuns   = telemetry.NewCounter("svm_train_runs_total", "SMO training runs")
+	mIterHist    = telemetry.NewHistogram("svm_smo_iterations", "SMO iterations per training run", telemetry.CountBuckets())
+	mLastIters   = telemetry.NewGauge("svm_last_iterations", "SMO iterations of the most recent training run")
+	mLastObj     = telemetry.NewGauge("svm_last_objective", "final dual objective of the most recent training run")
+	mLastSVs     = telemetry.NewGauge("svm_last_support_vectors", "support vectors in the most recent model")
+	mCappedRuns  = telemetry.NewCounter("svm_iteration_capped_runs_total", "training runs that hit MaxIter before converging")
+)
+
+// trajectoryEvery is the SMO iteration interval between objective
+// trajectory samples; the trajectory stays small even on capped runs.
+const trajectoryEvery = 64
 
 // Problem is a binary classification training set.
 type Problem struct {
@@ -101,6 +121,12 @@ type Model struct {
 	Iters int
 	// BoundedSVs counts support vectors at their upper bound.
 	BoundedSVs int
+	// Objective is the final dual objective value ½αᵀQα − Σαᵢ.
+	Objective float64
+	// Trajectory samples the dual objective every trajectoryEvery SMO
+	// iterations (plus the final value), recording convergence behaviour.
+	// It is diagnostic only and not persisted with the model.
+	Trajectory []float64
 }
 
 // NumSVs returns the number of support vectors.
@@ -150,7 +176,10 @@ func Train(prob Problem, params Params) (*Model, error) {
 	s := newSolver(prob.X, prob.Y, c, params)
 	s.solve()
 
-	m := &Model{kernel: params.Kernel, bias: s.bias(), Iters: s.iters}
+	m := &Model{
+		kernel: params.Kernel, bias: s.bias(), Iters: s.iters,
+		Objective: s.objective(), Trajectory: s.trajectory,
+	}
 	for i := 0; i < n; i++ {
 		if s.alpha[i] > 0 {
 			m.svX = append(m.svX, prob.X[i])
@@ -159,6 +188,14 @@ func Train(prob Problem, params Params) (*Model, error) {
 				m.BoundedSVs++
 			}
 		}
+	}
+	mTrainRuns.Inc()
+	mIterHist.Observe(float64(s.iters))
+	mLastIters.Set(float64(s.iters))
+	mLastObj.Set(m.Objective)
+	mLastSVs.Set(float64(m.NumSVs()))
+	if s.iters >= params.MaxIter {
+		mCappedRuns.Inc()
 	}
 	return m, nil
 }
@@ -173,6 +210,8 @@ type solver struct {
 	grad   []float64 // gradient of the dual objective: (Qα)ᵢ - 1
 	q      *kernelCache
 	iters  int
+	// trajectory samples the dual objective during solve.
+	trajectory []float64
 	// rho is the decision bias determined at convergence.
 	rho float64
 }
@@ -261,8 +300,22 @@ func (s *solver) solve() {
 			break
 		}
 		s.update(i, j)
+		if s.iters%trajectoryEvery == 0 {
+			s.trajectory = append(s.trajectory, s.objective())
+		}
 	}
+	s.trajectory = append(s.trajectory, s.objective())
 	s.rho = s.computeBias()
+}
+
+// objective returns the dual objective ½αᵀQα − Σαᵢ. With grad = Qα − 1
+// this is ½Σαᵢ(gradᵢ − 1), an O(n) read of existing solver state.
+func (s *solver) objective() float64 {
+	var obj float64
+	for t := range s.alpha {
+		obj += s.alpha[t] * (s.grad[t] - 1)
+	}
+	return obj / 2
 }
 
 // update optimises the pair (αᵢ, αⱼ) analytically subject to the box and
@@ -425,14 +478,18 @@ func (c *kernelCache) computeRow(i int) []float64 {
 	for j := range c.x {
 		row[j] = c.y[i] * c.y[j] * c.kernel.Compute(c.x[i], c.x[j])
 	}
+	mKernelEvals.Add(uint64(len(row)))
 	return row
 }
 
 // row returns Q's row i, computing and caching it on demand.
 func (c *kernelCache) row(i int) []float64 {
 	if c.rows[i] == nil {
+		mCacheMisses.Inc()
 		c.rows[i] = c.computeRow(i)
+		return c.rows[i]
 	}
+	mCacheHits.Inc()
 	return c.rows[i]
 }
 

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// publishOnce guards the expvar publication (expvar panics on duplicate
+// names).
+var publishOnce sync.Once
+
+// publishExpvar exposes the combined snapshot under the expvar name
+// "leaps_telemetry" so stock expvar tooling sees it at /debug/vars.
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("leaps_telemetry", expvar.Func(func() any { return Capture() }))
+	})
+}
+
+// Handler returns the debug surface the CLIs serve behind -debug-addr:
+//
+//	/metrics          registry in Prometheus text form (?format=json for JSON)
+//	/spans            span table as an indented tree (?format=json for JSON)
+//	/debug/vars       expvar, including the combined snapshot
+//	/debug/pprof/...  net/http/pprof profiles
+func Handler() http.Handler {
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		metrics := Default().Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(metrics)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = WriteText(w, metrics)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		spans := SpanReport()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(spans)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = WriteSpansText(w, spans)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "leaps debug endpoints:")
+		fmt.Fprintln(w, "  /metrics        (?format=json)")
+		fmt.Fprintln(w, "  /spans          (?format=json)")
+		fmt.Fprintln(w, "  /debug/vars")
+		fmt.Fprintln(w, "  /debug/pprof/")
+	})
+	return mux
+}
+
+// DebugServer is a running debug HTTP listener.
+type DebugServer struct {
+	// Addr is the bound address (resolves ":0" to the chosen port).
+	Addr string
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// Serve binds addr (e.g. "127.0.0.1:6060", or ":0" for an ephemeral
+// port) and serves the debug Handler on it in a background goroutine.
+func Serve(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: binding debug address %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Close stops the listener.
+func (d *DebugServer) Close() error { return d.srv.Close() }

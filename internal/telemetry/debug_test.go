@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	NewCounter("debug_test_total", "exercises the debug server").Add(7)
+	_, s := StartSpan(context.Background(), "debug_test_span")
+	s.End()
+
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "debug_test_total 7") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+
+	code, body = get(t, base+"/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics?format=json = %d", code)
+	}
+	var metrics []MetricSnapshot
+	if err := json.Unmarshal([]byte(body), &metrics); err != nil {
+		t.Fatalf("metrics JSON invalid: %v", err)
+	}
+
+	code, body = get(t, base+"/spans")
+	if code != http.StatusOK || !strings.Contains(body, "debug_test_span") {
+		t.Errorf("/spans = %d:\n%s", code, body)
+	}
+
+	code, body = get(t, base+"/spans?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/spans?format=json = %d", code)
+	}
+	var spans []SpanSnapshot
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("spans JSON invalid: %v", err)
+	}
+
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "leaps_telemetry") {
+		t.Errorf("/debug/vars = %d missing leaps_telemetry", code)
+	}
+
+	code, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+
+	code, body = get(t, base+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index = %d:\n%s", code, body)
+	}
+
+	code, _ = get(t, base+"/nope")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:bad"); err == nil {
+		t.Error("bad address accepted")
+	}
+}
+
+func TestCaptureIncludesMetricsAndSpans(t *testing.T) {
+	NewCounter("capture_test_total", "").Inc()
+	_, s := StartSpan(context.Background(), "capture_test_span")
+	s.End()
+	snap := Capture()
+	if snap.TakenAt.IsZero() {
+		t.Error("TakenAt unset")
+	}
+	var haveMetric, haveSpan bool
+	for _, m := range snap.Metrics {
+		if m.Name == "capture_test_total" {
+			haveMetric = true
+		}
+	}
+	for _, sp := range snap.Spans {
+		if sp.Path == "capture_test_span" {
+			haveSpan = true
+		}
+	}
+	if !haveMetric || !haveSpan {
+		t.Errorf("capture missing metric (%v) or span (%v)", haveMetric, haveSpan)
+	}
+}

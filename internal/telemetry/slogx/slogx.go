@@ -1,0 +1,76 @@
+// Package slogx is the repository's thin wrapper over log/slog: one
+// process-wide leveled logger the CLIs configure from their flags, so
+// every status line that used to be an ad-hoc fmt.Printf is now a
+// machine-parseable key=value (or JSON) record with a level, while
+// staying readable on a terminal.
+package slogx
+
+import (
+	"io"
+	"log/slog"
+	"os"
+	"sync/atomic"
+)
+
+// Options configures the process logger.
+type Options struct {
+	// Writer defaults to os.Stderr.
+	Writer io.Writer
+	// Level is the minimum level emitted (default Info).
+	Level slog.Level
+	// JSON selects the JSON handler instead of the text handler.
+	JSON bool
+}
+
+var current atomic.Pointer[slog.Logger]
+
+func init() {
+	current.Store(build(Options{}))
+}
+
+func build(o Options) *slog.Logger {
+	w := o.Writer
+	if w == nil {
+		w = os.Stderr
+	}
+	ho := &slog.HandlerOptions{Level: o.Level}
+	if o.JSON {
+		return slog.New(slog.NewJSONHandler(w, ho))
+	}
+	return slog.New(slog.NewTextHandler(w, ho))
+}
+
+// Configure replaces the process logger and returns it.
+func Configure(o Options) *slog.Logger {
+	l := build(o)
+	current.Store(l)
+	return l
+}
+
+// L returns the process logger.
+func L() *slog.Logger { return current.Load() }
+
+// Info logs at info level on the process logger.
+func Info(msg string, args ...any) { L().Info(msg, args...) }
+
+// Warn logs at warn level on the process logger.
+func Warn(msg string, args ...any) { L().Warn(msg, args...) }
+
+// Error logs at error level on the process logger.
+func Error(msg string, args ...any) { L().Error(msg, args...) }
+
+// Debug logs at debug level on the process logger.
+func Debug(msg string, args ...any) { L().Debug(msg, args...) }
+
+// CLILevel maps the shared -quiet/-verbose CLI flags to a level: quiet
+// wins and raises the floor to Warn, verbose lowers it to Debug.
+func CLILevel(quiet, verbose bool) slog.Level {
+	switch {
+	case quiet:
+		return slog.LevelWarn
+	case verbose:
+		return slog.LevelDebug
+	default:
+		return slog.LevelInfo
+	}
+}

@@ -1,0 +1,71 @@
+package slogx
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestConfigureTextAndLevels(t *testing.T) {
+	var buf bytes.Buffer
+	Configure(Options{Writer: &buf, Level: slog.LevelInfo})
+	Debug("hidden")
+	Info("parsed log", "events", 42, "skipped", 3)
+	Warn("degraded")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("debug line emitted at info level")
+	}
+	if !strings.Contains(out, "msg=\"parsed log\"") || !strings.Contains(out, "events=42") {
+		t.Errorf("info line not key=value formatted:\n%s", out)
+	}
+	if !strings.Contains(out, "level=WARN") {
+		t.Errorf("warn level missing:\n%s", out)
+	}
+}
+
+func TestConfigureJSON(t *testing.T) {
+	var buf bytes.Buffer
+	Configure(Options{Writer: &buf, JSON: true})
+	Info("wrote model", "path", "/tmp/x.model")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("JSON log line invalid: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "wrote model" || rec["path"] != "/tmp/x.model" {
+		t.Errorf("JSON record = %v", rec)
+	}
+}
+
+func TestQuietSuppressesInfo(t *testing.T) {
+	var buf bytes.Buffer
+	Configure(Options{Writer: &buf, Level: CLILevel(true, false)})
+	Info("progress")
+	Error("boom", "cause", "x")
+	if strings.Contains(buf.String(), "progress") {
+		t.Error("quiet level still emitted info")
+	}
+	if !strings.Contains(buf.String(), "boom") {
+		t.Error("quiet level swallowed errors")
+	}
+}
+
+func TestCLILevel(t *testing.T) {
+	if CLILevel(true, true) != slog.LevelWarn {
+		t.Error("quiet should win over verbose")
+	}
+	if CLILevel(false, true) != slog.LevelDebug {
+		t.Error("verbose should lower to debug")
+	}
+	if CLILevel(false, false) != slog.LevelInfo {
+		t.Error("default should be info")
+	}
+}
+
+func TestLNeverNil(t *testing.T) {
+	if L() == nil {
+		t.Fatal("default logger is nil")
+	}
+}

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"time"
+)
+
+// Bucket is one cumulative histogram bucket.
+type Bucket struct {
+	// UpperBound is the bucket's inclusive upper bound (+Inf for the
+	// last), serialised as a string so the JSON stays valid.
+	UpperBound float64 `json:"-"`
+	// Count is the cumulative observation count up to UpperBound.
+	Count uint64 `json:"count"`
+}
+
+// bucketJSON is the wire form of Bucket (JSON has no +Inf literal).
+type bucketJSON struct {
+	UpperBound string `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// MarshalJSON renders the bound as a string ("+Inf" for the overflow
+// bucket).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	ub := "+Inf"
+	if !math.IsInf(b.UpperBound, 1) {
+		ub = fmt.Sprintf("%g", b.UpperBound)
+	}
+	return json.Marshal(bucketJSON{UpperBound: ub, Count: b.Count})
+}
+
+// UnmarshalJSON parses the wire form back.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var w bucketJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	b.Count = w.Count
+	if w.UpperBound == "+Inf" {
+		b.UpperBound = math.Inf(1)
+		return nil
+	}
+	_, err := fmt.Sscanf(w.UpperBound, "%g", &b.UpperBound)
+	return err
+}
+
+// MetricSnapshot is the point-in-time state of one instrument (one child
+// per label value for families).
+type MetricSnapshot struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	Help string `json:"help,omitempty"`
+	// Label and LabelValue identify the child of a labeled family.
+	Label      string `json:"label,omitempty"`
+	LabelValue string `json:"label_value,omitempty"`
+	// Value is the counter/gauge value; for histograms it is the sum of
+	// observations.
+	Value float64 `json:"value"`
+	// Count and Buckets are histogram-only.
+	Count   uint64   `json:"count,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot bundles the registry and span-table state for the JSON
+// telemetry reports.
+type Snapshot struct {
+	TakenAt time.Time        `json:"taken_at"`
+	Metrics []MetricSnapshot `json:"metrics"`
+	Spans   []SpanSnapshot   `json:"spans"`
+}
+
+// Capture snapshots the default registry and the global span table.
+func Capture() Snapshot {
+	return Snapshot{
+		TakenAt: time.Now().UTC(),
+		Metrics: Default().Snapshot(),
+		Spans:   SpanReport(),
+	}
+}
+
+// WriteJSON writes a Capture as indented JSON.
+func WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Capture())
+}
+
+// WriteJSONFile writes a Capture to the named file — how leaps-train and
+// leaps-detect drop their telemetry reports next to their outputs.
+func WriteJSONFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return WriteJSON(f)
+}
+
+// WriteText renders the registry in the Prometheus text exposition style
+// (the /metrics default).
+func WriteText(w io.Writer, metrics []MetricSnapshot) error {
+	var lastName string
+	for _, m := range metrics {
+		if m.Name != lastName {
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+				return err
+			}
+			lastName = m.Name
+		}
+		switch m.Kind {
+		case "histogram":
+			var err error
+			for _, b := range m.Buckets {
+				ub := "+Inf"
+				if !math.IsInf(b.UpperBound, 1) {
+					ub = fmt.Sprintf("%g", b.UpperBound)
+				}
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.Name, ub, b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", m.Name, m.Value, m.Name, m.Count); err != nil {
+				return err
+			}
+		default:
+			labels := ""
+			if m.Label != "" {
+				labels = fmt.Sprintf("{%s=%q}", m.Label, m.LabelValue)
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", m.Name, labels, m.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSpansText renders the span table as an indented tree, children
+// under their parents, with count / total / mean per line.
+func WriteSpansText(w io.Writer, spans []SpanSnapshot) error {
+	for _, s := range spans {
+		depth := strings.Count(s.Path, "/")
+		mean := time.Duration(0)
+		if s.Count > 0 {
+			mean = s.Total / time.Duration(s.Count)
+		}
+		_, err := fmt.Fprintf(w, "%s%-*s  count=%d total=%s mean=%s min=%s max=%s\n",
+			strings.Repeat("  ", depth), 40-2*depth, s.Path,
+			s.Count, s.Total, mean, s.Min, s.Max)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

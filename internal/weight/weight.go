@@ -24,6 +24,19 @@ import (
 	"sort"
 
 	"repro/internal/cfg"
+	"repro/internal/telemetry"
+)
+
+// Weight-assessment telemetry: how paths were scored, the share of paths
+// falling off the benign CFG (the camouflage signal), and the benignity
+// distribution pushed onto events.
+var (
+	mPaths          = telemetry.NewCounterVec("weight_paths_total", "mixed-CFG paths scored, by scoring rule", "kind")
+	mPathsConnected = mPaths.With("connected")
+	mPathsEstimated = mPaths.With("estimated")
+	mPathsOutside   = mPaths.With("outside")
+	mOffCFGRatio    = telemetry.NewGauge("weight_offcfg_path_ratio", "share of mixed-CFG paths outside the benign CFG in the last assessment")
+	mBenignity      = telemetry.NewHistogram("weight_event_benignity", "per-event benignity weights from the last assessments", telemetry.UnitBuckets())
 )
 
 // Config controls weight assessment.
@@ -109,7 +122,15 @@ func assess(benign *cfg.Graph, mixed *cfg.Inference, al *cfg.Alignment, cfgOpts 
 		}
 	}
 	for seq, s := range sums {
-		res.EventBenignity[seq] = s / float64(counts[seq])
+		b := s / float64(counts[seq])
+		res.EventBenignity[seq] = b
+		mBenignity.Observe(b)
+	}
+	mPathsConnected.Add(uint64(res.ConnectedPaths))
+	mPathsEstimated.Add(uint64(res.EstimatedPaths))
+	mPathsOutside.Add(uint64(res.OutsidePaths))
+	if total := res.ConnectedPaths + res.EstimatedPaths + res.OutsidePaths; total > 0 {
+		mOffCFGRatio.Set(float64(res.OutsidePaths) / float64(total))
 	}
 	return res, nil
 }

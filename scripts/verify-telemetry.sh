@@ -1,0 +1,87 @@
+#!/bin/sh
+# Smoke test for the runtime introspection surface: builds the CLIs,
+# generates a small dataset, trains a model, then runs leaps-detect with
+# -debug-addr and scrapes its live /metrics, /spans and pprof endpoints.
+#
+# Exits non-zero if any endpoint is unreachable or the expected pipeline
+# metrics are missing from the scrape / telemetry report.
+set -eu
+
+workdir=$(mktemp -d)
+detect_pid=""
+cleanup() {
+	[ -n "$detect_pid" ] && kill "$detect_pid" 2>/dev/null || true
+	rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+say() { printf 'verify-telemetry: %s\n' "$*"; }
+fail() {
+	say "FAIL: $*"
+	exit 1
+}
+
+say "building CLIs into $workdir"
+go build -o "$workdir" ./cmd/leaps-trace ./cmd/leaps-train ./cmd/leaps-detect
+
+say "generating dataset"
+"$workdir/leaps-trace" -dataset vim_reverse_tcp -out "$workdir" -seed 1 -quiet
+
+say "training model"
+"$workdir/leaps-train" \
+	-benign "$workdir/vim_reverse_tcp_benign.letl" \
+	-mixed "$workdir/vim_reverse_tcp_mixed.letl" \
+	-model "$workdir/leaps.model" \
+	-lambda 8 -sigma2 2 -seed 1 -quiet \
+	-telemetry-out "$workdir/train.telemetry.json"
+
+grep -q 'svm_train_runs_total' "$workdir/train.telemetry.json" ||
+	fail "train telemetry report lacks svm_train_runs_total"
+grep -q 'weight_paths_total' "$workdir/train.telemetry.json" ||
+	fail "train telemetry report lacks weight_paths_total"
+say "train telemetry report OK"
+
+say "starting leaps-detect with a live debug server"
+"$workdir/leaps-detect" \
+	-model "$workdir/leaps.model" \
+	-log "$workdir/vim_reverse_tcp_malicious.letl" \
+	-debug-addr 127.0.0.1:0 -debug-wait 30s \
+	-telemetry-out none >"$workdir/detect.out" 2>"$workdir/detect.err" &
+detect_pid=$!
+
+# The resolved address (port 0 picks a free one) is logged on stderr as
+# ... msg="debug server listening" addr=127.0.0.1:NNNNN
+addr=""
+for _ in $(seq 1 50); do
+	addr=$(sed -n 's/.*debug server listening.*addr=\([0-9.:]*\).*/\1/p' "$workdir/detect.err" | head -n1)
+	[ -n "$addr" ] && break
+	kill -0 "$detect_pid" 2>/dev/null || fail "leaps-detect exited early: $(cat "$workdir/detect.err")"
+	sleep 0.1
+done
+[ -n "$addr" ] && say "debug server at $addr" || fail "no debug server address logged"
+
+metrics=$(curl -fsS "http://$addr/metrics")
+echo "$metrics" | grep -q 'etl_parsed_bytes_total' || fail "/metrics lacks etl_parsed_bytes_total"
+echo "$metrics" | grep -q 'core_detect_windows_total' || fail "/metrics lacks core_detect_windows_total"
+say "/metrics OK"
+
+curl -fsS "http://$addr/metrics?format=json" >"$workdir/metrics.json"
+grep -q '"name"' "$workdir/metrics.json" || fail "/metrics?format=json malformed"
+say "/metrics?format=json OK"
+
+curl -fsS "http://$addr/spans" >"$workdir/spans.out"
+grep -q 'detect' "$workdir/spans.out" || fail "/spans lacks the detect span"
+say "/spans OK"
+
+curl -fsS "http://$addr/debug/vars" >"$workdir/vars.out"
+grep -q 'cmdline' "$workdir/vars.out" || fail "/debug/vars (expvar) malformed"
+say "/debug/vars OK"
+
+curl -fsS "http://$addr/debug/pprof/cmdline" >/dev/null || fail "pprof cmdline endpoint unreachable"
+say "/debug/pprof OK"
+
+kill "$detect_pid" 2>/dev/null || true
+wait "$detect_pid" 2>/dev/null || true
+detect_pid=""
+
+say "PASS"
