@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build fmt-check vet test race fuzz-smoke bench verify verify-telemetry
+.PHONY: build fmt-check vet test race fuzz-smoke bench bench-compare determinism verify verify-telemetry
 
 build:
 	$(GO) build ./...
@@ -25,11 +25,23 @@ fuzz-smoke:
 	$(GO) test ./internal/etl -run='^$$' -fuzz=FuzzParseStrict -fuzztime=10s
 	$(GO) test ./internal/etl -run='^$$' -fuzz=FuzzParseLenient -fuzztime=10s
 
-# Measures the pipeline hot paths (parse, featurize, train, detect) and
-# writes BENCH_baseline.json; diff it against the committed baseline to
-# spot perf regressions.
+# Measures the pipeline hot paths (parse, featurize, artifacts,
+# select-train, train, gridsearch, detect) and writes
+# BENCH_baseline.json; diff it against the committed baseline to spot
+# perf regressions.
 bench:
 	$(GO) run ./cmd/leaps-bench -perf-baseline BENCH_baseline.json
+
+# Reruns the benchmark suite and fails on >20% ns/op regressions against
+# the committed baseline. Warn-only in verify: absolute timings from the
+# committed baseline's machine don't transfer to arbitrary CI hosts.
+bench-compare:
+	./scripts/bench-compare.sh
+
+# Proves parallelism-invariance: EvaluateRuns and GridSearch produce
+# identical results for any worker count, under the race detector.
+determinism:
+	$(GO) test -race -run 'TestEvaluateRunsParallelDeterminism|TestEvaluateRunsBuildsArtifactsOnce|TestGridSearchParallel' ./internal/core ./internal/svm
 
 # End-to-end smoke test of the -debug-addr introspection endpoints:
 # generates data, trains, then scrapes /metrics, /spans and pprof from a
@@ -37,4 +49,5 @@ bench:
 verify-telemetry:
 	./scripts/verify-telemetry.sh
 
-verify: build fmt-check vet test race fuzz-smoke verify-telemetry
+verify: build fmt-check vet test race determinism fuzz-smoke verify-telemetry
+	./scripts/bench-compare.sh -w

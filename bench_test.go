@@ -13,6 +13,7 @@ package leaps_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	leaps "repro"
@@ -64,7 +65,7 @@ func evalDataset(b *testing.B, name string) {
 	var last *core.EvalResult
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := core.Evaluate(logs.Benign, logs.Mixed, logs.Malicious, benchConfig())
+		res, err := core.Evaluate(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, benchConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -149,13 +150,13 @@ func BenchmarkAblationWeights(b *testing.B) {
 	var intact, shuffled *core.EvalResult
 	for i := 0; i < b.N; i++ {
 		cfg := benchConfig()
-		res, err := core.Evaluate(logs.Benign, logs.Mixed, logs.Malicious, cfg)
+		res, err := core.Evaluate(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		intact = res
 		cfg.ShuffleWeights = true
-		if shuffled, err = core.Evaluate(logs.Benign, logs.Mixed, logs.Malicious, cfg); err != nil {
+		if shuffled, err = core.Evaluate(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -170,13 +171,13 @@ func BenchmarkAblationDensity(b *testing.B) {
 	var with, without *core.EvalResult
 	for i := 0; i < b.N; i++ {
 		cfg := benchConfig()
-		res, err := core.Evaluate(logs.Benign, logs.Mixed, logs.Malicious, cfg)
+		res, err := core.Evaluate(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		with = res
 		cfg.Weight.DisableDensityEstimate = true
-		if without, err = core.Evaluate(logs.Benign, logs.Mixed, logs.Malicious, cfg); err != nil {
+		if without, err = core.Evaluate(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -193,7 +194,7 @@ func BenchmarkAblationWindow(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := benchConfig()
 				cfg.Window = w
-				res, err := core.Evaluate(logs.Benign, logs.Mixed, logs.Malicious, cfg)
+				res, err := core.Evaluate(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -229,7 +230,7 @@ func BenchmarkAblationNoise(b *testing.B) {
 			var last *core.EvalResult
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := core.Evaluate(logs.Benign, logs.Mixed, logs.Malicious, benchConfig())
+				res, err := core.Evaluate(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, benchConfig())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -257,7 +258,7 @@ func BenchmarkAblationKernel(b *testing.B) {
 			var last *core.EvalResult
 			for i := 0; i < b.N; i++ {
 				cfg := core.Config{Seed: 1, FixedParams: &svm.Params{Lambda: 8, Kernel: kk.k}}
-				res, err := core.Evaluate(logs.Benign, logs.Mixed, logs.Malicious, cfg)
+				res, err := core.Evaluate(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -13,6 +13,8 @@
 //	leaps-bench -all -runs 10           # everything at paper fidelity
 //	leaps-bench -table1 -csv            # machine-readable output
 //	leaps-bench -perf-baseline BENCH_baseline.json   # perf baseline (ns/op, MB/s)
+//	leaps-bench -perf-compare BENCH_baseline.json    # fail on >20% ns/op regressions
+//	leaps-bench -all -runs 10 -parallel 0            # paper fidelity, parallel pipeline
 package main
 
 import (
@@ -52,7 +54,10 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 0, "base seed (0 = fixed default)")
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		quiet      = fs.Bool("q", false, "suppress per-dataset progress")
+		parallel   = fs.Int("parallel", 0, "per-dataset pipeline worker bound (0 = serial inside datasets; datasets already run concurrently)")
 		perfOut    = fs.String("perf-baseline", "", "benchmark pipeline hot paths and write a JSON baseline to this file")
+		perfCmp    = fs.String("perf-compare", "", "benchmark pipeline hot paths and diff against this committed baseline (fails on >20% ns/op regressions)")
+		perfWarn   = fs.Bool("perf-warn", false, "report -perf-compare regressions as warnings instead of failing")
 		debugAddr  = fs.String("debug-addr", "", "serve /metrics, /spans and pprof on this address while running")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -67,7 +72,7 @@ func run(args []string) error {
 		defer srv.Close()
 		slogx.Info("debug server listening", "addr", srv.Addr)
 	}
-	opts := experiments.Options{Runs: *runs, Seed: *seed}
+	opts := experiments.Options{Runs: *runs, Seed: *seed, Parallel: *parallel}
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
@@ -86,6 +91,12 @@ func run(args []string) error {
 	if *perfOut != "" {
 		any = true
 		if err := runPerfBaseline(*perfOut); err != nil {
+			return err
+		}
+	}
+	if *perfCmp != "" {
+		any = true
+		if err := runPerfCompare(*perfCmp, *perfWarn); err != nil {
 			return err
 		}
 	}
@@ -200,7 +211,7 @@ func run(args []string) error {
 	}
 	if !any {
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -table1, -fig2..-fig7, -cases, -ablations, -perf-baseline or -all")
+		return fmt.Errorf("nothing to do: pass -table1, -fig2..-fig7, -cases, -ablations, -perf-baseline, -perf-compare or -all")
 	}
 	fmt.Fprintf(os.Stderr, "total: %.1fs\n", time.Since(start).Seconds())
 	return nil

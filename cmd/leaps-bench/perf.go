@@ -3,11 +3,15 @@ package main
 // Performance baseline: measures the pipeline's hot paths with
 // testing.Benchmark and writes the results as JSON, so perf regressions
 // show up as diffs against a committed BENCH_baseline.json.
+// -perf-compare re-runs the same suite and fails on >20% ns/op
+// regressions against the committed baseline.
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"testing"
@@ -57,49 +61,72 @@ func toPerfResult(name string, r testing.BenchmarkResult) perfResult {
 	return out
 }
 
-// runPerfBaseline benchmarks parse, featurize, train and detect on a
-// reduced fixed dataset and writes the JSON baseline to path.
-func runPerfBaseline(path string) error {
+// gridProblem synthesises a deterministic two-class problem with enough
+// label noise that every (λ, σ²) grid point does real cross-validation
+// work.
+func gridProblem() svm.Problem {
+	rng := rand.New(rand.NewSource(7))
+	var p svm.Problem
+	for i := 0; i < 40; i++ {
+		p.X = append(p.X, []float64{rng.NormFloat64() * 0.4, rng.NormFloat64() * 0.4})
+		p.Y = append(p.Y, 1)
+		p.X = append(p.X, []float64{2 + rng.NormFloat64()*0.4, 2 + rng.NormFloat64()*0.4})
+		p.Y = append(p.Y, -1)
+	}
+	for i := 0; i < len(p.Y); i += 9 {
+		p.Y[i] = -p.Y[i]
+	}
+	return p
+}
+
+// runPerfSuite benchmarks the pipeline's hot paths — raw parse,
+// featurisation, the two pipeline tiers (artifact build, per-seed
+// selection+train), the whole training path, parallel grid search and
+// detection — on a reduced fixed dataset.
+func runPerfSuite() (*perfBaseline, error) {
 	const name = "vim_reverse_tcp"
 	spec, err := dataset.ByName(name)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	// Reduced volumes keep the whole baseline run under a minute while
 	// still exercising every stage.
 	spec.BenignEvents, spec.MixedEvents, spec.MaliciousEvents = 2000, 2000, 1000
 	logs, err := spec.Generate(1)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var buf bytes.Buffer
 	if err := etl.WriteLogs(&buf, logs.Benign); err != nil {
-		return err
+		return nil, err
 	}
 	rawBenign := buf.Bytes()
 
+	ctx := context.Background()
 	cfg := core.Config{
 		Seed:        1,
 		FixedParams: &svm.Params{Lambda: 8, Kernel: svm.RBFKernel{Sigma2: 2}},
 	}
 	part, err := partition.Split(logs.Benign)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	enc, err := preprocess.Fit(part.Events, preprocess.Config{})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	td, err := core.BuildTrainingData(logs.Benign, logs.Mixed, cfg)
+	art, err := core.BuildArtifacts(ctx, logs.Benign, logs.Mixed, cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	clf, err := td.Train()
+	clf, err := art.Select(cfg.Seed).Train(ctx)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	prob := gridProblem()
+	grid := svm.DefaultGrid()
 
-	base := perfBaseline{
+	base := &perfBaseline{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
@@ -127,6 +154,26 @@ func runPerfBaseline(path string) error {
 		}
 	})))
 
+	base.Results = append(base.Results, toPerfResult("artifacts", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BuildArtifacts(ctx, logs.Benign, logs.Mixed, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})))
+
+	base.Results = append(base.Results, toPerfResult("select-train", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Vary the seed as EvaluateRuns does: this is the per-run
+			// marginal cost once artifacts exist.
+			if _, err := art.Select(cfg.Seed + int64(i)*7919).Train(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})))
+
 	base.Results = append(base.Results, toPerfResult("train", testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -135,6 +182,15 @@ func runPerfBaseline(path string) error {
 				b.Fatal(err)
 			}
 			if _, err := td.Train(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})))
+
+	base.Results = append(base.Results, toPerfResult("gridsearch", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := svm.GridSearch(prob, grid); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -149,26 +205,111 @@ func runPerfBaseline(path string) error {
 		}
 	})))
 
+	return base, nil
+}
+
+func printPerfResults(results []perfResult) {
+	for _, r := range results {
+		line := fmt.Sprintf("%-12s %12.0f ns/op %8d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+		if r.MBPerSec > 0 {
+			line += fmt.Sprintf(" %8.1f MB/s", r.MBPerSec)
+		}
+		fmt.Println(line)
+	}
+}
+
+// runPerfBaseline benchmarks the hot paths and writes the JSON baseline
+// to path.
+func runPerfBaseline(path string) error {
+	base, err := runPerfSuite()
+	if err != nil {
+		return err
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	enc2 := json.NewEncoder(f)
-	enc2.SetIndent("", "  ")
-	if err := enc2.Encode(base); err != nil {
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
 		f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	for _, r := range base.Results {
-		line := fmt.Sprintf("%-10s %12.0f ns/op %8d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
-		if r.MBPerSec > 0 {
-			line += fmt.Sprintf(" %8.1f MB/s", r.MBPerSec)
-		}
-		fmt.Println(line)
-	}
+	printPerfResults(base.Results)
 	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// perfRegressionThreshold flags fresh runs slower than baseline by more
+// than this ratio (>20% ns/op).
+const perfRegressionThreshold = 1.20
+
+// runPerfCompare re-runs the benchmark suite and diffs it against the
+// committed baseline at path. Regressions beyond the threshold fail the
+// run unless warnOnly is set. Benchmarks present on only one side are
+// reported but never fail the comparison (new entries appear when the
+// suite grows).
+func runPerfCompare(path string, warnOnly bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var committed perfBaseline
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	old := make(map[string]perfResult, len(committed.Results))
+	for _, r := range committed.Results {
+		old[r.Name] = r
+	}
+
+	fresh, err := runPerfSuite()
+	if err != nil {
+		return err
+	}
+
+	var regressions []string
+	for _, r := range fresh.Results {
+		o, ok := old[r.Name]
+		if !ok {
+			fmt.Printf("%-12s %12.0f ns/op   (new, not in baseline)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		ratio := r.NsPerOp / o.NsPerOp
+		status := "ok"
+		if ratio > perfRegressionThreshold {
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx)", r.Name, o.NsPerOp, r.NsPerOp, ratio))
+		}
+		fmt.Printf("%-12s %12.0f ns/op  baseline %12.0f  %5.2fx  %s\n", r.Name, r.NsPerOp, o.NsPerOp, ratio, status)
+	}
+	for _, o := range committed.Results {
+		found := false
+		for _, r := range fresh.Results {
+			if r.Name == o.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("%-12s missing from fresh run (present in baseline)\n", o.Name)
+		}
+	}
+	if len(regressions) > 0 {
+		msg := fmt.Sprintf("%d perf regression(s) vs %s (threshold %.0f%%):", len(regressions), path, (perfRegressionThreshold-1)*100)
+		for _, r := range regressions {
+			msg += "\n  " + r
+		}
+		if warnOnly {
+			fmt.Fprintln(os.Stderr, "warning:", msg)
+			return nil
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	fmt.Printf("no perf regressions vs %s\n", path)
 	return nil
 }

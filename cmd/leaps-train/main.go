@@ -5,7 +5,8 @@
 // Usage:
 //
 //	leaps-train -benign b.letl -mixed m.letl -model out.model \
-//	    [-app vim.exe] [-window 10] [-lambda 8 -sigma2 2] [-seed 1] [-lenient] \
+//	    [-app vim.exe] [-window 10] [-lambda 8 -sigma2 2] [-seed 1] \
+//	    [-seeds 1,2,3] [-parallel N] [-lenient] \
 //	    [-quiet] [-verbose] [-log-json] [-debug-addr 127.0.0.1:6060] \
 //	    [-telemetry-out report.json]
 //
@@ -14,6 +15,14 @@
 // corrupt records in the training logs are skipped and reported instead
 // of rejecting the file.
 //
+// -seeds trains one model per data-selection seed while building the
+// seed-independent pipeline artifacts (partitioning, feature clustering,
+// CFG inference, weight assessment) exactly once; each extra model costs
+// only its own sampling and SVM fit. Models beyond the first are written
+// to <model>.seed<N>. -parallel bounds the pipeline's internal worker
+// pools (0 = all processors, 1 = serial); results are identical either
+// way.
+//
 // A telemetry report (pipeline metrics plus stage timings) is written
 // next to the model as <model>.telemetry.json; -telemetry-out overrides
 // the path and -telemetry-out none disables it. -debug-addr serves live
@@ -21,9 +30,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/etl"
@@ -51,6 +63,8 @@ func run(args []string) error {
 		lambda       = fs.Float64("lambda", 0, "fixed λ (0 = grid search)")
 		sigma2       = fs.Float64("sigma2", 0, "fixed Gaussian σ² (0 = grid search)")
 		seed         = fs.Int64("seed", 1, "data-selection seed")
+		seeds        = fs.String("seeds", "", "comma-separated seeds: one model per seed from shared artifacts (overrides -seed)")
+		parallel     = fs.Int("parallel", 0, "pipeline worker bound (0 = all processors, 1 = serial)")
 		lenient      = fs.Bool("lenient", false, "skip corrupt log records instead of rejecting the file")
 		quiet        = fs.Bool("quiet", false, "only warnings and errors")
 		verbose      = fs.Bool("verbose", false, "debug-level logging")
@@ -83,37 +97,49 @@ func run(args []string) error {
 		return err
 	}
 
-	cfg := core.Config{Window: *window, Seed: *seed}
+	seedList, err := parseSeeds(*seeds, *seed)
+	if err != nil {
+		return err
+	}
+
+	cfg := core.Config{Window: *window, Seed: seedList[0], Parallel: *parallel}
 	if *lambda > 0 && *sigma2 > 0 {
 		cfg.FixedParams = &svm.Params{Lambda: *lambda, Kernel: svm.RBFKernel{Sigma2: *sigma2}}
 	}
-	td, err := core.BuildTrainingData(benign, mixed, cfg)
+	ctx := context.Background()
+	art, err := core.BuildArtifacts(ctx, benign, mixed, cfg)
 	if err != nil {
 		return err
 	}
 	slogx.Info("inferred CFGs",
-		"benign_nodes", td.BenignCFG.Graph.NumNodes(), "benign_edges", td.BenignCFG.Graph.NumEdges(),
-		"mixed_nodes", td.MixedCFG.Graph.NumNodes(), "mixed_edges", td.MixedCFG.Graph.NumEdges())
+		"benign_nodes", art.BenignCFG.Graph.NumNodes(), "benign_edges", art.BenignCFG.Graph.NumEdges(),
+		"mixed_nodes", art.MixedCFG.Graph.NumNodes(), "mixed_edges", art.MixedCFG.Graph.NumEdges())
 	slogx.Info("assessed weights",
-		"connected_paths", td.Weights.ConnectedPaths,
-		"estimated_paths", td.Weights.EstimatedPaths,
-		"outside_paths", td.Weights.OutsidePaths)
+		"connected_paths", art.Weights.ConnectedPaths,
+		"estimated_paths", art.Weights.EstimatedPaths,
+		"outside_paths", art.Weights.OutsidePaths)
 
-	clf, err := td.Train()
-	if err != nil {
-		return err
+	for i, s := range seedList {
+		clf, err := art.Select(s).Train(ctx)
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", s, err)
+		}
+		slogx.Info("trained WSVM",
+			"seed", s,
+			"support_vectors", clf.Model().NumSVs(),
+			"smo_iterations", clf.Model().Iters,
+			"objective", clf.Model().Objective,
+			"lambda", clf.Params().Lambda,
+			"kernel", fmt.Sprint(clf.Params().Kernel))
+		path := *modelPath
+		if i > 0 {
+			path = fmt.Sprintf("%s.seed%d", *modelPath, s)
+		}
+		if err := saveModel(path, clf); err != nil {
+			return err
+		}
+		slogx.Info("wrote model", "path", path)
 	}
-	slogx.Info("trained WSVM",
-		"support_vectors", clf.Model().NumSVs(),
-		"smo_iterations", clf.Model().Iters,
-		"objective", clf.Model().Objective,
-		"lambda", clf.Params().Lambda,
-		"kernel", fmt.Sprint(clf.Params().Kernel))
-
-	if err := saveModel(*modelPath, clf); err != nil {
-		return err
-	}
-	slogx.Info("wrote model", "path", *modelPath)
 
 	if path := reportPath(*telemetryOut, *modelPath); path != "" {
 		if err := telemetry.WriteJSONFile(path); err != nil {
@@ -122,6 +148,23 @@ func run(args []string) error {
 		slogx.Info("wrote telemetry report", "path", path)
 	}
 	return nil
+}
+
+// parseSeeds resolves -seeds/-seed: an empty -seeds keeps the single
+// -seed; otherwise the comma-separated list wins.
+func parseSeeds(list string, single int64) ([]int64, error) {
+	if list == "" {
+		return []int64{single}, nil
+	}
+	var out []int64
+	for _, part := range strings.Split(list, ",") {
+		s, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -seeds entry %q: %w", part, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
 }
 
 // reportPath resolves the -telemetry-out flag: empty derives the report

@@ -61,6 +61,28 @@ func TestRunTrainsAndSavesModel(t *testing.T) {
 	}
 }
 
+func TestRunMultiSeed(t *testing.T) {
+	dir := t.TempDir()
+	benign, mixed, _ := writeDataset(t, dir)
+	model := filepath.Join(dir, "out.model")
+	err := run([]string{
+		"-benign", benign, "-mixed", mixed, "-model", model,
+		"-lambda", "8", "-sigma2", "2", "-seeds", "1, 2", "-lenient",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{model, model + ".seed2"} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("model file %s is empty", path)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{}); err == nil {
 		t.Error("missing inputs accepted")

@@ -4,6 +4,11 @@
 // both the paper's evaluation protocol (benign/mixed/malicious dataset
 // triples, §V) and a user-facing Detector for applying a trained model to
 // new logs.
+//
+// The training pipeline is two-tiered: BuildArtifacts computes every
+// seed-independent artifact once per dataset, and Artifacts.Select
+// derives the cheap per-seed Selection (split, sampling, weight shuffle)
+// that the trainers and the evaluation protocol consume.
 package core
 
 import (
@@ -14,7 +19,6 @@ import (
 	"math/rand"
 
 	"repro/internal/callgraph"
-	"repro/internal/cfg"
 	"repro/internal/metrics"
 	"repro/internal/partition"
 	"repro/internal/preprocess"
@@ -72,6 +76,13 @@ type Config struct {
 	AlignCFGs bool
 	// Seed drives data selection (and weight shuffling).
 	Seed int64
+	// Parallel bounds the worker pools of the pipeline's concurrent
+	// sections: the benign/mixed branches of artifact building, the grid
+	// points of model selection, and the runs of EvaluateRuns. 0 uses
+	// every processor; 1 forces the serial path. Every randomised step
+	// derives its RNG from its own seed, so results are identical for
+	// any Parallel value.
+	Parallel int
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +112,9 @@ func (c Config) Validate() error {
 	if c.SampleFraction < 0 || c.SampleFraction > 1 {
 		return fmt.Errorf("core: SampleFraction %v out of [0,1]", c.SampleFraction)
 	}
+	if c.Parallel < 0 {
+		return fmt.Errorf("core: Parallel %d must be non-negative", c.Parallel)
+	}
 	return nil
 }
 
@@ -110,141 +124,36 @@ type window struct {
 	start int // first event ordinal
 }
 
-// TrainingData is the assembled training-phase state, exposed so tools can
-// inspect intermediate artifacts (CFGs, weights, encoders).
+// TrainingData is the classic single-seed view over the two pipeline
+// tiers: the seed-independent Artifacts plus the Selection derived from
+// Config.Seed. Tools use it to inspect intermediate artifacts (CFGs,
+// weights, encoders).
 type TrainingData struct {
-	Encoder *preprocess.Encoder
-	Scaler  *svm.Scaler
-
-	// BenignCFG and MixedCFG are the inferred application CFGs.
-	BenignCFG *cfg.Inference
-	MixedCFG  *cfg.Inference
-	// Weights is the Algorithm-2 assessment of the mixed log.
-	Weights *weight.Result
-	// Alignment is the mixed→benign CFG alignment, set only when
-	// Config.AlignCFGs was enabled.
-	Alignment *cfg.Alignment
-
-	// BenignPart and MixedPart are the partitioned training logs.
-	BenignPart *partition.Log
-	MixedPart  *partition.Log
-
-	// benignTrain/benignTest are the benign windows after the 50/50
-	// split; mixed holds all mixed windows with their weights.
-	benignTrain []window
-	benignTest  []window
-	mixed       []window
-	mixedWeight []float64
-
-	cfg Config
+	*Artifacts
+	sel *Selection
 }
 
 // unscoredBenignity is the benignity default for events that contributed
 // no CFG path: maximal uncertainty.
 const unscoredBenignity = 0.5
 
-// BuildTrainingData runs the training-phase data pipeline on a benign and
-// a mixed log: partition, fit the feature encoder, infer both CFGs, assess
-// weights and coalesce windows.
+// BuildTrainingData runs the full training-phase data pipeline on a
+// benign and a mixed log: BuildArtifacts plus the Config.Seed selection.
 func BuildTrainingData(benign, mixed *trace.Log, config Config) (*TrainingData, error) {
-	config = config.withDefaults()
-	if err := config.Validate(); err != nil {
-		return nil, err
-	}
-	if benign == nil || mixed == nil {
-		return nil, errors.New("core: nil training log")
-	}
-	ctx, sp := telemetry.StartSpan(context.Background(), "train/build")
-	defer sp.End()
-	td := &TrainingData{cfg: config}
-
-	var err error
-	_, spPart := telemetry.StartSpan(ctx, "partition")
-	if td.BenignPart, err = partition.Split(benign); err != nil {
-		spPart.End()
-		return nil, fmt.Errorf("core: partitioning benign log: %w", err)
-	}
-	if td.MixedPart, err = partition.Split(mixed); err != nil {
-		spPart.End()
-		return nil, fmt.Errorf("core: partitioning mixed log: %w", err)
-	}
-	spPart.End()
-
-	// Feature encoder fitted on all training events so cluster ids are
-	// consistent across the benign and mixed sets.
-	fitEvents := make([]partition.Event, 0, td.BenignPart.Len()+td.MixedPart.Len())
-	fitEvents = append(fitEvents, td.BenignPart.Events...)
-	fitEvents = append(fitEvents, td.MixedPart.Events...)
-	_, spFit := telemetry.StartSpan(ctx, "preprocess")
-	if td.Encoder, err = preprocess.Fit(fitEvents, config.Preprocess); err != nil {
-		spFit.End()
-		return nil, err
-	}
-	spFit.End()
-
-	// CFG inference and weight assessment.
-	_, spCFG := telemetry.StartSpan(ctx, "cfg")
-	if td.BenignCFG, err = cfg.Infer(td.BenignPart); err != nil {
-		spCFG.End()
-		return nil, err
-	}
-	if td.MixedCFG, err = cfg.Infer(td.MixedPart); err != nil {
-		spCFG.End()
-		return nil, err
-	}
-	spCFG.End()
-	_, spW := telemetry.StartSpan(ctx, "weights")
-	if config.AlignCFGs {
-		td.Alignment = cfg.AlignGraphs(td.BenignCFG.Graph, td.MixedCFG.Graph)
-		td.Weights, err = weight.AssessAligned(td.BenignCFG.Graph, td.MixedCFG, td.Alignment, config.Weight)
-	} else {
-		td.Weights, err = weight.Assess(td.BenignCFG.Graph, td.MixedCFG, config.Weight)
-	}
-	spW.End()
+	art, err := BuildArtifacts(context.Background(), benign, mixed, config)
 	if err != nil {
 		return nil, err
 	}
-
-	// Coalesce windows.
-	_, spCo := telemetry.StartSpan(ctx, "coalesce")
-	benignWins, err := coalesce(td.Encoder, td.BenignPart, config.Window)
-	if err != nil {
-		spCo.End()
-		return nil, err
-	}
-	mixedWins, err := coalesce(td.Encoder, td.MixedPart, config.Window)
-	spCo.End()
-	if err != nil {
-		return nil, err
-	}
-
-	// 50/50 benign split (deterministic by seed).
-	rng := rand.New(rand.NewSource(config.Seed))
-	perm := rng.Perm(len(benignWins))
-	nTrain := int(float64(len(benignWins)) * config.TrainFraction)
-	for i, p := range perm {
-		if i < nTrain {
-			td.benignTrain = append(td.benignTrain, benignWins[p])
-		} else {
-			td.benignTest = append(td.benignTest, benignWins[p])
-		}
-	}
-
-	// Mixed windows with CFG-derived weights: the WSVM cost cᵢ is the
-	// confidence that the negative label is correct, 1 − benignity.
-	td.mixed = mixedWins
-	td.mixedWeight = make([]float64, len(mixedWins))
-	for i, w := range mixedWins {
-		benignity := td.Weights.MeanBenignity(w.start, w.start+config.Window, unscoredBenignity)
-		td.mixedWeight[i] = 1 - benignity
-	}
-	if config.ShuffleWeights {
-		rng.Shuffle(len(td.mixedWeight), func(i, j int) {
-			td.mixedWeight[i], td.mixedWeight[j] = td.mixedWeight[j], td.mixedWeight[i]
-		})
-	}
-	return td, nil
+	return art.TrainingData(), nil
 }
+
+// TrainingData bundles the artifacts with the Config.Seed selection.
+func (a *Artifacts) TrainingData() *TrainingData {
+	return &TrainingData{Artifacts: a, sel: a.Select(a.cfg.Seed)}
+}
+
+// Selection exposes the per-seed tier (benign split, effective weights).
+func (td *TrainingData) Selection() *Selection { return td.sel }
 
 // coalesce encodes and windows one partitioned log.
 func coalesce(enc *preprocess.Encoder, log *partition.Log, windowSize int) ([]window, error) {
@@ -260,63 +169,65 @@ func coalesce(enc *preprocess.Encoder, log *partition.Log, windowSize int) ([]wi
 	return out, nil
 }
 
-// sampleWindows draws ⌈fraction·n⌉ windows without replacement. It rejects
-// an empty window set (ErrNoWindows) and a non-positive or NaN fraction
-// (ErrBadSampleFraction) instead of silently producing zero samples.
-func sampleWindows(rng *rand.Rand, wins []window, fraction float64) ([]window, error) {
-	if len(wins) == 0 {
+// sampleIndices draws ⌈fraction·n⌉ indices without replacement. It
+// rejects an empty set (ErrNoWindows) and a non-positive or NaN fraction
+// (ErrBadSampleFraction) instead of silently producing zero samples; a
+// fraction ≥ 1 selects everything in order without consuming the RNG.
+// Every sampling site (benign windows, joint mixed windows + weights)
+// goes through this one function so the rounding and edge-case rules
+// cannot drift apart.
+func sampleIndices(rng *rand.Rand, n int, fraction float64) ([]int, error) {
+	if n == 0 {
 		return nil, ErrNoWindows
 	}
 	if fraction <= 0 || math.IsNaN(fraction) {
 		return nil, fmt.Errorf("%w (got %v)", ErrBadSampleFraction, fraction)
 	}
 	if fraction >= 1 {
-		out := make([]window, len(wins))
-		copy(out, wins)
-		return out, nil
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx, nil
 	}
-	n := int(float64(len(wins))*fraction + 0.5)
-	if n < 1 {
-		n = 1
+	k := int(float64(n)*fraction + 0.5)
+	if k < 1 {
+		k = 1
 	}
-	perm := rng.Perm(len(wins))
-	out := make([]window, 0, n)
-	for _, p := range perm[:n] {
-		out = append(out, wins[p])
+	return rng.Perm(n)[:k], nil
+}
+
+// sampleWindows draws ⌈fraction·n⌉ windows without replacement under the
+// sampleIndices rules.
+func sampleWindows(rng *rand.Rand, wins []window, fraction float64) ([]window, error) {
+	idx, err := sampleIndices(rng, len(wins), fraction)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]window, len(idx))
+	for i, p := range idx {
+		out[i] = wins[p]
 	}
 	return out, nil
 }
 
 // trainProblem assembles the (possibly weighted) SVM problem from sampled
-// training windows. Scaling is fitted here.
-func (td *TrainingData) trainProblem(rng *rand.Rand, weighted bool) (svm.Problem, *svm.Scaler, error) {
-	benign, err := sampleWindows(rng, td.benignTrain, td.cfg.SampleFraction)
+// training windows. Scaling is fitted here. The mixed windows and their
+// weights are sampled jointly by index, through the same sampleIndices
+// rules as the benign windows. It reports the actual sampled set sizes.
+func (s *Selection) trainProblem(rng *rand.Rand, weighted bool) (svm.Problem, *svm.Scaler, int, int, error) {
+	fraction := s.art.cfg.SampleFraction
+	benign, err := sampleWindows(rng, s.benignTrain, fraction)
 	if err != nil {
-		return svm.Problem{}, nil, fmt.Errorf("sampling benign training windows: %w", err)
+		return svm.Problem{}, nil, 0, 0, fmt.Errorf("sampling benign training windows: %w", err)
 	}
-	// Sample mixed windows jointly with their weights.
-	if len(td.mixed) == 0 {
-		return svm.Problem{}, nil, fmt.Errorf("sampling mixed training windows: %w", ErrNoWindows)
+	mixedIdx, err := sampleIndices(rng, len(s.art.mixed), fraction)
+	if err != nil {
+		return svm.Problem{}, nil, 0, 0, fmt.Errorf("sampling mixed training windows: %w", err)
 	}
-	type weighted_ struct {
-		w  window
-		wt float64
-	}
-	all := make([]weighted_, len(td.mixed))
-	for i := range td.mixed {
-		all[i] = weighted_{td.mixed[i], td.mixedWeight[i]}
-	}
-	n := int(float64(len(all))*td.cfg.SampleFraction + 0.5)
-	if n < 1 {
-		n = 1
-	}
-	if td.cfg.SampleFraction >= 1 {
-		n = len(all)
-	}
-	perm := rng.Perm(len(all))
 
 	var prob svm.Problem
-	raw := make([][]float64, 0, len(benign)+n)
+	raw := make([][]float64, 0, len(benign)+len(mixedIdx))
 	for _, w := range benign {
 		raw = append(raw, w.vec)
 		prob.Y = append(prob.Y, 1)
@@ -324,19 +235,19 @@ func (td *TrainingData) trainProblem(rng *rand.Rand, weighted bool) (svm.Problem
 			prob.Weight = append(prob.Weight, 1)
 		}
 	}
-	for _, p := range perm[:n] {
-		raw = append(raw, all[p].w.vec)
+	for _, p := range mixedIdx {
+		raw = append(raw, s.art.mixed[p].vec)
 		prob.Y = append(prob.Y, -1)
 		if weighted {
-			prob.Weight = append(prob.Weight, all[p].wt)
+			prob.Weight = append(prob.Weight, s.mixedWeight[p])
 		}
 	}
 	scaler, err := svm.FitScaler(raw)
 	if err != nil {
-		return svm.Problem{}, nil, err
+		return svm.Problem{}, nil, 0, 0, err
 	}
 	prob.X = scaler.ApplyAll(raw)
-	return prob, scaler, nil
+	return prob, scaler, len(benign), len(mixedIdx), nil
 }
 
 // Classifier is a trained LEAPS model (the WSVM path) ready for the
@@ -353,6 +264,9 @@ type Classifier struct {
 	// can degrade to it when the statistical sections are unusable. Nil
 	// for classifiers loaded from version-1 files.
 	cg *callgraph.Model
+	// trainBenign/trainMixed are the actual sampled training-set sizes
+	// (zero for classifiers loaded from disk).
+	trainBenign, trainMixed int
 }
 
 // Params returns the SVM parameters the classifier was trained with.
@@ -365,21 +279,39 @@ func (c *Classifier) Model() *svm.Model { return c.model }
 // classifier was loaded from a file predating it).
 func (c *Classifier) CallGraph() *callgraph.Model { return c.cg }
 
+// TrainSizes reports the actual sampled training-set sizes (benign and
+// mixed windows); both zero for classifiers loaded from disk.
+func (c *Classifier) TrainSizes() (benign, mixed int) {
+	return c.trainBenign, c.trainMixed
+}
+
 // Train fits the CFG-guided weighted SVM classifier on the training data.
 func (td *TrainingData) Train() (*Classifier, error) {
-	return td.train(true)
+	return td.sel.train(context.Background(), true)
 }
 
 // TrainUnweighted fits the plain-SVM comparison model (all weights 1).
 func (td *TrainingData) TrainUnweighted() (*Classifier, error) {
-	return td.train(false)
+	return td.sel.train(context.Background(), false)
 }
 
-func (td *TrainingData) train(weighted bool) (*Classifier, error) {
-	ctx, sp := telemetry.StartSpan(context.Background(), "train")
+// Train fits the CFG-guided weighted SVM classifier on this selection.
+// Telemetry spans nest under ctx.
+func (s *Selection) Train(ctx context.Context) (*Classifier, error) {
+	return s.train(ctx, true)
+}
+
+// TrainUnweighted fits the plain-SVM comparison model (all weights 1).
+func (s *Selection) TrainUnweighted(ctx context.Context) (*Classifier, error) {
+	return s.train(ctx, false)
+}
+
+func (s *Selection) train(ctx context.Context, weighted bool) (*Classifier, error) {
+	ctx, sp := telemetry.StartSpan(ctx, "train")
 	defer sp.End()
-	rng := rand.New(rand.NewSource(td.cfg.Seed + 1))
-	prob, scaler, err := td.trainProblem(rng, weighted)
+	cfg := s.art.cfg
+	rng := rand.New(rand.NewSource(s.seed + 1))
+	prob, scaler, nBenign, nMixed, err := s.trainProblem(rng, weighted)
 	if err != nil {
 		return nil, err
 	}
@@ -387,11 +319,14 @@ func (td *TrainingData) train(weighted bool) (*Classifier, error) {
 		return nil, err
 	}
 	var params svm.Params
-	if td.cfg.FixedParams != nil {
-		params = *td.cfg.FixedParams
+	if cfg.FixedParams != nil {
+		params = *cfg.FixedParams
 	} else {
-		grid := td.cfg.Grid
-		grid.Seed = td.cfg.Seed
+		grid := cfg.Grid
+		grid.Seed = s.seed
+		if grid.Parallel == 0 {
+			grid.Parallel = cfg.Parallel
+		}
 		_, spGrid := telemetry.StartSpan(ctx, "gridsearch")
 		best, _, err := svm.GridSearch(prob, grid)
 		spGrid.End()
@@ -407,7 +342,7 @@ func (td *TrainingData) train(weighted bool) (*Classifier, error) {
 		return nil, err
 	}
 	_, spCG := telemetry.StartSpan(ctx, "callgraph")
-	cg, err := callgraph.Train(td.BenignPart, td.MixedPart)
+	cg, err := callgraph.Train(s.art.BenignPart, s.art.MixedPart)
 	spCG.End()
 	if err != nil {
 		return nil, err
@@ -416,13 +351,15 @@ func (td *TrainingData) train(weighted bool) (*Classifier, error) {
 	platt := fitPlatt(model, prob)
 	spPlatt.End()
 	return &Classifier{
-		enc:    td.Encoder,
-		scaler: scaler,
-		model:  model,
-		platt:  platt,
-		window: td.cfg.Window,
-		params: params,
-		cg:     cg,
+		enc:         s.art.Encoder,
+		scaler:      scaler,
+		model:       model,
+		platt:       platt,
+		window:      cfg.Window,
+		params:      params,
+		cg:          cg,
+		trainBenign: nBenign,
+		trainMixed:  nMixed,
 	}, nil
 }
 
@@ -456,7 +393,12 @@ type Detection struct {
 // DetectLog applies the classifier to a full log (the testing phase's
 // application slicing is assumed done: one process per log).
 func (c *Classifier) DetectLog(log *trace.Log) ([]Detection, error) {
-	ctx, sp := telemetry.StartSpan(context.Background(), "detect")
+	return c.DetectLogContext(context.Background(), log)
+}
+
+// DetectLogContext is DetectLog with telemetry spans nested under ctx.
+func (c *Classifier) DetectLogContext(ctx context.Context, log *trace.Log) ([]Detection, error) {
+	ctx, sp := telemetry.StartSpan(ctx, "detect")
 	defer sp.End()
 	_, spPart := telemetry.StartSpan(ctx, "partition")
 	part, err := partition.Split(log)

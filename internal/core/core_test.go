@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -80,12 +81,12 @@ func TestBuildTrainingDataArtifacts(t *testing.T) {
 		t.Fatal("no event weights assessed")
 	}
 	// Split sizes: roughly 50/50 of benign windows.
-	total := len(td.benignTrain) + len(td.benignTest)
+	total := len(td.sel.benignTrain) + len(td.sel.benignTest)
 	if total == 0 {
 		t.Fatal("no benign windows")
 	}
-	if d := len(td.benignTrain) - len(td.benignTest); d < -1 || d > 1 {
-		t.Errorf("benign split = %d/%d, want near-even", len(td.benignTrain), len(td.benignTest))
+	if d := len(td.sel.benignTrain) - len(td.sel.benignTest); d < -1 || d > 1 {
+		t.Errorf("benign split = %d/%d, want near-even", len(td.sel.benignTrain), len(td.sel.benignTest))
 	}
 	if len(td.mixed) == 0 || len(td.mixedWeight) != len(td.mixed) {
 		t.Fatalf("mixed windows/weights = %d/%d", len(td.mixed), len(td.mixedWeight))
@@ -159,7 +160,7 @@ func TestEvaluateOrdering(t *testing.T) {
 	for _, name := range []string{"vim_codeinject", "winscp_reverse_tcp_online"} {
 		t.Run(name, func(t *testing.T) {
 			logs := genLogs(t, name, 4)
-			res, err := Evaluate(logs.Benign, logs.Mixed, logs.Malicious, fastConfig(4))
+			res, err := Evaluate(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, fastConfig(4))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -184,21 +185,21 @@ func TestEvaluateOrdering(t *testing.T) {
 
 func TestEvaluateValidation(t *testing.T) {
 	logs := genLogs(t, "vim_reverse_tcp", 5)
-	if _, err := Evaluate(logs.Benign, logs.Mixed, nil, fastConfig(5)); err == nil {
+	if _, err := Evaluate(context.Background(), logs.Benign, logs.Mixed, nil, fastConfig(5)); err == nil {
 		t.Error("nil malicious accepted")
 	}
 }
 
 func TestEvaluateRuns(t *testing.T) {
 	logs := genLogs(t, "vim_reverse_tcp", 6)
-	res, err := EvaluateRuns(logs.Benign, logs.Mixed, logs.Malicious, fastConfig(6), 2)
+	res, err := EvaluateRuns(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, fastConfig(6), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.IsNaN(res.WSVM.ACC) || res.WSVM.ACC <= 0.5 {
 		t.Errorf("averaged WSVM ACC = %v", res.WSVM.ACC)
 	}
-	if _, err := EvaluateRuns(logs.Benign, logs.Mixed, logs.Malicious, fastConfig(6), 0); err == nil {
+	if _, err := EvaluateRuns(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, fastConfig(6), 0); err == nil {
 		t.Error("runs=0 accepted")
 	}
 }
@@ -206,12 +207,12 @@ func TestEvaluateRuns(t *testing.T) {
 func TestShuffleWeightsAblationDegrades(t *testing.T) {
 	logs := genLogs(t, "winscp_reverse_tcp", 7)
 	cfg := fastConfig(7)
-	normal, err := EvaluateRuns(logs.Benign, logs.Mixed, logs.Malicious, cfg, 2)
+	normal, err := EvaluateRuns(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, cfg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.ShuffleWeights = true
-	shuffled, err := EvaluateRuns(logs.Benign, logs.Mixed, logs.Malicious, cfg, 2)
+	shuffled, err := EvaluateRuns(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, cfg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,11 +225,11 @@ func TestShuffleWeightsAblationDegrades(t *testing.T) {
 
 func TestDeterministicEvaluate(t *testing.T) {
 	logs := genLogs(t, "putty_reverse_tcp", 8)
-	a, err := Evaluate(logs.Benign, logs.Mixed, logs.Malicious, fastConfig(8))
+	a, err := Evaluate(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, fastConfig(8))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Evaluate(logs.Benign, logs.Mixed, logs.Malicious, fastConfig(8))
+	b, err := Evaluate(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, fastConfig(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestDeterministicEvaluate(t *testing.T) {
 
 func TestEvaluateWithHMM(t *testing.T) {
 	logs := genLogs(t, "vim_reverse_tcp", 9)
-	res, err := EvaluateWithHMM(logs.Benign, logs.Mixed, logs.Malicious, fastConfig(9))
+	res, err := EvaluateWithHMM(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, fastConfig(9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestEvaluateWithHMM(t *testing.T) {
 		t.Errorf("HMM ACC = %v, want informative classifier", res.HMM.ACC)
 	}
 	// Plain Evaluate must not spend time on the HMM.
-	plain, err := Evaluate(logs.Benign, logs.Mixed, logs.Malicious, fastConfig(9))
+	plain, err := Evaluate(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, fastConfig(9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestEvaluateWithHMM(t *testing.T) {
 
 func TestEvaluateReportsAUC(t *testing.T) {
 	logs := genLogs(t, "vim_reverse_tcp", 10)
-	res, err := Evaluate(logs.Benign, logs.Mixed, logs.Malicious, fastConfig(10))
+	res, err := Evaluate(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, fastConfig(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,12 +287,12 @@ func TestAlignCFGsOnSourceTrojan(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := fastConfig(33)
-	unaligned, err := Evaluate(logs.Benign, logs.Mixed, logs.Malicious, cfg)
+	unaligned, err := Evaluate(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.AlignCFGs = true
-	aligned, err := Evaluate(logs.Benign, logs.Mixed, logs.Malicious, cfg)
+	aligned, err := Evaluate(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestAlignCFGsOnSourceTrojan(t *testing.T) {
 
 func TestEvaluateOneClass(t *testing.T) {
 	logs := genLogs(t, "vim_reverse_tcp", 12)
-	s, err := EvaluateOneClass(logs.Benign, logs.Malicious, fastConfig(12))
+	s, err := EvaluateOneClass(context.Background(), logs.Benign, logs.Malicious, fastConfig(12))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,17 +327,17 @@ func TestEvaluateOneClass(t *testing.T) {
 	}
 	// ...and the known headline result: without mixed training data it
 	// cannot compete with the CFG-guided WSVM.
-	res, err := Evaluate(logs.Benign, logs.Mixed, logs.Malicious, fastConfig(12))
+	res, err := Evaluate(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, fastConfig(12))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s.ACC >= res.WSVM.ACC {
 		t.Errorf("one-class ACC %v unexpectedly beats WSVM %v", s.ACC, res.WSVM.ACC)
 	}
-	if _, err := EvaluateOneClass(nil, logs.Malicious, fastConfig(12)); err == nil {
+	if _, err := EvaluateOneClass(context.Background(), nil, logs.Malicious, fastConfig(12)); err == nil {
 		t.Error("nil benign accepted")
 	}
-	if _, err := EvaluateOneClass(logs.Benign, nil, fastConfig(12)); err == nil {
+	if _, err := EvaluateOneClass(context.Background(), logs.Benign, nil, fastConfig(12)); err == nil {
 		t.Error("nil malicious accepted")
 	}
 }

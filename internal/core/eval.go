@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/callgraph"
 	"repro/internal/metrics"
@@ -30,54 +32,59 @@ type EvalResult struct {
 	// CGraphUndecidedFrac is the fraction of test windows the call-graph
 	// model could not decide (counted as misclassified above).
 	CGraphUndecidedFrac float64
-	// TrainBenign, TrainMixed, TestBenign, TestMalicious are the sampled
-	// set sizes.
+	// TrainBenign, TrainMixed, TestBenign, TestMalicious are the actual
+	// sampled set sizes.
 	TrainBenign, TrainMixed, TestBenign, TestMalicious int
 	// MeanMixedWeight is the average WSVM cost over mixed training
 	// windows (diagnostic: how much the CFG pruned).
 	MeanMixedWeight float64
 }
 
-// Evaluate runs the full §V protocol once: build training data from the
-// benign and mixed logs, train CGraph, SVM and WSVM, and test all three on
-// held-out benign windows (positives) and pure-malicious windows
-// (negatives).
-func Evaluate(benign, mixed, malicious *trace.Log, config Config) (*EvalResult, error) {
-	return evaluate(benign, mixed, malicious, config, false)
+// evalData bundles the seed-independent state shared by every evaluation
+// run on one dataset triple: the training artifacts plus the partitioned
+// and coalesced pure-malicious log.
+type evalData struct {
+	art     *Artifacts
+	malPart *partition.Log
+	malWins []window
 }
 
-// EvaluateWithHMM is Evaluate plus the §VI-B HMM extension model as a
-// fourth classifier.
-func EvaluateWithHMM(benign, mixed, malicious *trace.Log, config Config) (*EvalResult, error) {
-	return evaluate(benign, mixed, malicious, config, true)
-}
-
-func evaluate(benign, mixed, malicious *trace.Log, config Config, includeHMM bool) (*EvalResult, error) {
+// buildEvalData computes the per-dataset tier once. Both the training
+// artifacts and the malicious windows depend only on the logs and the
+// configuration, never on the run seed.
+func buildEvalData(ctx context.Context, benign, mixed, malicious *trace.Log, config Config) (*evalData, error) {
 	if malicious == nil {
 		return nil, errors.New("core: nil malicious log")
 	}
-	config = config.withDefaults()
-	td, err := BuildTrainingData(benign, mixed, config)
+	art, err := BuildArtifacts(ctx, benign, mixed, config)
 	if err != nil {
 		return nil, err
 	}
-
 	malPart, err := partition.Split(malicious)
 	if err != nil {
 		return nil, fmt.Errorf("core: partitioning malicious log: %w", err)
 	}
-	malWins, err := coalesce(td.Encoder, malPart, config.Window)
+	malWins, err := coalesce(art.Encoder, malPart, art.cfg.Window)
 	if err != nil {
 		return nil, err
 	}
+	return &evalData{art: art, malPart: malPart, malWins: malWins}, nil
+}
+
+// run executes one seed's selection, training and testing on the shared
+// evaluation data. It only reads the shared state, so seed-varied runs
+// may execute concurrently.
+func (ed *evalData) run(ctx context.Context, seed int64, includeHMM bool) (*EvalResult, error) {
+	cfg := ed.art.cfg
+	sel := ed.art.Select(seed)
 
 	// Test-set sampling (the same 20% protocol as training).
-	rng := rand.New(rand.NewSource(config.Seed + 2))
-	testBenign, err := sampleWindows(rng, td.benignTest, config.SampleFraction)
+	rng := rand.New(rand.NewSource(seed + 2))
+	testBenign, err := sampleWindows(rng, sel.benignTest, cfg.SampleFraction)
 	if err != nil {
 		return nil, fmt.Errorf("sampling benign test windows: %w", err)
 	}
-	testMal, err := sampleWindows(rng, malWins, config.SampleFraction)
+	testMal, err := sampleWindows(rng, ed.malWins, cfg.SampleFraction)
 	if err != nil {
 		return nil, fmt.Errorf("sampling malicious test windows: %w", err)
 	}
@@ -86,25 +93,24 @@ func evaluate(benign, mixed, malicious *trace.Log, config Config, includeHMM boo
 		TestBenign:    len(testBenign),
 		TestMalicious: len(testMal),
 	}
-	for _, w := range td.mixedWeight {
+	for _, w := range sel.mixedWeight {
 		res.MeanMixedWeight += w
 	}
-	if len(td.mixedWeight) > 0 {
-		res.MeanMixedWeight /= float64(len(td.mixedWeight))
+	if len(sel.mixedWeight) > 0 {
+		res.MeanMixedWeight /= float64(len(sel.mixedWeight))
 	}
 
 	// WSVM (the LEAPS model).
-	wsvm, err := td.Train()
+	wsvm, err := sel.train(ctx, true)
 	if err != nil {
 		return nil, fmt.Errorf("core: training WSVM: %w", err)
 	}
 	// Plain SVM comparison.
-	plain, err := td.TrainUnweighted()
+	plain, err := sel.train(ctx, false)
 	if err != nil {
 		return nil, fmt.Errorf("core: training SVM: %w", err)
 	}
-	res.TrainBenign = int(float64(len(td.benignTrain))*config.SampleFraction + 0.5)
-	res.TrainMixed = int(float64(len(td.mixed))*config.SampleFraction + 0.5)
+	res.TrainBenign, res.TrainMixed = wsvm.TrainSizes()
 
 	var wsvmConf, svmConf metrics.Confusion
 	wsvm.classifyWindows(testBenign, true, &wsvmConf)
@@ -118,29 +124,29 @@ func evaluate(benign, mixed, malicious *trace.Log, config Config, includeHMM boo
 
 	// Call-graph baseline: BCG from the benign training windows' events,
 	// MCG from the whole mixed log.
-	benignTrainLog := &partition.Log{App: td.BenignPart.App, PID: td.BenignPart.PID}
-	for _, w := range td.benignTrain {
-		end := w.start + config.Window
-		if end > td.BenignPart.Len() {
-			end = td.BenignPart.Len()
+	benignTrainLog := &partition.Log{App: ed.art.BenignPart.App, PID: ed.art.BenignPart.PID}
+	for _, w := range sel.benignTrain {
+		end := w.start + cfg.Window
+		if end > ed.art.BenignPart.Len() {
+			end = ed.art.BenignPart.Len()
 		}
-		benignTrainLog.Events = append(benignTrainLog.Events, td.BenignPart.Events[w.start:end]...)
+		benignTrainLog.Events = append(benignTrainLog.Events, ed.art.BenignPart.Events[w.start:end]...)
 	}
-	cg, err := callgraph.Train(benignTrainLog, td.MixedPart)
+	cg, err := callgraph.Train(benignTrainLog, ed.art.MixedPart)
 	if err != nil {
 		return nil, fmt.Errorf("core: training call-graph model: %w", err)
 	}
 	var cgConf metrics.Confusion
 	var undecided int
-	cgraphClassify(cg, td.BenignPart, testBenign, config.Window, true, &cgConf, &undecided)
-	cgraphClassify(cg, malPart, testMal, config.Window, false, &cgConf, &undecided)
+	cgraphClassify(cg, ed.art.BenignPart, testBenign, cfg.Window, true, &cgConf, &undecided)
+	cgraphClassify(cg, ed.malPart, testMal, cfg.Window, false, &cgConf, &undecided)
 	res.CGraph = cgConf.Summary()
 	if total := len(testBenign) + len(testMal); total > 0 {
 		res.CGraphUndecidedFrac = float64(undecided) / float64(total)
 	}
 
 	if includeHMM {
-		hc, err := trainHMM(td)
+		hc, err := trainHMM(sel)
 		if err != nil {
 			return nil, err
 		}
@@ -157,22 +163,76 @@ func evaluate(benign, mixed, malicious *trace.Log, config Config, includeHMM boo
 	return res, nil
 }
 
-// EvaluateRuns repeats Evaluate over several data-selection seeds and
-// averages the measurements, as the paper averages all results over 10
-// runs. The logs are fixed; selection and sampling vary per run.
-func EvaluateRuns(benign, mixed, malicious *trace.Log, config Config, runs int) (*EvalResult, error) {
+// Evaluate runs the full §V protocol once: build training data from the
+// benign and mixed logs, train CGraph, SVM and WSVM, and test all three on
+// held-out benign windows (positives) and pure-malicious windows
+// (negatives).
+func Evaluate(ctx context.Context, benign, mixed, malicious *trace.Log, config Config) (*EvalResult, error) {
+	return evaluate(ctx, benign, mixed, malicious, config, false)
+}
+
+// EvaluateWithHMM is Evaluate plus the §VI-B HMM extension model as a
+// fourth classifier.
+func EvaluateWithHMM(ctx context.Context, benign, mixed, malicious *trace.Log, config Config) (*EvalResult, error) {
+	return evaluate(ctx, benign, mixed, malicious, config, true)
+}
+
+func evaluate(ctx context.Context, benign, mixed, malicious *trace.Log, config Config, includeHMM bool) (*EvalResult, error) {
+	ed, err := buildEvalData(ctx, benign, mixed, malicious, config)
+	if err != nil {
+		return nil, err
+	}
+	return ed.run(ctx, ed.art.cfg.Seed, includeHMM)
+}
+
+// EvaluateRuns repeats the evaluation over several data-selection seeds
+// and averages the measurements, as the paper averages all results over
+// 10 runs. The seed-independent artifacts (partitioning, encoder fit,
+// CFG inference, weight assessment, window coalescing) are built exactly
+// once and shared; only the cheap per-seed tail (split, sampling, weight
+// shuffle, training) repeats, on up to Config.Parallel concurrent
+// workers. Results are merged in run order and are identical for any
+// Parallel value.
+func EvaluateRuns(ctx context.Context, benign, mixed, malicious *trace.Log, config Config, runs int) (*EvalResult, error) {
 	if runs < 1 {
 		return nil, fmt.Errorf("core: runs %d must be positive", runs)
 	}
+	ed, err := buildEvalData(ctx, benign, mixed, malicious, config)
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]*EvalResult, runs)
+	errs := make([]error, runs)
+	workers := resolveParallel(ed.art.cfg.Parallel)
+	if workers > runs {
+		workers = runs
+	}
+	if workers <= 1 {
+		for r := 0; r < runs; r++ {
+			results[r], errs[r] = ed.run(ctx, config.Seed+int64(r)*7919, false)
+		}
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for r := 0; r < runs; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[r], errs[r] = ed.run(ctx, config.Seed+int64(r)*7919, false)
+			}(r)
+		}
+		wg.Wait()
+	}
+
 	var cgs, svms, wsvms []metrics.Summary
 	var wsvmAUCs, svmAUCs []float64
 	agg := &EvalResult{}
-	for r := 0; r < runs; r++ {
-		cfg := config
-		cfg.Seed = config.Seed + int64(r)*7919
-		res, err := Evaluate(benign, mixed, malicious, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: run %d: %w", r, err)
+	for r, res := range results {
+		if errs[r] != nil {
+			return nil, fmt.Errorf("core: run %d: %w", r, errs[r])
 		}
 		cgs = append(cgs, res.CGraph)
 		svms = append(svms, res.SVM)

@@ -23,7 +23,7 @@ type hmmClassifier struct {
 
 // trainHMM fits the benign HMM on the benign training windows' symbol
 // sequence and the malicious HMM on the mixed windows' sequence.
-func trainHMM(td *TrainingData) (*hmmClassifier, error) {
+func trainHMM(sel *Selection) (*hmmClassifier, error) {
 	h := &hmmClassifier{vocab: make(map[[3]int]int)}
 	// Symbol 0 is reserved for tuples unseen at training time.
 	next := 1
@@ -47,11 +47,11 @@ func trainHMM(td *TrainingData) (*hmmClassifier, error) {
 		}
 		return seq
 	}
-	benignSeq := intern(td.benignTrain, true)
-	mixedSeq := intern(td.mixed, true)
+	benignSeq := intern(sel.benignTrain, true)
+	mixedSeq := intern(sel.art.mixed, true)
 	clf, err := hmm.TrainClassifier(benignSeq, mixedSeq, next, hmm.Config{
 		States: hmmStates,
-		Seed:   td.cfg.Seed,
+		Seed:   sel.seed,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: training HMM extension: %w", err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/preprocess"
 	"repro/internal/svm"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -23,7 +25,7 @@ const oneClassNu = 0.05
 // no malicious signal — and is tested on the same held-out benign and
 // pure-malicious windows as the other models. The comparison isolates
 // what the mixed log (suitably de-noised) buys LEAPS.
-func EvaluateOneClass(benign, malicious *trace.Log, config Config) (metrics.Summary, error) {
+func EvaluateOneClass(ctx context.Context, benign, malicious *trace.Log, config Config) (metrics.Summary, error) {
 	config = config.withDefaults()
 	if err := config.Validate(); err != nil {
 		return metrics.Summary{}, err
@@ -31,17 +33,35 @@ func EvaluateOneClass(benign, malicious *trace.Log, config Config) (metrics.Summ
 	if benign == nil || malicious == nil {
 		return metrics.Summary{}, errors.New("core: nil log")
 	}
-	bp, err := partition.Split(benign)
+	ctx, sp := telemetry.StartSpan(ctx, "oneclass")
+	defer sp.End()
+	var bp, mp *partition.Log
+	err := inParallel(resolveParallel(config.Parallel),
+		func() error {
+			_, sp := telemetry.StartSpan(ctx, "partition")
+			defer sp.End()
+			var err error
+			if bp, err = partition.Split(benign); err != nil {
+				return fmt.Errorf("core: partitioning benign log: %w", err)
+			}
+			return nil
+		},
+		func() error {
+			_, sp := telemetry.StartSpan(ctx, "partition")
+			defer sp.End()
+			var err error
+			if mp, err = partition.Split(malicious); err != nil {
+				return fmt.Errorf("core: partitioning malicious log: %w", err)
+			}
+			return nil
+		},
+	)
 	if err != nil {
-		return metrics.Summary{}, fmt.Errorf("core: partitioning benign log: %w", err)
-	}
-	mp, err := partition.Split(malicious)
-	if err != nil {
-		return metrics.Summary{}, fmt.Errorf("core: partitioning malicious log: %w", err)
+		return metrics.Summary{}, err
 	}
 	// The encoder sees only benign events: a deployment without any
 	// infected training material.
-	enc, err := preprocess.Fit(bp.Events, config.Preprocess)
+	enc, err := preprocess.FitContext(ctx, bp.Events, config.Preprocess)
 	if err != nil {
 		return metrics.Summary{}, err
 	}
@@ -90,10 +110,12 @@ func EvaluateOneClass(benign, malicious *trace.Log, config Config) (metrics.Summ
 		return metrics.Summary{}, err
 	}
 	scaled := scaler.ApplyAll(raw)
+	_, spT := telemetry.StartSpan(ctx, "smo")
 	model, err := svm.TrainOneClass(scaled, svm.OneClassParams{
 		Nu:     oneClassNu,
 		Kernel: svm.RBFKernel{Sigma2: medianSquaredDistance(scaled, rng)},
 	})
+	spT.End()
 	if err != nil {
 		return metrics.Summary{}, err
 	}

@@ -1,17 +1,17 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 
-	"repro/internal/cfg"
 	"repro/internal/metrics"
 	"repro/internal/partition"
 	"repro/internal/preprocess"
 	"repro/internal/svm"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
-	"repro/internal/weight"
 )
 
 // This file implements the paper's §II-B2 remark that application-wise
@@ -42,10 +42,12 @@ type UniversalTrainingData struct {
 	cfg Config
 }
 
-// BuildUniversalTrainingData runs the training-phase pipeline for every
-// application and re-encodes all windows with one shared encoder so a
-// single classifier can be trained across applications.
-func BuildUniversalTrainingData(pairs []LogPair, config Config) (*UniversalTrainingData, error) {
+// BuildUniversalTrainingData runs the seed-independent pipeline tier for
+// every application and re-encodes all windows with one shared encoder so
+// a single classifier can be trained across applications. Per-application
+// partitioning and artifact building run concurrently (bounded by
+// Config.Parallel).
+func BuildUniversalTrainingData(ctx context.Context, pairs []LogPair, config Config) (*UniversalTrainingData, error) {
 	if len(pairs) == 0 {
 		return nil, errors.New("core: no training pairs")
 	}
@@ -53,91 +55,85 @@ func BuildUniversalTrainingData(pairs []LogPair, config Config) (*UniversalTrain
 	if err := config.Validate(); err != nil {
 		return nil, err
 	}
+	ctx, sp := telemetry.StartSpan(ctx, "train/build")
+	defer sp.End()
+	par := resolveParallel(config.Parallel)
 
-	// Fit the shared encoder over every application's events first.
-	var fitEvents []partition.Event
+	// Partition every pair's logs; independent across pairs and sides.
 	parts := make([][2]*partition.Log, len(pairs))
+	partTasks := make([]func() error, 0, 2*len(pairs))
 	for i, p := range pairs {
 		if p.Benign == nil || p.Mixed == nil {
 			return nil, fmt.Errorf("core: pair %d has a nil log", i)
 		}
-		bp, err := partition.Split(p.Benign)
-		if err != nil {
-			return nil, fmt.Errorf("core: pair %d: %w", i, err)
-		}
-		mp, err := partition.Split(p.Mixed)
-		if err != nil {
-			return nil, fmt.Errorf("core: pair %d: %w", i, err)
-		}
-		parts[i] = [2]*partition.Log{bp, mp}
-		fitEvents = append(fitEvents, bp.Events...)
-		fitEvents = append(fitEvents, mp.Events...)
+		i, p := i, p
+		partTasks = append(partTasks,
+			func() error {
+				_, sp := telemetry.StartSpan(ctx, "partition")
+				defer sp.End()
+				var err error
+				if parts[i][0], err = partition.Split(p.Benign); err != nil {
+					return fmt.Errorf("core: pair %d: %w", i, err)
+				}
+				return nil
+			},
+			func() error {
+				_, sp := telemetry.StartSpan(ctx, "partition")
+				defer sp.End()
+				var err error
+				if parts[i][1], err = partition.Split(p.Mixed); err != nil {
+					return fmt.Errorf("core: pair %d: %w", i, err)
+				}
+				return nil
+			},
+		)
 	}
-	enc, err := preprocess.Fit(fitEvents, config.Preprocess)
+	if err := inParallel(par, partTasks...); err != nil {
+		return nil, err
+	}
+
+	// The shared encoder is the one barrier: it must see every
+	// application's events before any windows are encoded.
+	var fitEvents []partition.Event
+	for i := range parts {
+		fitEvents = append(fitEvents, parts[i][0].Events...)
+		fitEvents = append(fitEvents, parts[i][1].Events...)
+	}
+	enc, err := preprocess.FitContext(ctx, fitEvents, config.Preprocess)
 	if err != nil {
 		return nil, err
 	}
 
-	u := &UniversalTrainingData{Encoder: enc, cfg: config}
+	u := &UniversalTrainingData{Encoder: enc, cfg: config, PerApp: make([]*TrainingData, len(pairs))}
+	appTasks := make([]func() error, len(pairs))
 	for i := range pairs {
-		td, err := buildTrainingDataWithEncoder(parts[i][0], parts[i][1], enc, config)
-		if err != nil {
-			return nil, fmt.Errorf("core: pair %d: %w", i, err)
+		i := i
+		appTasks[i] = func() error {
+			art, err := buildArtifactsFromParts(ctx, parts[i][0], parts[i][1], enc, config)
+			if err != nil {
+				return fmt.Errorf("core: pair %d: %w", i, err)
+			}
+			u.PerApp[i] = art.TrainingData()
+			return nil
 		}
-		u.PerApp = append(u.PerApp, td)
+	}
+	if err := inParallel(par, appTasks...); err != nil {
+		return nil, err
 	}
 	return u, nil
 }
 
-// buildTrainingDataWithEncoder is BuildTrainingData with pre-partitioned
-// logs and a shared, already-fitted encoder.
-func buildTrainingDataWithEncoder(bp, mp *partition.Log, enc *preprocess.Encoder, config Config) (*TrainingData, error) {
-	td := &TrainingData{cfg: config, Encoder: enc, BenignPart: bp, MixedPart: mp}
-	var err error
-	if td.BenignCFG, err = cfg.Infer(bp); err != nil {
-		return nil, err
-	}
-	if td.MixedCFG, err = cfg.Infer(mp); err != nil {
-		return nil, err
-	}
-	if td.Weights, err = weight.Assess(td.BenignCFG.Graph, td.MixedCFG, config.Weight); err != nil {
-		return nil, err
-	}
-	benignWins, err := coalesce(enc, bp, config.Window)
-	if err != nil {
-		return nil, err
-	}
-	mixedWins, err := coalesce(enc, mp, config.Window)
-	if err != nil {
-		return nil, err
-	}
-	rng := rand.New(rand.NewSource(config.Seed))
-	perm := rng.Perm(len(benignWins))
-	nTrain := int(float64(len(benignWins)) * config.TrainFraction)
-	for i, p := range perm {
-		if i < nTrain {
-			td.benignTrain = append(td.benignTrain, benignWins[p])
-		} else {
-			td.benignTest = append(td.benignTest, benignWins[p])
-		}
-	}
-	td.mixed = mixedWins
-	td.mixedWeight = make([]float64, len(mixedWins))
-	for i, w := range mixedWins {
-		benignity := td.Weights.MeanBenignity(w.start, w.start+config.Window, unscoredBenignity)
-		td.mixedWeight[i] = 1 - benignity
-	}
-	return td, nil
-}
-
 // Train fits one weighted SVM over the pooled training windows of all
 // applications.
-func (u *UniversalTrainingData) Train() (*Classifier, error) {
+func (u *UniversalTrainingData) Train(ctx context.Context) (*Classifier, error) {
+	ctx, sp := telemetry.StartSpan(ctx, "train")
+	defer sp.End()
 	rng := rand.New(rand.NewSource(u.cfg.Seed + 1))
 	var prob svm.Problem
 	var raw [][]float64
 	for _, td := range u.PerApp {
-		benign, err := sampleWindows(rng, td.benignTrain, u.cfg.SampleFraction)
+		sel := td.sel
+		benign, err := sampleWindows(rng, sel.benignTrain, u.cfg.SampleFraction)
 		if err != nil {
 			return nil, fmt.Errorf("sampling benign training windows: %w", err)
 		}
@@ -146,15 +142,14 @@ func (u *UniversalTrainingData) Train() (*Classifier, error) {
 			prob.Y = append(prob.Y, 1)
 			prob.Weight = append(prob.Weight, 1)
 		}
-		n := int(float64(len(td.mixed))*u.cfg.SampleFraction + 0.5)
-		if u.cfg.SampleFraction >= 1 {
-			n = len(td.mixed)
+		picks, err := sampleIndices(rng, len(td.mixed), u.cfg.SampleFraction)
+		if err != nil {
+			return nil, fmt.Errorf("sampling mixed training windows: %w", err)
 		}
-		perm := rng.Perm(len(td.mixed))
-		for _, p := range perm[:n] {
+		for _, p := range picks {
 			raw = append(raw, td.mixed[p].vec)
 			prob.Y = append(prob.Y, -1)
-			prob.Weight = append(prob.Weight, td.mixedWeight[p])
+			prob.Weight = append(prob.Weight, sel.mixedWeight[p])
 		}
 	}
 	scaler, err := svm.FitScaler(raw)
@@ -171,13 +166,20 @@ func (u *UniversalTrainingData) Train() (*Classifier, error) {
 	} else {
 		grid := u.cfg.Grid
 		grid.Seed = u.cfg.Seed
+		if grid.Parallel == 0 {
+			grid.Parallel = u.cfg.Parallel
+		}
+		_, spG := telemetry.StartSpan(ctx, "gridsearch")
 		best, _, err := svm.GridSearch(prob, grid)
+		spG.End()
 		if err != nil {
 			return nil, err
 		}
 		params = best
 	}
+	_, spT := telemetry.StartSpan(ctx, "smo")
 	model, err := svm.Train(prob, params)
+	spT.End()
 	if err != nil {
 		return nil, err
 	}
@@ -195,15 +197,15 @@ func (u *UniversalTrainingData) Train() (*Classifier, error) {
 // it per application against that application's held-out benign windows
 // and the given pure-malicious logs (one per pair, aligned by index). It
 // returns one Summary per application plus the pooled summary.
-func EvaluateUniversal(pairs []LogPair, malicious []*trace.Log, config Config) ([]metrics.Summary, metrics.Summary, error) {
+func EvaluateUniversal(ctx context.Context, pairs []LogPair, malicious []*trace.Log, config Config) ([]metrics.Summary, metrics.Summary, error) {
 	if len(malicious) != len(pairs) {
 		return nil, metrics.Summary{}, fmt.Errorf("core: %d malicious logs for %d pairs", len(malicious), len(pairs))
 	}
-	u, err := BuildUniversalTrainingData(pairs, config)
+	u, err := BuildUniversalTrainingData(ctx, pairs, config)
 	if err != nil {
 		return nil, metrics.Summary{}, err
 	}
-	clf, err := u.Train()
+	clf, err := u.Train(ctx)
 	if err != nil {
 		return nil, metrics.Summary{}, err
 	}
@@ -221,7 +223,7 @@ func EvaluateUniversal(pairs []LogPair, malicious []*trace.Log, config Config) (
 		if err != nil {
 			return nil, metrics.Summary{}, err
 		}
-		testBenign, err := sampleWindows(rng, td.benignTest, config.SampleFraction)
+		testBenign, err := sampleWindows(rng, td.sel.benignTest, config.SampleFraction)
 		if err != nil {
 			return nil, metrics.Summary{}, fmt.Errorf("sampling benign test windows: %w", err)
 		}

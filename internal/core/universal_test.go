@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -27,17 +28,17 @@ func universalFixtures(t *testing.T) (pairs []LogPair, malicious []*trace.Log) {
 }
 
 func TestBuildUniversalTrainingDataValidation(t *testing.T) {
-	if _, err := BuildUniversalTrainingData(nil, fastConfig(1)); err == nil {
+	if _, err := BuildUniversalTrainingData(context.Background(), nil, fastConfig(1)); err == nil {
 		t.Error("no pairs accepted")
 	}
-	if _, err := BuildUniversalTrainingData([]LogPair{{}}, fastConfig(1)); err == nil {
+	if _, err := BuildUniversalTrainingData(context.Background(), []LogPair{{}}, fastConfig(1)); err == nil {
 		t.Error("nil logs accepted")
 	}
 }
 
 func TestUniversalSharedEncoder(t *testing.T) {
 	pairs, _ := universalFixtures(t)
-	u, err := BuildUniversalTrainingData(pairs, fastConfig(2))
+	u, err := BuildUniversalTrainingData(context.Background(), pairs, fastConfig(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestUniversalSharedEncoder(t *testing.T) {
 
 func TestEvaluateUniversal(t *testing.T) {
 	pairs, malicious := universalFixtures(t)
-	perApp, pooled, err := EvaluateUniversal(pairs, malicious, fastConfig(3))
+	perApp, pooled, err := EvaluateUniversal(context.Background(), pairs, malicious, fastConfig(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestEvaluateUniversal(t *testing.T) {
 
 func TestEvaluateUniversalValidation(t *testing.T) {
 	pairs, malicious := universalFixtures(t)
-	if _, _, err := EvaluateUniversal(pairs, malicious[:1], fastConfig(4)); err == nil {
+	if _, _, err := EvaluateUniversal(context.Background(), pairs, malicious[:1], fastConfig(4)); err == nil {
 		t.Error("mismatched malicious count accepted")
 	}
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/core"
@@ -50,7 +52,7 @@ func runVariants(opts Options, variants []string, configure func(variant string,
 		for _, v := range variants {
 			cfg := opts.coreConfig()
 			configure(v, &cfg)
-			res, err := core.EvaluateRuns(logs.Benign, logs.Mixed, logs.Malicious, cfg, opts.Runs)
+			res, err := core.EvaluateRuns(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, cfg, opts.Runs)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s/%s: %w", spec.Name, v, err)
 			}
@@ -80,12 +82,12 @@ func AblationWeights(opts Options) (*report.Table, error) {
 			return nil, err
 		}
 		cfg := opts.coreConfig()
-		intact, err := core.EvaluateRuns(logs.Benign, logs.Mixed, logs.Malicious, cfg, opts.Runs)
+		intact, err := core.EvaluateRuns(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, cfg, opts.Runs)
 		if err != nil {
 			return nil, err
 		}
 		cfg.ShuffleWeights = true
-		shuffled, err := core.EvaluateRuns(logs.Benign, logs.Mixed, logs.Malicious, cfg, opts.Runs)
+		shuffled, err := core.EvaluateRuns(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, cfg, opts.Runs)
 		if err != nil {
 			return nil, err
 		}
@@ -190,7 +192,7 @@ func AblationNoise(opts Options) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.EvaluateRuns(logs.Benign, logs.Mixed, logs.Malicious, opts.coreConfig(), opts.Runs)
+		res, err := core.EvaluateRuns(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, opts.coreConfig(), opts.Runs)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -31,6 +32,11 @@ type Options struct {
 	FixedParams *svm.Params
 	// Progress, when non-nil, receives one line per completed dataset.
 	Progress io.Writer
+	// Parallel bounds the per-dataset pipeline's worker pools (artifact
+	// branches, grid points, evaluation runs). The harness already runs
+	// datasets concurrently, so the zero value here means 1 (serial
+	// inside each dataset) rather than core's "every processor".
+	Parallel int
 }
 
 func (o Options) withDefaults() Options {
@@ -39,6 +45,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 20150622 // the paper's DSN publication era; arbitrary but fixed
+	}
+	if o.Parallel == 0 {
+		o.Parallel = 1
 	}
 	return o
 }
@@ -54,6 +63,7 @@ func (o Options) coreConfig() core.Config {
 	return core.Config{
 		Seed:        o.Seed,
 		FixedParams: o.FixedParams,
+		Parallel:    o.Parallel,
 	}
 }
 
@@ -79,7 +89,7 @@ func RunSpecs(specs []dataset.Spec, opts Options) ([]DatasetResult, error) {
 				errs[i] = fmt.Errorf("experiments: %s: %w", spec.Name, err)
 				return
 			}
-			res, err := core.EvaluateRuns(logs.Benign, logs.Mixed, logs.Malicious, opts.coreConfig(), opts.Runs)
+			res, err := core.EvaluateRuns(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, opts.coreConfig(), opts.Runs)
 			if err != nil {
 				errs[i] = fmt.Errorf("experiments: %s: %w", spec.Name, err)
 				return

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/core"
@@ -29,12 +31,12 @@ func ExtensionSourceTrojan(opts Options) (*report.Table, error) {
 			return nil, err
 		}
 		cfg := opts.coreConfig()
-		unaligned, err := core.EvaluateRuns(logs.Benign, logs.Mixed, logs.Malicious, cfg, opts.Runs)
+		unaligned, err := core.EvaluateRuns(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, cfg, opts.Runs)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s unaligned: %w", spec.Name, err)
 		}
 		cfg.AlignCFGs = true
-		aligned, err := core.EvaluateRuns(logs.Benign, logs.Mixed, logs.Malicious, cfg, opts.Runs)
+		aligned, err := core.EvaluateRuns(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, cfg, opts.Runs)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s aligned: %w", spec.Name, err)
 		}
@@ -65,7 +67,7 @@ func ExtensionHMM(opts Options) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.EvaluateWithHMM(logs.Benign, logs.Mixed, logs.Malicious, opts.coreConfig())
+		res, err := core.EvaluateWithHMM(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, opts.coreConfig())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", spec.Name, err)
 		}
@@ -109,13 +111,13 @@ func ExtensionUniversal(opts Options) (*report.Table, error) {
 		}
 		pairs = append(pairs, core.LogPair{Benign: logs.Benign, Mixed: logs.Mixed})
 		malicious = append(malicious, logs.Malicious)
-		res, err := core.Evaluate(logs.Benign, logs.Mixed, logs.Malicious, opts.coreConfig())
+		res, err := core.Evaluate(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, opts.coreConfig())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", name, err)
 		}
 		perAppACC = append(perAppACC, res.WSVM.ACC)
 	}
-	uniApp, uniPooled, err := core.EvaluateUniversal(pairs, malicious, opts.coreConfig())
+	uniApp, uniPooled, err := core.EvaluateUniversal(context.Background(), pairs, malicious, opts.coreConfig())
 	if err != nil {
 		return nil, fmt.Errorf("experiments: universal: %w", err)
 	}
@@ -143,11 +145,11 @@ func ExtensionOneClass(opts Options) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		oc, err := core.EvaluateOneClass(logs.Benign, logs.Malicious, opts.coreConfig())
+		oc, err := core.EvaluateOneClass(context.Background(), logs.Benign, logs.Malicious, opts.coreConfig())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s one-class: %w", spec.Name, err)
 		}
-		res, err := core.EvaluateRuns(logs.Benign, logs.Mixed, logs.Malicious, opts.coreConfig(), opts.Runs)
+		res, err := core.EvaluateRuns(context.Background(), logs.Benign, logs.Mixed, logs.Malicious, opts.coreConfig(), opts.Runs)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", spec.Name, err)
 		}

@@ -80,10 +80,16 @@ type Encoder struct {
 // should cover both the benign and the mixed training logs so cluster ids
 // are consistent across them.
 func Fit(events []partition.Event, cfg Config) (*Encoder, error) {
+	return FitContext(context.Background(), events, cfg)
+}
+
+// FitContext is Fit with a caller-supplied context, so the fit's telemetry
+// span nests under the caller's span tree instead of rooting a fresh one.
+func FitContext(ctx context.Context, events []partition.Event, cfg Config) (*Encoder, error) {
 	if len(events) == 0 {
 		return nil, errors.New("preprocess: no events to fit on")
 	}
-	_, sp := telemetry.StartSpan(context.Background(), "preprocess/fit")
+	_, sp := telemetry.StartSpan(ctx, "preprocess")
 	defer sp.End()
 	cfg = cfg.withDefaults()
 	libSets := make([][]string, len(events))

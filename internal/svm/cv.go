@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 )
 
 // CrossValidate estimates classification quality of the given parameters
@@ -105,6 +107,11 @@ type GridSpec struct {
 	Sigma2s []float64
 	Folds   int
 	Seed    int64
+	// Parallel bounds how many grid points are cross-validated
+	// concurrently: 1 (or negative) is fully sequential, 0 uses every
+	// processor. Each grid point derives its fold shuffle from Seed alone,
+	// so the selected parameters are identical for any Parallel value.
+	Parallel int
 }
 
 // DefaultGrid returns the grid used by the evaluation harness: a coarse
@@ -119,7 +126,10 @@ func DefaultGrid() GridSpec {
 
 // GridSearch selects the (λ, σ²) pair with the best cross-validated
 // accuracy on the problem, breaking ties toward the earlier grid entry.
-// It returns the chosen parameters and the best accuracy.
+// It returns the chosen parameters and the best accuracy. Grid points are
+// evaluated on up to GridSpec.Parallel workers; because CrossValidate
+// seeds its own fold shuffle and the results are reduced in grid order,
+// the outcome is byte-identical to the sequential sweep.
 func GridSearch(prob Problem, grid GridSpec) (Params, float64, error) {
 	if len(grid.Lambdas) == 0 || len(grid.Sigma2s) == 0 {
 		return Params{}, 0, errors.New("svm: empty grid")
@@ -128,18 +138,56 @@ func GridSearch(prob Problem, grid GridSpec) (Params, float64, error) {
 	if folds == 0 {
 		folds = 10
 	}
-	var best Params
-	bestAcc := -1.0
+
+	type point struct {
+		params Params
+		acc    float64
+		err    error
+	}
+	points := make([]point, 0, len(grid.Lambdas)*len(grid.Sigma2s))
 	for _, l := range grid.Lambdas {
 		for _, s2 := range grid.Sigma2s {
-			p := Params{Lambda: l, Kernel: RBFKernel{Sigma2: s2}}
-			acc, err := CrossValidate(prob, p, folds, grid.Seed)
-			if err != nil {
-				return Params{}, 0, fmt.Errorf("svm: grid point (λ=%g, σ²=%g): %w", l, s2, err)
-			}
-			if acc > bestAcc {
-				best, bestAcc = p, acc
-			}
+			points = append(points, point{params: Params{Lambda: l, Kernel: RBFKernel{Sigma2: s2}}})
+		}
+	}
+
+	workers := grid.Parallel
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers <= 1 {
+		for i := range points {
+			points[i].acc, points[i].err = CrossValidate(prob, points[i].params, folds, grid.Seed)
+		}
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i := range points {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				points[i].acc, points[i].err = CrossValidate(prob, points[i].params, folds, grid.Seed)
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	// Reduce in grid order: the first error wins, ties break toward the
+	// earlier entry — exactly the sequential semantics.
+	var best Params
+	bestAcc := -1.0
+	for _, pt := range points {
+		if pt.err != nil {
+			rbf := pt.params.Kernel.(RBFKernel)
+			return Params{}, 0, fmt.Errorf("svm: grid point (λ=%g, σ²=%g): %w", pt.params.Lambda, rbf.Sigma2, pt.err)
+		}
+		if pt.acc > bestAcc {
+			best, bestAcc = pt.params, pt.acc
 		}
 	}
 	return best, bestAcc, nil

@@ -1,0 +1,60 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// noisyProblem builds a two-class problem with enough label noise that
+// different (λ, σ²) grid points genuinely score differently.
+func noisyProblem(rng *rand.Rand, n int) Problem {
+	p := separableProblem(rng, n)
+	for i := 0; i < len(p.Y); i += 7 {
+		p.Y[i] = -p.Y[i]
+	}
+	return p
+}
+
+// TestGridSearchParallelDeterminism asserts the refactor's contract: the
+// parallel grid sweep selects byte-identical parameters and accuracy for
+// any worker count, because every grid point derives its fold shuffle
+// from GridSpec.Seed alone and results reduce in grid order.
+func TestGridSearchParallelDeterminism(t *testing.T) {
+	prob := noisyProblem(rand.New(rand.NewSource(11)), 30)
+	grid := DefaultGrid()
+	grid.Seed = 42
+
+	grid.Parallel = 1
+	serialBest, serialAcc, err := GridSearch(prob, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		grid.Parallel = workers
+		best, acc, err := GridSearch(prob, grid)
+		if err != nil {
+			t.Fatalf("Parallel=%d: %v", workers, err)
+		}
+		if best != serialBest || acc != serialAcc {
+			t.Errorf("Parallel=%d selected (%+v, %v), serial selected (%+v, %v)",
+				workers, best, acc, serialBest, serialAcc)
+		}
+	}
+}
+
+// TestGridSearchParallelError: a failing grid point must surface the same
+// (first-in-grid-order) error regardless of worker count.
+func TestGridSearchParallelError(t *testing.T) {
+	prob := separableProblem(rand.New(rand.NewSource(12)), 10)
+	grid := GridSpec{Lambdas: []float64{-1, 2}, Sigma2s: []float64{1}, Folds: 2}
+	grid.Parallel = 1
+	_, _, serialErr := GridSearch(prob, grid)
+	if serialErr == nil {
+		t.Fatal("invalid λ accepted")
+	}
+	grid.Parallel = 4
+	_, _, parallelErr := GridSearch(prob, grid)
+	if parallelErr == nil || parallelErr.Error() != serialErr.Error() {
+		t.Errorf("parallel error %q, serial error %q", parallelErr, serialErr)
+	}
+}

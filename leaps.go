@@ -21,6 +21,7 @@
 package leaps
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -127,6 +128,14 @@ func WithoutDensityEstimate() Option {
 // benign code addresses shift relative to the clean build).
 func WithAlignedCFGs() Option {
 	return func(c *core.Config) { c.AlignCFGs = true }
+}
+
+// WithParallel bounds the pipeline's internal worker pools (artifact
+// building, model-selection grid points, evaluation runs). 0 — the
+// default — uses every processor; 1 forces fully serial execution.
+// Results are identical for any setting.
+func WithParallel(n int) Option {
+	return func(c *core.Config) { c.Parallel = n }
 }
 
 // Detector is a trained LEAPS classifier plus the training artifacts
@@ -256,7 +265,7 @@ func Evaluate(benign, mixed, malicious *Log, opts ...Option) (*Evaluation, error
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	res, err := core.Evaluate(benign, mixed, malicious, cfg)
+	res, err := core.Evaluate(context.Background(), benign, mixed, malicious, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("leaps: %w", err)
 	}
@@ -270,7 +279,7 @@ func EvaluateRuns(benign, mixed, malicious *Log, runs int, opts ...Option) (*Eva
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	res, err := core.EvaluateRuns(benign, mixed, malicious, cfg, runs)
+	res, err := core.EvaluateRuns(context.Background(), benign, mixed, malicious, cfg, runs)
 	if err != nil {
 		return nil, fmt.Errorf("leaps: %w", err)
 	}
@@ -322,7 +331,7 @@ func EvaluateUniversal(pairs []LogPair, malicious []*Log, opts ...Option) ([]Sum
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	perApp, pooled, err := core.EvaluateUniversal(pairs, malicious, cfg)
+	perApp, pooled, err := core.EvaluateUniversal(context.Background(), pairs, malicious, cfg)
 	if err != nil {
 		return nil, Summary{}, fmt.Errorf("leaps: %w", err)
 	}

@@ -1,0 +1,27 @@
+#!/bin/sh
+# bench-compare.sh — rerun the pipeline benchmark suite and diff it
+# against the committed BENCH_baseline.json, flagging >20% ns/op
+# regressions.
+#
+# Usage: scripts/bench-compare.sh [-w] [baseline.json]
+#   -w    warn on regressions instead of failing (for noisy machines)
+#
+# The comparison itself lives in `leaps-bench -perf-compare`; this script
+# is the make/CI entry point.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+warn=""
+if [ "${1:-}" = "-w" ]; then
+    warn="-perf-warn"
+    shift
+fi
+baseline="${1:-BENCH_baseline.json}"
+
+if [ ! -f "$baseline" ]; then
+    echo "bench-compare: baseline $baseline not found; generate it with 'make bench'" >&2
+    exit 1
+fi
+
+exec go run ./cmd/leaps-bench -perf-compare "$baseline" $warn
