@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build fmt-check vet test race fuzz-smoke bench bench-compare determinism verify verify-telemetry
+.PHONY: build fmt-check vet test race fuzz-smoke bench bench-compare determinism verify verify-telemetry serve-smoke doc-lint
 
 build:
 	$(GO) build ./...
@@ -49,5 +49,17 @@ determinism:
 verify-telemetry:
 	./scripts/verify-telemetry.sh
 
-verify: build fmt-check vet test race determinism fuzz-smoke verify-telemetry
+# End-to-end smoke test of leaps-serve: boots the server against a
+# generated dataset, drives one session over HTTP with curl, and asserts
+# verdicts, SIGTERM checkpointing, restore-identical scoring and 429
+# backpressure.
+serve-smoke:
+	./scripts/serve-smoke.sh
+
+# Godoc gate: package comments everywhere under internal/ and cmd/, and
+# doc comments on every exported identifier in internal/serve.
+doc-lint:
+	./scripts/doc-lint.sh
+
+verify: build fmt-check vet test race determinism fuzz-smoke doc-lint verify-telemetry serve-smoke
 	./scripts/bench-compare.sh -w

@@ -14,7 +14,12 @@ package leaps_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	leaps "repro"
 	"repro/internal/cfg"
@@ -25,6 +30,7 @@ import (
 	"repro/internal/hcluster"
 	"repro/internal/partition"
 	"repro/internal/preprocess"
+	"repro/internal/serve"
 	"repro/internal/svm"
 )
 
@@ -423,4 +429,89 @@ func BenchmarkSMOWorkingSetSelection(b *testing.B) {
 			b.ReportMetric(float64(iters), "smo-iters")
 		})
 	}
+}
+
+// BenchmarkServeIngest measures end-to-end serving throughput: events
+// POSTed to a live leaps-serve HTTP API through ingestion, scheduling,
+// scoring and verdict serialisation. Reports events and verdicts per op.
+func BenchmarkServeIngest(b *testing.B) {
+	logs := logsFor(b, "vim_reverse_tcp")
+	td, err := core.BuildTrainingData(logs.Benign, logs.Mixed, benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	clf, err := td.Train()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bundle bytes.Buffer
+	if err := clf.Save(&bundle); err != nil {
+		b.Fatal(err)
+	}
+	mon, err := core.LoadMonitor(&bundle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := serve.NewServer(serve.Config{
+		Preloaded: map[string]*core.Monitor{"default": mon},
+		Logger:    slog.New(slog.DiscardHandler),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	mal := logs.Malicious
+	spec, err := json.Marshal(serve.SessionSpecOf(mal, ""))
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var info serve.SessionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Pre-encode fixed-size batches so the loop measures the server, not
+	// the client-side JSON encoding.
+	const batchEvents = 200
+	wire := serve.EventSpecsOf(mal.Events)
+	var batches [][]byte
+	for i := 0; i+batchEvents <= len(wire); i += batchEvents {
+		blob, err := json.Marshal(serve.EventBatch{Events: wire[i : i+batchEvents]})
+		if err != nil {
+			b.Fatal(err)
+		}
+		batches = append(batches, blob)
+	}
+	url := ts.URL + "/v1/sessions/" + info.ID + "/events"
+	var verdicts int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(batches[i%len(batches)]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var res serve.IngestResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("ingest status %d", resp.StatusCode)
+		}
+		verdicts += len(res.Verdicts)
+	}
+	b.ReportMetric(float64(b.N*batchEvents)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(verdicts)/float64(b.N), "verdicts/op")
 }

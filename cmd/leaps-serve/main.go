@@ -1,0 +1,165 @@
+// Command leaps-serve runs the online detection server: it loads one or
+// more trained model bundles and scores event streams POSTed to its
+// HTTP/JSON API, one detection session per monitored process.
+//
+// Usage:
+//
+//	leaps-serve -model leaps.model [-model name=other.model ...] \
+//	    [-addr 127.0.0.1:8341] [-spool ./spool] [-queue-depth 8192] \
+//	    [-max-sessions 1024] [-max-body 8388608] [-request-timeout 30s] \
+//	    [-idle-timeout 15m] [-evict-interval 1m] [-parallel N] \
+//	    [-quiet] [-verbose] [-log-json]
+//
+// API (see README.md "Serving" for request/response bodies):
+//
+//	POST   /v1/sessions              open a session for one process
+//	POST   /v1/sessions/{id}/events  ingest a batch, receive verdicts
+//	GET    /v1/sessions/{id}         session state (?checkpoint=1)
+//	DELETE /v1/sessions/{id}         close and discard the session
+//	GET    /healthz, /readyz         liveness and readiness probes
+//	GET    /metrics, /spans, ...     telemetry introspection
+//
+// On SIGTERM or SIGINT the server stops accepting work, drains every
+// session queue, checkpoints all sessions to the spool directory and
+// exits; a restart against the same -spool restores them. SIGHUP
+// hot-reloads every -model bundle from disk for new sessions.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry/slogx"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "leaps-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// modelFlags collects repeated -model values of the form "path" (named
+// "default") or "name=path".
+type modelFlags map[string]string
+
+func (m modelFlags) String() string {
+	parts := make([]string, 0, len(m))
+	for name, path := range m {
+		parts = append(parts, name+"="+path)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m modelFlags) Set(v string) error {
+	name, path := "default", v
+	if i := strings.IndexByte(v, '='); i >= 0 {
+		name, path = v[:i], v[i+1:]
+	}
+	if name == "" || path == "" {
+		return fmt.Errorf("want path or name=path, got %q", v)
+	}
+	if _, dup := m[name]; dup {
+		return fmt.Errorf("model %q given twice", name)
+	}
+	m[name] = path
+	return nil
+}
+
+// run starts the server and blocks until a termination signal. When
+// ready is non-nil, the bound address is sent on it once the listener is
+// up (the smoke test and main_test hook).
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("leaps-serve", flag.ContinueOnError)
+	models := modelFlags{}
+	fs.Var(models, "model", "model bundle to serve: path or name=path (repeatable)")
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8341", "listen address")
+		spool      = fs.String("spool", "", "checkpoint spool directory (enables shutdown/eviction persistence)")
+		queueDepth = fs.Int("queue-depth", 8192, "max queued events per session before 429")
+		maxSess    = fs.Int("max-sessions", 1024, "max resident sessions")
+		maxBody    = fs.Int64("max-body", 8<<20, "max request body bytes")
+		reqTimeout = fs.Duration("request-timeout", 30*time.Second, "max wait for a batch to be scored")
+		idle       = fs.Duration("idle-timeout", 15*time.Minute, "evict sessions untouched this long (needs -spool)")
+		evictEvery = fs.Duration("evict-interval", time.Minute, "idle-session scan period")
+		parallel   = fs.Int("parallel", 0, "scoring worker count (0 = GOMAXPROCS)")
+		quiet      = fs.Bool("quiet", false, "only warnings and errors")
+		verbose    = fs.Bool("verbose", false, "debug-level logging")
+		logJSON    = fs.Bool("log-json", false, "emit JSON log records instead of key=value text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	slogx.Configure(slogx.Options{Level: slogx.CLILevel(*quiet, *verbose), JSON: *logJSON})
+	if len(models) == 0 {
+		return fmt.Errorf("missing -model")
+	}
+
+	srv, err := serve.NewServer(serve.Config{
+		Models:         models,
+		SpoolDir:       *spool,
+		MaxSessions:    *maxSess,
+		QueueDepth:     *queueDepth,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *reqTimeout,
+		IdleTimeout:    *idle,
+		EvictInterval:  *evictEvery,
+		Parallel:       *parallel,
+		Logger:         slogx.L(),
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	slogx.Info("serving", "addr", ln.Addr().String(), "models", models.String(), "spool", *spool)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT, syscall.SIGHUP)
+	defer signal.Stop(sigs)
+	for {
+		select {
+		case err := <-serveErr:
+			return fmt.Errorf("listener failed: %w", err)
+		case sig := <-sigs:
+			if sig == syscall.SIGHUP {
+				slogx.Info("SIGHUP: reloading models")
+				if err := srv.Reload(); err != nil {
+					slogx.Warn("model reload incomplete", "err", err.Error())
+				}
+				continue
+			}
+			slogx.Info("shutting down", "signal", sig.String())
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			err := httpSrv.Shutdown(ctx) // stop intake, finish in-flight requests
+			if serr := srv.Shutdown(ctx); err == nil {
+				err = serr
+			}
+			cancel()
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				return fmt.Errorf("shutdown: %w", err)
+			}
+			slogx.Info("shutdown complete; sessions spooled", "spool", *spool)
+			return nil
+		}
+	}
+}

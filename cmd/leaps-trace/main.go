@@ -5,7 +5,7 @@
 // Usage:
 //
 //	leaps-trace -dataset vim_reverse_tcp -out ./data [-seed 1] [-list] \
-//	    [-inject bitflip:0.05,drop:0.02] [-inject-seed 1]
+//	    [-inject bitflip:0.05,drop:0.02] [-inject-seed 1] [-serve-json]
 //
 // It writes three files into the output directory:
 //
@@ -17,10 +17,15 @@
 // faults (bitflip, drop, dupstack, garbage, truncate; optional per-fault
 // rate after a colon) — fixtures for exercising the lenient parser and
 // fault-tolerant detection.
+//
+// With -serve-json, each log is additionally exported as a pair of JSON
+// files in the leaps-serve wire format (<dataset>_<kind>.session.json
+// and .events.json), ready to POST to a running server with curl.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +34,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/etl"
 	"repro/internal/faultinject"
+	"repro/internal/serve"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/slogx"
 	"repro/internal/trace"
@@ -49,6 +55,7 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 1, "generation seed")
 		list      = fs.Bool("list", false, "list available datasets and exit")
 		system    = fs.Bool("system", false, "write system-wide files: each log interleaved with background processes (svchost, explorer)")
+		serveJSON = fs.Bool("serve-json", false, "also write <dataset>_<kind>.session.json and .events.json in the leaps-serve wire format")
 		inject    = fs.String("inject", "", "corrupt the written files: comma-separated fault[:rate] list (bitflip, drop, dupstack, garbage, truncate)")
 		injSeed   = fs.Int64("inject-seed", 1, "fault-injection seed")
 		quiet     = fs.Bool("quiet", false, "only warnings and errors")
@@ -138,7 +145,38 @@ func run(args []string) error {
 		}
 		slogx.Info("wrote log", "path", path, "events", f.log.Len(), "app", f.log.App,
 			"background_processes", len(background))
+		if *serveJSON {
+			base := filepath.Join(*out, fmt.Sprintf("%s_%s", spec.Name, f.suffix))
+			if err := writeServeJSON(base, f.log); err != nil {
+				return err
+			}
+		}
 	}
+	return nil
+}
+
+// writeServeJSON writes the log's session spec and event batch in the
+// leaps-serve wire format, ready to POST with curl:
+//
+//	<base>.session.json  body for POST /v1/sessions
+//	<base>.events.json   body for POST /v1/sessions/{id}/events
+func writeServeJSON(base string, log *trace.Log) error {
+	session, err := json.MarshalIndent(serve.SessionSpecOf(log, ""), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(base+".session.json", append(session, '\n'), 0o644); err != nil {
+		return err
+	}
+	events, err := json.MarshalIndent(serve.EventBatch{Events: serve.EventSpecsOf(log.Events)}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(base+".events.json", append(events, '\n'), 0o644); err != nil {
+		return err
+	}
+	slogx.Info("wrote serve wire files", "session", base+".session.json",
+		"events", base+".events.json")
 	return nil
 }
 

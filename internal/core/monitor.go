@@ -25,6 +25,29 @@ func NewMonitor(c *Classifier) *Monitor {
 	return &Monitor{clf: c, cg: c.cg, window: c.window}
 }
 
+// FallbackUnavailableError reports a model bundle whose statistical
+// sections are unusable and that carries no call-graph section to degrade
+// to. Version-1 bundles always trip this — they predate the embedded
+// call-graph fallback — so the fix is a migration, not a repair: re-save
+// the model with a current build (or retrain) to produce a version-2
+// bundle. DESIGN.md §5 documents the migration.
+type FallbackUnavailableError struct {
+	// Version is the bundle's file-format version.
+	Version int
+	// Cause is why the statistical sections were unusable.
+	Cause error
+}
+
+func (e *FallbackUnavailableError) Error() string {
+	if e.Version < 2 {
+		return fmt.Sprintf("core: version-%d model bundle predates the embedded call-graph fallback (re-save or retrain to migrate to version %d): %v",
+			e.Version, classifierVersion, e.Cause)
+	}
+	return fmt.Sprintf("core: version-%d model bundle carries no call-graph fallback: %v", e.Version, e.Cause)
+}
+
+func (e *FallbackUnavailableError) Unwrap() error { return e.Cause }
+
 // LoadMonitor reads a classifier file like LoadClassifier but degrades
 // instead of failing: when the statistical sections are unusable and the
 // file carries a call-graph section, the returned Monitor runs the
@@ -42,6 +65,9 @@ func LoadMonitor(r io.Reader) (*Monitor, error) {
 	}
 	cg, gerr := f.callGraph()
 	if gerr != nil {
+		if len(f.CallGraph) == 0 {
+			return nil, &FallbackUnavailableError{Version: f.Version, Cause: cerr}
+		}
 		return nil, fmt.Errorf("core: no usable model: %w (call-graph fallback: %v)", cerr, gerr)
 	}
 	return &Monitor{cg: cg, window: f.Window, cause: cerr}, nil

@@ -3,6 +3,8 @@ package core
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
+	"strings"
 	"testing"
 )
 
@@ -195,13 +197,42 @@ func TestLoadMonitorNoFallbackAvailable(t *testing.T) {
 	}
 
 	// Version-1 files carry no call-graph section: a corrupt model is
-	// fatal there too.
+	// fatal there too, and the failure is typed so callers can tell "your
+	// bundle predates the fallback" apart from a generic parse failure.
 	f = saveFile(t, clf)
 	f.Version = 1
 	f.Model = nil
 	f.CallGraph = nil
-	if _, err := LoadMonitor(encodeFile(t, f)); err == nil {
-		t.Error("v1 file with corrupt model accepted")
+	_, err := LoadMonitor(encodeFile(t, f))
+	if err == nil {
+		t.Fatal("v1 file with corrupt model accepted")
+	}
+	var fbErr *FallbackUnavailableError
+	if !errors.As(err, &fbErr) {
+		t.Fatalf("v1 fallback failure is %T (%v), want *FallbackUnavailableError", err, err)
+	}
+	if fbErr.Version != 1 || fbErr.Cause == nil {
+		t.Errorf("FallbackUnavailableError = %+v, want Version 1 with a cause", fbErr)
+	}
+	if !strings.Contains(err.Error(), "migrate") {
+		t.Errorf("error %q does not mention the v1→v2 migration", err)
+	}
+}
+
+func TestLoadMonitorV2MissingCallGraphIsTyped(t *testing.T) {
+	// A v2 bundle saved without a call graph (classifier trained from a
+	// v1 file) also reports the typed error, without the migration hint.
+	clf, _ := trainStream(t, 46)
+	f := saveFile(t, clf)
+	f.Scaler = []byte("rotten")
+	f.CallGraph = nil
+	_, err := LoadMonitor(encodeFile(t, f))
+	var fbErr *FallbackUnavailableError
+	if !errors.As(err, &fbErr) {
+		t.Fatalf("got %T (%v), want *FallbackUnavailableError", err, err)
+	}
+	if fbErr.Version != classifierVersion {
+		t.Errorf("Version = %d, want %d", fbErr.Version, classifierVersion)
 	}
 }
 

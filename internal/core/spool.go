@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Checkpoint spool: a directory holding one checkpoint file per live
+// streaming session. A serving process checkpoints every session here on
+// graceful shutdown (and on idle eviction) and restores them on restart,
+// so a restarted monitor produces the same verdicts an uninterrupted one
+// would have. Writes are atomic (temp file + rename), so a crash during a
+// spool write leaves either the previous checkpoint or none — never a
+// torn file.
+
+// spoolExt is the filename suffix of spooled checkpoints.
+const spoolExt = ".ckpt"
+
+// spoolPath validates a session id and resolves its checkpoint path. Ids
+// are restricted to a filename-safe alphabet so a hostile id cannot
+// escape the spool directory.
+func spoolPath(dir, id string) (string, error) {
+	if id == "" {
+		return "", fmt.Errorf("core: empty spool session id")
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return "", fmt.Errorf("core: spool session id %q contains %q", id, r)
+		}
+	}
+	if strings.HasPrefix(id, ".") {
+		return "", fmt.Errorf("core: spool session id %q must not start with a dot", id)
+	}
+	return filepath.Join(dir, id+spoolExt), nil
+}
+
+// WriteSpoolCheckpoint checkpoints the detector into dir under the
+// session id, creating the directory if needed. The write is atomic: the
+// checkpoint lands under a temporary name and is renamed into place only
+// after a successful sync.
+func WriteSpoolCheckpoint(dir, id string, s *StreamDetector) (err error) {
+	path, err := spoolPath(dir, id)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: creating spool directory: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "."+id+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("core: creating spool temp file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = s.Checkpoint(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("core: syncing spool checkpoint: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("core: closing spool checkpoint: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: publishing spool checkpoint: %w", err)
+	}
+	return nil
+}
+
+// OpenSpoolCheckpoint opens the spooled checkpoint of a session for
+// RestoreStream. The caller closes the reader.
+func OpenSpoolCheckpoint(dir, id string) (io.ReadCloser, error) {
+	path, err := spoolPath(dir, id)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening spool checkpoint: %w", err)
+	}
+	return f, nil
+}
+
+// SpooledSessions lists the session ids with a checkpoint in dir, sorted.
+// A missing directory is an empty spool, not an error.
+func SpooledSessions(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: reading spool directory: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || strings.HasPrefix(name, ".") || !strings.HasSuffix(name, spoolExt) {
+			continue
+		}
+		ids = append(ids, strings.TrimSuffix(name, spoolExt))
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// RemoveSpoolCheckpoint deletes a session's spooled checkpoint. Removing
+// an absent checkpoint is not an error: close paths race with eviction.
+func RemoveSpoolCheckpoint(dir, id string) error {
+	path, err := spoolPath(dir, id)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("core: removing spool checkpoint: %w", err)
+	}
+	return nil
+}

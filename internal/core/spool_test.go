@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSpoolCheckpointRoundTrip(t *testing.T) {
+	clf, mal := trainStream(t, 41)
+	dir := t.TempDir()
+
+	s1, err := clf.Stream(mal.Modules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := clf.window + 3
+	for _, e := range mal.Events[:cut] {
+		if _, err := s1.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := WriteSpoolCheckpoint(dir, "sess-1", s1); err != nil {
+		t.Fatal(err)
+	}
+
+	ids, err := SpooledSessions(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "sess-1" {
+		t.Fatalf("SpooledSessions = %v, want [sess-1]", ids)
+	}
+
+	r, err := OpenSpoolCheckpoint(dir, "sess-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := clf.RestoreStream(mal.Modules, r)
+	if cerr := r.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Consumed() != cut || s2.Pending() != 3 {
+		t.Fatalf("restored consumed=%d pending=%d, want %d/3", s2.Consumed(), s2.Pending(), cut)
+	}
+
+	if err := RemoveSpoolCheckpoint(dir, "sess-1"); err != nil {
+		t.Fatal(err)
+	}
+	if ids, err = SpooledSessions(dir); err != nil || len(ids) != 0 {
+		t.Fatalf("after removal: ids=%v err=%v", ids, err)
+	}
+	// Double-removal and removal of never-spooled ids are clean no-ops.
+	if err := RemoveSpoolCheckpoint(dir, "sess-1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpoolOverwriteReplacesCheckpoint(t *testing.T) {
+	clf, mal := trainStream(t, 42)
+	dir := t.TempDir()
+
+	s, err := clf.Stream(mal.Modules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSpoolCheckpoint(dir, "s", s); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range mal.Events[:clf.window+1] {
+		if _, err := s.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := WriteSpoolCheckpoint(dir, "s", s); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenSpoolCheckpoint(dir, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	restored, err := clf.RestoreStream(mal.Modules, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Consumed() != clf.window+1 {
+		t.Fatalf("restored consumed=%d, want the second checkpoint's %d",
+			restored.Consumed(), clf.window+1)
+	}
+}
+
+func TestSpoolRejectsHostileIDs(t *testing.T) {
+	clf, mal := trainStream(t, 43)
+	dir := t.TempDir()
+	s, err := clf.Stream(mal.Modules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "../escape", "a/b", ".hidden", "nul\x00byte"} {
+		if err := WriteSpoolCheckpoint(dir, id, s); err == nil {
+			t.Errorf("id %q accepted by WriteSpoolCheckpoint", id)
+		}
+		if _, err := OpenSpoolCheckpoint(dir, id); err == nil {
+			t.Errorf("id %q accepted by OpenSpoolCheckpoint", id)
+		}
+	}
+}
+
+func TestSpooledSessionsMissingDir(t *testing.T) {
+	ids, err := SpooledSessions(t.TempDir() + "/never-created")
+	if err != nil || ids != nil {
+		t.Fatalf("missing dir: ids=%v err=%v, want nil/nil", ids, err)
+	}
+}

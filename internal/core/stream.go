@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/callgraph"
@@ -55,7 +56,15 @@ func (e *EventError) Unwrap() error { return e.Cause }
 // and scores an uninterrupted run would have. In degraded mode (no usable
 // statistical model, see Monitor) it scores windows with the call-graph
 // baseline instead of the WSVM.
+//
+// A StreamDetector is safe for concurrent use: Feed, Checkpoint and the
+// counter accessors serialise on an internal mutex, so a serving process
+// can checkpoint a session while another goroutine is mid-ingest. Event
+// order still matters — concurrent Feed calls are applied in lock-acquisition
+// order — so callers that need deterministic verdicts must serialise their
+// own event stream (one logical feeder per session).
 type StreamDetector struct {
+	mu      sync.Mutex
 	clf     *Classifier      // nil in degraded mode
 	cg      *callgraph.Model // scores windows when clf is nil
 	window  int
@@ -98,6 +107,8 @@ func (c *Classifier) RestoreStream(modules *trace.ModuleMap, r io.Reader) (*Stre
 // completed a window. A returned *EventError means this event was skipped
 // (counted, excluded from windows) and the detector remains usable.
 func (s *StreamDetector) Feed(e trace.Event) (*Detection, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	ord := s.consumed
 	s.consumed++
 	mStreamEvents.Inc()
@@ -115,7 +126,7 @@ func (s *StreamDetector) Feed(e trace.Event) (*Detection, error) {
 		mStreamSkipped.Inc()
 		return nil, &EventError{Ordinal: ord, Cause: errors.New("partition produced no events")}
 	}
-	if s.Pending() == 0 {
+	if s.pending() == 0 {
 		s.winStart = ord
 	}
 	if s.clf == nil {
@@ -183,19 +194,34 @@ func degradedDetection(cg *callgraph.Model, events []partition.Event, first, las
 	}
 }
 
-// Pending reports how many events are buffered toward the next window.
-func (s *StreamDetector) Pending() int {
+// pending reports the open-window buffer length; callers hold s.mu.
+func (s *StreamDetector) pending() int {
 	if s.clf == nil {
 		return len(s.evbuf)
 	}
 	return len(s.buf)
 }
 
+// Pending reports how many events are buffered toward the next window.
+func (s *StreamDetector) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending()
+}
+
 // Consumed reports how many events were fed so far, including skipped ones.
-func (s *StreamDetector) Consumed() int { return s.consumed }
+func (s *StreamDetector) Consumed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.consumed
+}
 
 // Skipped reports how many fed events were excluded by per-event errors.
-func (s *StreamDetector) Skipped() int { return s.skipped }
+func (s *StreamDetector) Skipped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.skipped
+}
 
 // Degraded reports whether windows are scored by the call-graph fallback
 // instead of the statistical model.
@@ -228,6 +254,8 @@ const (
 func (s *StreamDetector) Checkpoint(w io.Writer) error {
 	start := time.Now()
 	defer func() { mCheckpointSecs.Observe(time.Since(start).Seconds()) }()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	f := checkpointFile{
 		Magic:    checkpointMagic,
 		Version:  checkpointVersion,
@@ -248,6 +276,8 @@ func (s *StreamDetector) Checkpoint(w io.Writer) error {
 // restore loads a checkpoint into a freshly-constructed detector,
 // validating that it matches the detector's model shape.
 func (s *StreamDetector) restore(r io.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var f checkpointFile
 	if err := gob.NewDecoder(r).Decode(&f); err != nil {
 		return fmt.Errorf("core: decoding checkpoint: %w", err)

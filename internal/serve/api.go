@@ -1,0 +1,392 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// apiError is the JSON error envelope every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// SessionInfo is the JSON body of session-creation responses and
+// GET /v1/sessions/{id}: the session's binding plus live counters.
+type SessionInfo struct {
+	// ID addresses the session in subsequent requests.
+	ID string `json:"id"`
+	// Model is the model bundle the session scores with.
+	Model string `json:"model"`
+	// App is the monitored application's main image name.
+	App string `json:"app"`
+	// Window is the detection window length in events.
+	Window int `json:"window"`
+	// Degraded reports call-graph-fallback mode (no statistical model).
+	Degraded bool `json:"degraded"`
+	// Consumed and Skipped count events the detector has processed and
+	// events it had to skip as unusable.
+	Consumed int `json:"consumed"`
+	Skipped  int `json:"skipped"`
+	// Pending counts partial-window events buffered in the detector;
+	// Queued counts events accepted but not yet scored.
+	Pending int `json:"pending"`
+	Queued  int `json:"queued"`
+	// Verdicts and Malicious count scored windows and malicious ones.
+	Verdicts  int `json:"verdicts"`
+	Malicious int `json:"malicious"`
+	// Created and LastUsed bound the session's lifetime.
+	Created  time.Time `json:"created"`
+	LastUsed time.Time `json:"last_used"`
+	// Checkpoint is the base64 binary checkpoint of the detector,
+	// present only when requested with ?checkpoint=1.
+	Checkpoint string `json:"checkpoint,omitempty"`
+}
+
+// IngestResult is the JSON body answering an accepted event batch.
+type IngestResult struct {
+	// Consumed and Skipped count this batch's events by outcome.
+	Consumed int `json:"consumed"`
+	Skipped  int `json:"skipped"`
+	// Verdicts are the windows this batch completed, in stream order.
+	Verdicts []Verdict `json:"verdicts"`
+}
+
+// buildMux wires the API routes, health probes and telemetry surface.
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
+	mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	telemetry.Register(mux)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			writeError(w, http.StatusNotFound, "no such endpoint")
+			return
+		}
+		fmt.Fprintln(w, "leaps-serve endpoints:")
+		fmt.Fprintln(w, "  POST   /v1/sessions")
+		fmt.Fprintln(w, "  GET    /v1/sessions/{id}   (?checkpoint=1)")
+		fmt.Fprintln(w, "  POST   /v1/sessions/{id}/events")
+		fmt.Fprintln(w, "  DELETE /v1/sessions/{id}")
+		fmt.Fprintln(w, "  GET    /healthz, /readyz")
+		fmt.Fprintln(w, "  GET    /metrics, /spans, /debug/vars, /debug/pprof/")
+	})
+	s.mux = mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a JSON request body under the configured size cap,
+// translating oversize bodies to 413 and malformed ones to 400. It
+// reports whether decoding succeeded; on failure the response is sent.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			mRejected.With("body_too_large").Inc()
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "decoding request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// resolveModel maps a session spec's model name to a loaded model,
+// applying the default-model convention.
+func (s *Server) resolveModel(name string) (*model, error) {
+	if name == "" {
+		if m, ok := s.models["default"]; ok {
+			return m, nil
+		}
+		if len(s.models) == 1 {
+			for _, m := range s.models {
+				return m, nil
+			}
+		}
+		return nil, fmt.Errorf("no model named and no default configured")
+	}
+	m, ok := s.models[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown model %q", name)
+	}
+	return m, nil
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	var spec SessionSpec
+	if !s.decodeBody(w, r, &spec) {
+		return
+	}
+	m, err := s.resolveModel(spec.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mm, err := spec.ModuleMap()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mon := m.monitor()
+	det, err := mon.Stream(mm)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "starting detector: %v", err)
+		return
+	}
+	now := time.Now()
+	sess := &session{
+		id:       newSessionID(),
+		model:    m.name,
+		spec:     spec,
+		det:      det,
+		mm:       mm,
+		window:   mon.Window(),
+		degraded: det.Degraded(),
+		created:  now,
+		lastUsed: now,
+	}
+	s.sessMu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.sessMu.Unlock()
+		mRejected.With("session_limit").Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			"session limit %d reached", s.cfg.MaxSessions)
+		return
+	}
+	s.sessions[sess.id] = sess
+	s.sessMu.Unlock()
+	mSessionsActive.Add(1)
+	mSessionsCreated.Inc()
+	s.cfg.Logger.Info("session created",
+		"session", sess.id, "model", sess.model, "app", spec.App, "degraded", sess.degraded)
+	w.Header().Set("Location", "/v1/sessions/"+sess.id)
+	writeJSON(w, http.StatusCreated, s.sessionInfo(sess, false))
+}
+
+// getSession finds a resident session, lazily restoring an evicted one
+// from the spool.
+func (s *Server) getSession(id string) (*session, error) {
+	s.sessMu.RLock()
+	sess, ok := s.sessions[id]
+	s.sessMu.RUnlock()
+	if ok {
+		return sess, nil
+	}
+	if s.cfg.SpoolDir == "" || s.closing.Load() {
+		return nil, fmt.Errorf("no session %q", id)
+	}
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if sess, ok := s.sessions[id]; ok { // raced with another restorer
+		return sess, nil
+	}
+	sess, err := s.restoreSession(id)
+	if err != nil {
+		return nil, fmt.Errorf("no session %q", id)
+	}
+	s.sessions[sess.id] = sess
+	mSessionsActive.Add(1)
+	mSessionsRestored.Inc()
+	s.cfg.Logger.Info("session restored from spool on access", "session", id)
+	return sess, nil
+}
+
+// sessionInfo snapshots a session for the API. With checkpoint set it
+// embeds the detector's binary checkpoint in base64.
+func (s *Server) sessionInfo(sess *session, checkpoint bool) SessionInfo {
+	sess.mu.Lock()
+	info := SessionInfo{
+		ID:        sess.id,
+		Model:     sess.model,
+		App:       sess.spec.App,
+		Window:    sess.window,
+		Degraded:  sess.degraded,
+		Queued:    sess.queued,
+		Verdicts:  sess.verdicts,
+		Malicious: sess.malicious,
+		Created:   sess.created,
+		LastUsed:  sess.lastUsed,
+	}
+	sess.mu.Unlock()
+	info.Consumed = sess.det.Consumed()
+	info.Skipped = sess.det.Skipped()
+	info.Pending = sess.det.Pending()
+	if checkpoint {
+		var buf bytes.Buffer
+		if err := sess.det.Checkpoint(&buf); err == nil {
+			info.Checkpoint = base64.StdEncoding.EncodeToString(buf.Bytes())
+		}
+	}
+	return info
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.getSession(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	withCkpt := r.URL.Query().Get("checkpoint") != ""
+	writeJSON(w, http.StatusOK, s.sessionInfo(sess, withCkpt))
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	id := r.PathValue("id")
+	sess, err := s.getSession(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	var batch EventBatch
+	if !s.decodeBody(w, r, &batch) {
+		return
+	}
+	events := make([]trace.Event, len(batch.Events))
+	for i := range batch.Events {
+		ev, err := batch.Events[i].Event(sess.mm)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "event %d: %v", i, err)
+			return
+		}
+		events[i] = ev
+	}
+	if len(events) == 0 {
+		writeJSON(w, http.StatusOK, IngestResult{Verdicts: []Verdict{}})
+		return
+	}
+	b := &ingestBatch{events: events, enq: time.Now(), done: make(chan ingestReply, 1)}
+	schedule, err := sess.enqueue(b, s.cfg.QueueDepth)
+	if errors.Is(err, ErrSessionClosed) {
+		// The session was evicted between lookup and enqueue; restore it
+		// and retry once.
+		if sess, err = s.getSession(id); err == nil {
+			schedule, err = sess.enqueue(b, s.cfg.QueueDepth)
+		}
+	}
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		mRejected.With("queue_full").Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"session queue full (%d events queued, depth %d)", sess.Queued(), s.cfg.QueueDepth)
+		return
+	case errors.Is(err, ErrSessionClosed):
+		writeError(w, http.StatusConflict, "session %s is closed", id)
+		return
+	case err != nil:
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if schedule {
+		s.workCh <- sess
+	}
+
+	timeout := time.NewTimer(s.cfg.RequestTimeout)
+	defer timeout.Stop()
+	select {
+	case rep := <-b.done:
+		if rep.err != nil {
+			writeError(w, http.StatusInternalServerError, "scoring batch: %v", rep.err)
+			return
+		}
+		res := IngestResult{Consumed: rep.consumed, Skipped: rep.skipped, Verdicts: rep.verdicts}
+		if res.Verdicts == nil {
+			res.Verdicts = []Verdict{}
+		}
+		writeJSON(w, http.StatusOK, res)
+	case <-timeout.C:
+		mRejected.With("timeout").Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			"batch not scored within %s; it remains queued", s.cfg.RequestTimeout)
+	case <-r.Context().Done():
+		// Client went away; the batch still scores in order.
+	}
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.sessMu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	s.sessMu.Unlock()
+	if ok {
+		sess.close()
+		mSessionsActive.Add(-1)
+	}
+	removedSpool := false
+	if s.cfg.SpoolDir != "" {
+		if err := core.RemoveSpoolCheckpoint(s.cfg.SpoolDir, id); err == nil {
+			removedSpool = true
+			_ = os.Remove(filepath.Join(s.cfg.SpoolDir, id+".json"))
+		}
+	}
+	if !ok && !removedSpool {
+		writeError(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
+	s.cfg.Logger.Info("session deleted", "session", id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	s.sessMu.RLock()
+	n := len(s.sessions)
+	s.sessMu.RUnlock()
+	models := make([]string, 0, len(s.models))
+	for name := range s.models {
+		models = append(models, name)
+	}
+	sort.Strings(models)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ready":    true,
+		"sessions": n,
+		"models":   models,
+	})
+}

@@ -1,0 +1,493 @@
+// Package serve implements the online detection server behind the
+// leaps-serve binary: a long-running process that loads one or more
+// trained model bundles and scores many concurrent event streams over an
+// HTTP/JSON API.
+//
+// Each stream is a session — a core.StreamDetector pinned to one model —
+// with a bounded, event-counted ingest queue. Batches POSTed to a
+// session are scored strictly in arrival order by at most one worker
+// turn at a time, so the verdict stream is deterministic for any
+// worker-pool size (the same contract the batch pipeline honours for
+// Config.Parallel). Backpressure is explicit: when a batch would
+// overflow the queue the request is rejected with 429 and a Retry-After
+// hint rather than buffered without bound.
+//
+// Sessions survive restarts through the checkpoint spool: graceful
+// shutdown checkpoints every live session to the spool directory, and
+// startup restores them. Idle sessions are checkpointed and evicted from
+// memory, then transparently restored on next access. Restores consume
+// the spooled checkpoint, so a scored event is never re-scored.
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config parameterises a Server. The zero value of every limit selects a
+// production-safe default; at least one model source is mandatory.
+type Config struct {
+	// Models maps model names to bundle paths, loaded at startup and
+	// re-read on Reload. The name "default" is what sessions get when
+	// their spec names no model.
+	Models map[string]string
+	// Preloaded maps model names to already-loaded monitors (tests,
+	// embedding callers). Preloaded models are not hot-reloadable.
+	Preloaded map[string]*core.Monitor
+	// SpoolDir is where shutdown and eviction checkpoint sessions.
+	// Empty disables the spool: shutdown discards session state and
+	// idle sessions are never evicted.
+	SpoolDir string
+	// MaxSessions caps resident sessions (default 1024).
+	MaxSessions int
+	// QueueDepth caps the queued events per session (default 8192).
+	QueueDepth int
+	// MaxBodyBytes caps request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// RequestTimeout bounds how long an ingest request waits for its
+	// batch to be scored before giving up with 503 (default 30s). The
+	// batch is still scored; only the waiting stops.
+	RequestTimeout time.Duration
+	// IdleTimeout is how long a session may go untouched before the
+	// janitor evicts it to the spool (default 15m; requires SpoolDir).
+	IdleTimeout time.Duration
+	// EvictInterval is the janitor's scan period (default 1m).
+	EvictInterval time.Duration
+	// Parallel sizes the scoring worker pool (default GOMAXPROCS).
+	// Verdicts are identical for any value; only throughput changes.
+	Parallel int
+	// TurnEvents caps the events one worker turn scores before the
+	// session yields its worker for fairness (default 1024).
+	TurnEvents int
+	// Logger receives operational logs (default slog.Default()).
+	Logger *slog.Logger
+}
+
+// withDefaults fills unset limits.
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8192
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 15 * time.Minute
+	}
+	if c.EvictInterval <= 0 {
+		c.EvictInterval = time.Minute
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if c.TurnEvents <= 0 {
+		c.TurnEvents = 1024
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// model is one named bundle; mu guards the monitor pointer across hot
+// reloads. Sessions capture the monitor's detector at creation, so a
+// reload changes what new sessions score with, never live ones.
+type model struct {
+	name string
+	path string // empty for preloaded monitors
+	mu   sync.RWMutex
+	mon  *core.Monitor
+}
+
+func (m *model) monitor() *core.Monitor {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.mon
+}
+
+// Server is the serving subsystem: models, sessions, the scoring worker
+// pool and the HTTP API. Create with NewServer, expose Handler on a
+// listener, and call Shutdown to checkpoint and stop.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	models map[string]*model // immutable key set after NewServer
+
+	sessMu   sync.RWMutex
+	sessions map[string]*session
+
+	workCh      chan *session
+	workers     sync.WaitGroup
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+	closing     atomic.Bool
+}
+
+// NewServer loads the configured models, restores any spooled sessions,
+// and starts the scoring workers and eviction janitor.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		models:      make(map[string]*model),
+		sessions:    make(map[string]*session),
+		workCh:      make(chan *session, cfg.MaxSessions),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	for name, path := range cfg.Models {
+		mon, err := loadMonitorFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("serve: model %q: %w", name, err)
+		}
+		s.models[name] = &model{name: name, path: path, mon: mon}
+	}
+	for name, mon := range cfg.Preloaded {
+		if _, dup := s.models[name]; dup {
+			return nil, fmt.Errorf("serve: model %q configured twice", name)
+		}
+		s.models[name] = &model{name: name, mon: mon}
+	}
+	if len(s.models) == 0 {
+		return nil, fmt.Errorf("serve: no models configured")
+	}
+	if err := s.restoreSpooled(); err != nil {
+		return nil, err
+	}
+	s.buildMux()
+	for i := 0; i < cfg.Parallel; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	go s.janitor()
+	return s, nil
+}
+
+func loadMonitorFile(path string) (*core.Monitor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadMonitor(f)
+}
+
+// Handler returns the server's HTTP API: the five /v1 session endpoints,
+// /healthz, /readyz and the telemetry introspection surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Reload re-reads every path-backed model bundle, swapping each monitor
+// atomically. A bundle that fails to load keeps its previous monitor and
+// contributes to the returned error. Live sessions are unaffected; only
+// sessions created after the reload see the new models.
+func (s *Server) Reload() error {
+	var firstErr error
+	reloaded := 0
+	for _, m := range s.models {
+		if m.path == "" {
+			continue
+		}
+		mon, err := loadMonitorFile(m.path)
+		if err != nil {
+			s.cfg.Logger.Error("model reload failed; keeping previous", "model", m.name, "error", err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("serve: reloading model %q: %w", m.name, err)
+			}
+			continue
+		}
+		m.mu.Lock()
+		m.mon = mon
+		m.mu.Unlock()
+		reloaded++
+		s.cfg.Logger.Info("model reloaded", "model", m.name, "path", m.path, "degraded", mon.Degraded())
+	}
+	if reloaded > 0 {
+		mModelReloads.Inc()
+	}
+	return firstErr
+}
+
+// Shutdown drains every session queue (or discards it once ctx expires),
+// stops the workers, and checkpoints all sessions to the spool. The
+// HTTP listener must already be closed or draining — Shutdown makes the
+// API refuse new work but cannot stop the listener itself.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.closing.Swap(true) {
+		return nil
+	}
+	close(s.janitorStop)
+	<-s.janitorDone
+
+	s.sessMu.RLock()
+	live := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		live = append(live, sess)
+	}
+	s.sessMu.RUnlock()
+	for _, sess := range live {
+		select {
+		case <-ctx.Done():
+			sess.close() // deadline passed: fail queued batches instead
+		default:
+			sess.quiesce()
+		}
+	}
+	close(s.workCh)
+	s.workers.Wait()
+
+	var firstErr error
+	if s.cfg.SpoolDir != "" {
+		for _, sess := range live {
+			if err := s.spoolSession(sess); err != nil {
+				s.cfg.Logger.Error("checkpoint spool failed", "session", sess.id, "error", err)
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+	}
+	s.sessMu.Lock()
+	s.sessions = make(map[string]*session)
+	s.sessMu.Unlock()
+	mSessionsActive.Set(0)
+	return firstErr
+}
+
+// worker pulls scheduled sessions and runs scoring turns.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for sess := range s.workCh {
+		s.runTurn(sess)
+	}
+}
+
+// runTurn drains one session's queue in order, yielding the worker after
+// TurnEvents events so a firehose session cannot starve the rest.
+func (s *Server) runTurn(sess *session) {
+	budget := s.cfg.TurnEvents
+	for {
+		b, ok := sess.pop()
+		if !ok {
+			return
+		}
+		b.done <- sess.score(b)
+		if budget -= len(b.events); budget <= 0 {
+			s.workCh <- sess // scheduled stays set; next worker continues
+			return
+		}
+	}
+}
+
+// janitor periodically checkpoints idle sessions to the spool and evicts
+// them from memory.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	if s.cfg.SpoolDir == "" {
+		<-s.janitorStop
+		return
+	}
+	tick := time.NewTicker(s.cfg.EvictInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-tick.C:
+			s.evictIdle(time.Now().Add(-s.cfg.IdleTimeout))
+		}
+	}
+}
+
+// evictIdle spools and drops every session untouched since the cutoff.
+func (s *Server) evictIdle(cutoff time.Time) {
+	s.sessMu.RLock()
+	var idle []*session
+	for _, sess := range s.sessions {
+		if sess.idleSince(cutoff) {
+			idle = append(idle, sess)
+		}
+	}
+	s.sessMu.RUnlock()
+	for _, sess := range idle {
+		s.sessMu.Lock()
+		if !sess.idleSince(cutoff) { // raced with fresh traffic
+			s.sessMu.Unlock()
+			continue
+		}
+		sess.mu.Lock()
+		sess.closed = true
+		sess.mu.Unlock()
+		if err := s.spoolSession(sess); err != nil {
+			// Keep the session live rather than lose its state.
+			sess.mu.Lock()
+			sess.closed = false
+			sess.mu.Unlock()
+			s.sessMu.Unlock()
+			s.cfg.Logger.Error("eviction checkpoint failed; keeping session",
+				"session", sess.id, "error", err)
+			continue
+		}
+		delete(s.sessions, sess.id)
+		s.sessMu.Unlock()
+		mSessionsEvicted.Inc()
+		mSessionsActive.Add(-1)
+		s.cfg.Logger.Info("idle session evicted to spool", "session", sess.id)
+	}
+}
+
+// spoolMeta is the JSON sidecar written next to a spooled checkpoint; it
+// carries what the binary checkpoint cannot: the session's identity,
+// model binding, module map and verdict tallies.
+type spoolMeta struct {
+	ID        string      `json:"id"`
+	Model     string      `json:"model"`
+	Spec      SessionSpec `json:"spec"`
+	Created   time.Time   `json:"created"`
+	Verdicts  int         `json:"verdicts"`
+	Malicious int         `json:"malicious"`
+}
+
+// spoolSession writes the session's checkpoint and metadata sidecar. The
+// caller must have quiesced the session (no queued work, no turns).
+func (s *Server) spoolSession(sess *session) error {
+	if err := core.WriteSpoolCheckpoint(s.cfg.SpoolDir, sess.id, sess.det); err != nil {
+		return err
+	}
+	sess.mu.Lock()
+	meta := spoolMeta{
+		ID:        sess.id,
+		Model:     sess.model,
+		Spec:      sess.spec,
+		Created:   sess.created,
+		Verdicts:  sess.verdicts,
+		Malicious: sess.malicious,
+	}
+	sess.mu.Unlock()
+	blob, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.cfg.SpoolDir, "."+sess.id+".meta-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(s.cfg.SpoolDir, sess.id+".json"))
+}
+
+// restoreSpooled eagerly revives every spooled session at startup.
+func (s *Server) restoreSpooled() error {
+	if s.cfg.SpoolDir == "" {
+		return nil
+	}
+	ids, err := core.SpooledSessions(s.cfg.SpoolDir)
+	if err != nil {
+		return fmt.Errorf("serve: scanning spool: %w", err)
+	}
+	for _, id := range ids {
+		if len(s.sessions) >= s.cfg.MaxSessions {
+			s.cfg.Logger.Warn("session limit reached; leaving remaining spool entries on disk",
+				"restored", len(s.sessions))
+			break
+		}
+		sess, err := s.restoreSession(id)
+		if err != nil {
+			s.cfg.Logger.Error("spooled session not restorable; leaving on disk",
+				"session", id, "error", err)
+			continue
+		}
+		s.sessions[sess.id] = sess
+		mSessionsActive.Add(1)
+		mSessionsRestored.Inc()
+		s.cfg.Logger.Info("session restored from spool", "session", id, "model", sess.model)
+	}
+	return nil
+}
+
+// restoreSession revives one spooled session and consumes its spool
+// entry. Callers hold whatever session-map locking they need.
+func (s *Server) restoreSession(id string) (*session, error) {
+	blob, err := os.ReadFile(filepath.Join(s.cfg.SpoolDir, id+".json"))
+	if err != nil {
+		return nil, fmt.Errorf("reading spool metadata: %w", err)
+	}
+	var meta spoolMeta
+	if err := json.Unmarshal(blob, &meta); err != nil {
+		return nil, fmt.Errorf("decoding spool metadata: %w", err)
+	}
+	m, ok := s.models[meta.Model]
+	if !ok {
+		return nil, fmt.Errorf("spooled session pinned to unknown model %q", meta.Model)
+	}
+	mm, err := meta.Spec.ModuleMap()
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding module map: %w", err)
+	}
+	r, err := core.OpenSpoolCheckpoint(s.cfg.SpoolDir, id)
+	if err != nil {
+		return nil, err
+	}
+	mon := m.monitor()
+	det, err := mon.RestoreStream(mm, r)
+	r.Close()
+	if err != nil {
+		return nil, fmt.Errorf("restoring checkpoint: %w", err)
+	}
+	if err := core.RemoveSpoolCheckpoint(s.cfg.SpoolDir, id); err != nil {
+		return nil, err
+	}
+	_ = os.Remove(filepath.Join(s.cfg.SpoolDir, id+".json"))
+	now := time.Now()
+	return &session{
+		id:        id,
+		model:     meta.Model,
+		spec:      meta.Spec,
+		det:       det,
+		mm:        mm,
+		window:    mon.Window(),
+		degraded:  det.Degraded(),
+		created:   meta.Created,
+		lastUsed:  now,
+		verdicts:  meta.Verdicts,
+		malicious: meta.Malicious,
+	}, nil
+}
+
+// newSessionID returns a fresh random session identifier.
+func newSessionID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("serve: reading random session id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}

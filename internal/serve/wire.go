@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Wire format of the serving API: JSON shapes for module maps, events and
+// verdicts. The shapes mirror the internal trace model closely enough
+// that a client holding a parsed log (or a live logger's process
+// metadata) can stream without understanding the binary .letl codec.
+
+// SessionSpec is the body of POST /v1/sessions: the model to pin the
+// session to and the monitored process's identity — its application name
+// and module map, which the detector needs to partition stack walks.
+type SessionSpec struct {
+	// Model names the model bundle to score with; empty selects the
+	// server's default model.
+	Model string `json:"model,omitempty"`
+	// App is the application's main image name (e.g. "vim.exe").
+	App string `json:"app"`
+	// Modules lists every image loaded in the monitored process.
+	Modules []ModuleSpec `json:"modules"`
+}
+
+// ModuleSpec is one loaded image of the monitored process.
+type ModuleSpec struct {
+	// Name is the image name; Kind is "app", "sharedlib" or "kernel".
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Base and Size bound the image's address range [base, base+size).
+	Base uint64 `json:"base"`
+	Size uint64 `json:"size"`
+	// Symbols locate the image's named functions, in any order.
+	Symbols []SymbolSpec `json:"symbols,omitempty"`
+}
+
+// SymbolSpec is one named function at an absolute address.
+type SymbolSpec struct {
+	Name string `json:"name"`
+	Addr uint64 `json:"addr"`
+}
+
+// EventSpec is one system event in an ingest batch. The stack walk is
+// raw frame addresses; the server resolves them against the session's
+// module map, exactly as the raw-log parser does.
+type EventSpec struct {
+	// Type is the canonical event-type name (e.g. "FileRead").
+	Type string `json:"type"`
+	// TimeNS is the capture timestamp in Unix nanoseconds (0 = unknown).
+	TimeNS int64 `json:"time_ns,omitempty"`
+	// PID and TID identify the emitting process and thread.
+	PID int `json:"pid"`
+	TID int `json:"tid"`
+	// Stack is the captured call stack, outermost frame first.
+	Stack []uint64 `json:"stack"`
+}
+
+// EventBatch is the body of POST /v1/sessions/{id}/events.
+type EventBatch struct {
+	// Events are applied in order; a batch is the unit of backpressure.
+	Events []EventSpec `json:"events"`
+}
+
+// Verdict is one classified window, the wire form of core.Detection.
+type Verdict struct {
+	// FirstEvent and LastEvent bound the window (stream ordinals).
+	FirstEvent int `json:"first_event"`
+	LastEvent  int `json:"last_event"`
+	// Score is the decision value; negative means malicious.
+	Score float64 `json:"score"`
+	// Probability is the calibrated probability the window is malicious.
+	Probability float64 `json:"probability"`
+	// Malicious is the verdict.
+	Malicious bool `json:"malicious"`
+}
+
+// verdictOf converts a detection to its wire form.
+func verdictOf(d core.Detection) Verdict {
+	return Verdict{
+		FirstEvent:  d.FirstEvent,
+		LastEvent:   d.LastEvent,
+		Score:       d.Score,
+		Probability: d.Probability,
+		Malicious:   d.Malicious,
+	}
+}
+
+// moduleKinds maps wire kind names onto the trace model.
+var moduleKinds = map[string]trace.ModuleKind{
+	"app":       trace.ModuleApp,
+	"sharedlib": trace.ModuleSharedLib,
+	"kernel":    trace.ModuleKernel,
+}
+
+// ModuleMap materialises the spec's module map, validating ranges and
+// overlaps through the trace constructors.
+func (s *SessionSpec) ModuleMap() (*trace.ModuleMap, error) {
+	if s.App == "" {
+		return nil, fmt.Errorf("serve: session spec has no app name")
+	}
+	mods := make([]*trace.Module, 0, len(s.Modules))
+	for _, ms := range s.Modules {
+		kind, ok := moduleKinds[ms.Kind]
+		if !ok {
+			return nil, fmt.Errorf("serve: module %q has unknown kind %q (want app, sharedlib or kernel)", ms.Name, ms.Kind)
+		}
+		syms := make([]trace.Symbol, len(ms.Symbols))
+		for i, sy := range ms.Symbols {
+			syms[i] = trace.Symbol{Name: sy.Name, Addr: sy.Addr}
+		}
+		m, err := trace.NewModule(ms.Name, kind, ms.Base, ms.Size, syms)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		mods = append(mods, m)
+	}
+	mm, err := trace.NewModuleMap(s.App, mods)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	return mm, nil
+}
+
+// Event materialises one wire event, resolving its stack against the
+// session's module map.
+func (e *EventSpec) Event(mm *trace.ModuleMap) (trace.Event, error) {
+	typ, ok := trace.ParseEventType(e.Type)
+	if !ok {
+		return trace.Event{}, fmt.Errorf("serve: unknown event type %q", e.Type)
+	}
+	out := trace.Event{Type: typ, PID: e.PID, TID: e.TID}
+	if e.TimeNS != 0 {
+		out.Time = time.Unix(0, e.TimeNS)
+	}
+	if len(e.Stack) > 0 {
+		stack := make(trace.StackWalk, len(e.Stack))
+		for i, addr := range e.Stack {
+			stack[i] = trace.Frame{Addr: addr}
+		}
+		out.Stack = mm.ResolveStack(stack)
+	}
+	return out, nil
+}
+
+// SessionSpecOf builds the wire spec describing a parsed log's process —
+// what a client would POST to open a session for that process. Used by
+// leaps-trace -serve-json and the test harness.
+func SessionSpecOf(log *trace.Log, model string) SessionSpec {
+	spec := SessionSpec{Model: model, App: log.App}
+	for _, m := range log.Modules.Modules() {
+		ms := ModuleSpec{Name: m.Name, Kind: m.Kind.String(), Base: m.Base, Size: m.Size}
+		for _, sy := range m.Symbols() {
+			ms.Symbols = append(ms.Symbols, SymbolSpec{Name: sy.Name, Addr: sy.Addr})
+		}
+		spec.Modules = append(spec.Modules, ms)
+	}
+	return spec
+}
+
+// EventSpecsOf converts parsed events to their wire form.
+func EventSpecsOf(events []trace.Event) []EventSpec {
+	out := make([]EventSpec, len(events))
+	for i, e := range events {
+		es := EventSpec{Type: e.Type.String(), PID: e.PID, TID: e.TID}
+		if !e.Time.IsZero() {
+			es.TimeNS = e.Time.UnixNano()
+		}
+		es.Stack = e.Stack.Addrs()
+		out[i] = es
+	}
+	return out
+}

@@ -30,8 +30,28 @@ func publishExpvar() {
 //	/debug/vars       expvar, including the combined snapshot
 //	/debug/pprof/...  net/http/pprof profiles
 func Handler() http.Handler {
-	publishExpvar()
 	mux := http.NewServeMux()
+	Register(mux)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "leaps debug endpoints:")
+		fmt.Fprintln(w, "  /metrics        (?format=json)")
+		fmt.Fprintln(w, "  /spans          (?format=json)")
+		fmt.Fprintln(w, "  /debug/vars")
+		fmt.Fprintln(w, "  /debug/pprof/")
+	})
+	return mux
+}
+
+// Register mounts the debug endpoints (/metrics, /spans, /debug/vars,
+// /debug/pprof/*) on an existing mux, so servers with their own API
+// surface — leaps-serve — can expose the introspection endpoints on the
+// same listener instead of a separate -debug-addr one.
+func Register(mux *http.ServeMux) {
+	publishExpvar()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		metrics := Default().Snapshot()
 		if r.URL.Query().Get("format") == "json" {
@@ -62,18 +82,6 @@ func Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/" {
-			http.NotFound(w, r)
-			return
-		}
-		fmt.Fprintln(w, "leaps debug endpoints:")
-		fmt.Fprintln(w, "  /metrics        (?format=json)")
-		fmt.Fprintln(w, "  /spans          (?format=json)")
-		fmt.Fprintln(w, "  /debug/vars")
-		fmt.Fprintln(w, "  /debug/pprof/")
-	})
-	return mux
 }
 
 // DebugServer is a running debug HTTP listener.

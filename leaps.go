@@ -31,6 +31,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/etl"
 	"repro/internal/metrics"
+	"repro/internal/serve"
 	"repro/internal/svm"
 	"repro/internal/trace"
 	"repro/internal/weight"
@@ -78,6 +79,23 @@ type (
 	// LogPair is one application's benign/mixed training material for the
 	// universal classifier.
 	LogPair = core.LogPair
+
+	// FallbackUnavailableError reports a model bundle whose statistical
+	// sections are unusable and that carries no call-graph fallback —
+	// typically a version-1 bundle predating the embedded call graph.
+	FallbackUnavailableError = core.FallbackUnavailableError
+
+	// ServeConfig parameterises the online detection server.
+	ServeConfig = serve.Config
+	// Server is the online detection server: it manages concurrent
+	// streaming sessions over the HTTP/JSON API served by leaps-serve.
+	Server = serve.Server
+	// SessionSpec describes one monitored process to POST /v1/sessions.
+	SessionSpec = serve.SessionSpec
+	// ServeEventBatch is the wire form of one ingest batch.
+	ServeEventBatch = serve.EventBatch
+	// ServeVerdict is the wire form of one classified window.
+	ServeVerdict = serve.Verdict
 
 	// ParseOpts controls raw-log parsing fault tolerance.
 	ParseOpts = etl.ParseOpts
@@ -379,6 +397,18 @@ func ParseRawFile(r io.Reader, opts ParseOpts) (*RawFile, error) {
 		return nil, fmt.Errorf("leaps: %w", err)
 	}
 	return f, nil
+}
+
+// NewServer starts the online detection server used by leaps-serve: it
+// loads the configured model bundles, restores spooled sessions, and
+// returns a Server whose Handler serves the HTTP/JSON detection API.
+// Callers own the listener; call Shutdown to drain and checkpoint.
+func NewServer(config ServeConfig) (*Server, error) {
+	s, err := serve.NewServer(config)
+	if err != nil {
+		return nil, fmt.Errorf("leaps: %w", err)
+	}
+	return s, nil
 }
 
 // LoadMonitor reads a model file like LoadDetector but degrades instead of

@@ -1,0 +1,211 @@
+// Command doclint enforces the repository's godoc conventions:
+//
+//   - every package under the directories given as arguments must have a
+//     package comment on at least one file;
+//   - in packages listed via -strict, every exported top-level
+//     identifier (type, function, method on an exported type, constant,
+//     variable) must have a doc comment.
+//
+// It exits non-zero listing every violation. Run through
+// scripts/doc-lint.sh, which pins the repository's directory set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+	"strings"
+)
+
+func main() {
+	strict := flag.String("strict", "", "comma-separated directories whose exported identifiers must all carry doc comments")
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doclint [-strict dir,dir] root [root...]")
+		os.Exit(2)
+	}
+	var problems []string
+	for _, root := range roots {
+		dirs, err := goDirs(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		for _, dir := range dirs {
+			p, err := lintDir(dir, false)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "doclint:", err)
+				os.Exit(2)
+			}
+			problems = append(problems, p...)
+		}
+	}
+	if *strict != "" {
+		for _, dir := range strings.Split(*strict, ",") {
+			p, err := lintDir(dir, true)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "doclint:", err)
+				os.Exit(2)
+			}
+			problems = append(problems, p...)
+		}
+	}
+	// Strict directories are usually also under a root, so the package
+	// check can fire twice; report each problem once.
+	sort.Strings(problems)
+	problems = slices.Compact(problems)
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Printf("doclint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// goDirs returns every directory under root holding non-test Go files.
+func goDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		seen[filepath.Dir(path)] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for dir := range seen {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// lintDir checks one package directory. With strict set it additionally
+// requires doc comments on every exported top-level identifier.
+func lintDir(dir string, strict bool) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	var problems []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		hasDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasDoc = true
+				break
+			}
+		}
+		if !hasDoc {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, name))
+		}
+		if !strict {
+			continue
+		}
+		exported := exportedTypes(pkg)
+		for path, f := range pkg.Files {
+			problems = append(problems, lintFile(fset, path, f, exported)...)
+		}
+	}
+	return problems, nil
+}
+
+// exportedTypes collects the package's exported type names, so methods on
+// unexported types are not held to the exported-doc rule.
+func exportedTypes(pkg *ast.Package) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.IsExported() {
+					out[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lintFile reports exported top-level identifiers without doc comments.
+func lintFile(fset *token.FileSet, path string, f *ast.File, exportedTypes map[string]bool) []string {
+	var problems []string
+	report := func(pos token.Pos, kind, name string) {
+		problems = append(problems, fmt.Sprintf("%s: exported %s %s has no doc comment",
+			fset.Position(pos), kind, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil && !exportedTypes[receiverType(d)] {
+				continue
+			}
+			report(d.Pos(), "function", d.Name.Name)
+		case *ast.GenDecl:
+			if d.Tok == token.IMPORT {
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil {
+						report(sp.Pos(), "type", sp.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, name := range sp.Names {
+						// A doc on the grouped decl covers its specs.
+						if name.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+							report(name.Pos(), "value", name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// receiverType names the method receiver's base type.
+func receiverType(d *ast.FuncDecl) string {
+	if len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
