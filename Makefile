@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build fmt-check vet test race fuzz-smoke bench bench-compare determinism verify verify-telemetry serve-smoke doc-lint
+.PHONY: build fmt-check vet test race fuzz-smoke bench bench-compare determinism verify verify-telemetry serve-smoke registry-smoke doc-lint
 
 build:
 	$(GO) build ./...
@@ -56,10 +56,17 @@ verify-telemetry:
 serve-smoke:
 	./scripts/serve-smoke.sh
 
+# End-to-end smoke test of the model registry lifecycle: publishes two
+# trained seeds, shadow-evaluates the challenger against live traffic,
+# and walks gated/forced promotion and rollback over /v1/models,
+# asserting shadow non-perturbation and pinned-session continuity.
+registry-smoke:
+	./scripts/registry-smoke.sh
+
 # Godoc gate: package comments everywhere under internal/ and cmd/, and
 # doc comments on every exported identifier in internal/serve.
 doc-lint:
 	./scripts/doc-lint.sh
 
-verify: build fmt-check vet test race determinism fuzz-smoke doc-lint verify-telemetry serve-smoke
+verify: build fmt-check vet test race determinism fuzz-smoke doc-lint verify-telemetry serve-smoke registry-smoke
 	./scripts/bench-compare.sh -w

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	leaps-serve -model leaps.model [-model name=other.model ...] \
+//	    [-registry dir] [-registry-model default] [-shadow-queue 256] \
+//	    [-gate-min-events 1000] [-gate-min-tpr 0.95] [-gate-max-fpr 0.05] \
 //	    [-addr 127.0.0.1:8341] [-spool ./spool] [-queue-depth 8192] \
 //	    [-max-sessions 1024] [-max-body 8388608] [-request-timeout 30s] \
 //	    [-idle-timeout 15m] [-evict-interval 1m] [-parallel N] \
@@ -16,13 +18,27 @@
 //	POST   /v1/sessions/{id}/events  ingest a batch, receive verdicts
 //	GET    /v1/sessions/{id}         session state (?checkpoint=1)
 //	DELETE /v1/sessions/{id}         close and discard the session
+//	GET    /v1/models                registry catalogue and shadow state
+//	POST   /v1/models/shadow         start shadow-evaluating an entry
+//	DELETE /v1/models/shadow         stop the shadow evaluation
+//	POST   /v1/models/promote        gated (or forced) promotion
+//	POST   /v1/models/rollback       return to a prior champion
 //	GET    /healthz, /readyz         liveness and readiness probes
 //	GET    /metrics, /spans, ...     telemetry introspection
+//
+// With -registry, the model named by -registry-model (default "default")
+// is loaded from the registry's current entry and managed over the
+// /v1/models endpoints: challengers published by leaps-train -registry
+// are shadow-evaluated against live traffic and promoted only when the
+// -gate-* thresholds pass (see README.md "Model registry"). At least one
+// model source is required; -registry counts as one.
 //
 // On SIGTERM or SIGINT the server stops accepting work, drains every
 // session queue, checkpoints all sessions to the spool directory and
 // exits; a restart against the same -spool restores them. SIGHUP
-// hot-reloads every -model bundle from disk for new sessions.
+// hot-reloads every model from disk for new sessions — all-or-nothing:
+// if any bundle fails to load, every model keeps serving its previous
+// version.
 package main
 
 import (
@@ -38,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/telemetry/slogx"
 )
@@ -85,6 +102,12 @@ func run(args []string, ready chan<- string) error {
 	fs.Var(models, "model", "model bundle to serve: path or name=path (repeatable)")
 	var (
 		addr       = fs.String("addr", "127.0.0.1:8341", "listen address")
+		regDir     = fs.String("registry", "", "model registry directory (enables /v1/models lifecycle endpoints)")
+		regModel   = fs.String("registry-model", "default", "model name the registry's current entry serves as")
+		shadowQ    = fs.Int("shadow-queue", 256, "max queued shadow batches awaiting challenger replay")
+		gateEvents = fs.Int("gate-min-events", 1000, "min shadow events before promotion")
+		gateTPR    = fs.Float64("gate-min-tpr", 0.95, "min challenger agreement on champion-benign windows")
+		gateFPR    = fs.Float64("gate-max-fpr", 0.05, "max rate of champion detections the challenger misses")
 		spool      = fs.String("spool", "", "checkpoint spool directory (enables shutdown/eviction persistence)")
 		queueDepth = fs.Int("queue-depth", 8192, "max queued events per session before 429")
 		maxSess    = fs.Int("max-sessions", 1024, "max resident sessions")
@@ -101,12 +124,24 @@ func run(args []string, ready chan<- string) error {
 		return err
 	}
 	slogx.Configure(slogx.Options{Level: slogx.CLILevel(*quiet, *verbose), JSON: *logJSON})
-	if len(models) == 0 {
-		return fmt.Errorf("missing -model")
+	if len(models) == 0 && *regDir == "" {
+		return fmt.Errorf("missing -model (or -registry)")
+	}
+	var store *registry.Store
+	if *regDir != "" {
+		st, err := registry.Open(*regDir)
+		if err != nil {
+			return err
+		}
+		store = st
 	}
 
 	srv, err := serve.NewServer(serve.Config{
 		Models:         models,
+		Registry:       store,
+		RegistryModel:  *regModel,
+		ShadowQueue:    *shadowQ,
+		Gate:           registry.Gate{MinEvents: *gateEvents, MinTPR: *gateTPR, MaxFPR: *gateFPR},
 		SpoolDir:       *spool,
 		MaxSessions:    *maxSess,
 		QueueDepth:     *queueDepth,

@@ -6,7 +6,7 @@
 //
 //	leaps-train -benign b.letl -mixed m.letl -model out.model \
 //	    [-app vim.exe] [-window 10] [-lambda 8 -sigma2 2] [-seed 1] \
-//	    [-seeds 1,2,3] [-parallel N] [-lenient] \
+//	    [-seeds 1,2,3] [-parallel N] [-lenient] [-registry dir] \
 //	    [-quiet] [-verbose] [-log-json] [-debug-addr 127.0.0.1:6060] \
 //	    [-telemetry-out report.json]
 //
@@ -23,6 +23,15 @@
 // pools (0 = all processors, 1 = serial); results are identical either
 // way.
 //
+// With -registry, each trained model is additionally published into the
+// model registry at that directory (creating it on first use), recording
+// the training inputs and hyperparameters in the entry's manifest. The
+// first entry published into an empty registry becomes the serving
+// champion; later entries wait for promotion over the leaps-serve
+// /v1/models API. Model files are always written atomically — the bundle
+// lands under a temporary name and is renamed into place, so a crash
+// mid-write never leaves a partial model at the output path.
+//
 // A telemetry report (pipeline metrics plus stage timings) is written
 // next to the model as <model>.telemetry.json; -telemetry-out overrides
 // the path and -telemetry-out none disables it. -debug-addr serves live
@@ -33,12 +42,15 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/etl"
+	"repro/internal/registry"
 	"repro/internal/svm"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/slogx"
@@ -66,6 +78,7 @@ func run(args []string) error {
 		seeds        = fs.String("seeds", "", "comma-separated seeds: one model per seed from shared artifacts (overrides -seed)")
 		parallel     = fs.Int("parallel", 0, "pipeline worker bound (0 = all processors, 1 = serial)")
 		lenient      = fs.Bool("lenient", false, "skip corrupt log records instead of rejecting the file")
+		registryDir  = fs.String("registry", "", "publish each trained model into the registry at this directory")
 		quiet        = fs.Bool("quiet", false, "only warnings and errors")
 		verbose      = fs.Bool("verbose", false, "debug-level logging")
 		logJSON      = fs.Bool("log-json", false, "emit JSON log records instead of key=value text")
@@ -100,6 +113,13 @@ func run(args []string) error {
 	seedList, err := parseSeeds(*seeds, *seed)
 	if err != nil {
 		return err
+	}
+
+	var store *registry.Store
+	if *registryDir != "" {
+		if store, err = registry.Open(*registryDir); err != nil {
+			return err
+		}
 	}
 
 	cfg := core.Config{Window: *window, Seed: seedList[0], Parallel: *parallel}
@@ -139,6 +159,20 @@ func run(args []string) error {
 			return err
 		}
 		slogx.Info("wrote model", "path", path)
+		if store != nil {
+			man, err := publishModel(store, path, registry.TrainInfo{
+				App:       benign.App,
+				Seed:      s,
+				Lambda:    clf.Params().Lambda,
+				Kernel:    fmt.Sprint(clf.Params().Kernel),
+				BenignLog: *benignPath,
+				MixedLog:  *mixedPath,
+			})
+			if err != nil {
+				return fmt.Errorf("publishing %s: %w", path, err)
+			}
+			slogx.Info("published model", "id", man.ID, "registry", *registryDir)
+		}
 	}
 
 	if path := reportPath(*telemetryOut, *modelPath); path != "" {
@@ -180,17 +214,44 @@ func reportPath(flagValue, output string) string {
 	}
 }
 
-func saveModel(path string, clf *core.Classifier) (err error) {
-	f, err := os.Create(path)
+// modelSaver is what saveModel persists — the trained classifier in
+// production, fakes in tests.
+type modelSaver interface {
+	Save(w io.Writer) error
+}
+
+// saveModel writes the bundle atomically: the model is serialised to a
+// temporary file in the destination directory, synced, and renamed into
+// place. A crash or write error part-way through never leaves a partial
+// model observable at path.
+func saveModel(path string, clf modelSaver) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = cerr
-		}
-	}()
-	return clf.Save(f)
+	defer os.Remove(tmp.Name())
+	if err := clf.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// publishModel pushes a saved bundle into the registry store.
+func publishModel(store *registry.Store, path string, train registry.TrainInfo) (registry.Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return registry.Manifest{}, err
+	}
+	defer f.Close()
+	return store.Publish(f, train)
 }
 
 func readLog(path, app string, lenient bool) (*trace.Log, error) {

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/dataset"
 	"repro/internal/etl"
+	"repro/internal/registry"
 	"repro/internal/trace"
 )
 
@@ -65,9 +68,11 @@ func TestRunMultiSeed(t *testing.T) {
 	dir := t.TempDir()
 	benign, mixed, _ := writeDataset(t, dir)
 	model := filepath.Join(dir, "out.model")
+	regDir := filepath.Join(dir, "registry")
 	err := run([]string{
 		"-benign", benign, "-mixed", mixed, "-model", model,
 		"-lambda", "8", "-sigma2", "2", "-seeds", "1, 2", "-lenient",
+		"-registry", regDir,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -80,6 +85,107 @@ func TestRunMultiSeed(t *testing.T) {
 		if info.Size() == 0 {
 			t.Errorf("model file %s is empty", path)
 		}
+	}
+
+	// Both seeds were published; the first became the champion.
+	st, err := registry.Open(regDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("registry holds %d entries, want 2", len(entries))
+	}
+	seeds := map[int64]bool{}
+	for _, man := range entries {
+		seeds[man.Train.Seed] = true
+		if man.Train.Lambda != 8 || man.Train.BenignLog != benign || man.Train.App == "" {
+			t.Errorf("manifest training info %+v does not record the run", man.Train)
+		}
+	}
+	if !seeds[1] || !seeds[2] {
+		t.Errorf("published seeds %v, want 1 and 2", seeds)
+	}
+	ptr, ok, err := st.Current()
+	if err != nil || !ok {
+		t.Fatalf("registry current: ok=%v err=%v", ok, err)
+	}
+	if ptr.ID != entries[0].ID {
+		t.Errorf("current = %s, want the first published entry %s", ptr.ID, entries[0].ID)
+	}
+}
+
+// saverFunc adapts a function to the modelSaver interface.
+type saverFunc func(io.Writer) error
+
+func (f saverFunc) Save(w io.Writer) error { return f(w) }
+
+// TestSaveModelAtomicity checks satellite guarantee of saveModel: a
+// write that fails part-way leaves nothing observable at the output
+// path, and no temporary files behind.
+func TestSaveModelAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.model")
+
+	// A saver that emits partial bytes and then fails must not create the
+	// output file.
+	boom := errors.New("disk went away")
+	err := saveModel(path, saverFunc(func(w io.Writer) error {
+		if _, err := w.Write([]byte("partial bytes")); err != nil {
+			return err
+		}
+		return boom
+	}))
+	if !errors.Is(err, boom) {
+		t.Fatalf("saveModel error = %v, want the saver's failure", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("failed save left a file at %s", path)
+	}
+	assertNoTempFiles(t, dir)
+
+	// A successful save lands the full content at the path.
+	if err := saveModel(path, saverFunc(func(w io.Writer) error {
+		_, err := w.Write([]byte("complete model"))
+		return err
+	})); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil || string(blob) != "complete model" {
+		t.Fatalf("saved content %q err %v", blob, err)
+	}
+	assertNoTempFiles(t, dir)
+
+	// Overwriting an existing model that fails mid-write keeps the old
+	// content intact.
+	err = saveModel(path, saverFunc(func(w io.Writer) error {
+		if _, err := w.Write([]byte("half-writ")); err != nil {
+			return err
+		}
+		return boom
+	}))
+	if !errors.Is(err, boom) {
+		t.Fatalf("overwrite error = %v, want the saver's failure", err)
+	}
+	blob, err = os.ReadFile(path)
+	if err != nil || string(blob) != "complete model" {
+		t.Fatalf("failed overwrite corrupted the model: %q err %v", blob, err)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, ".*.tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("temporary files left behind: %v", matches)
 	}
 }
 

@@ -73,6 +73,43 @@ func LoadMonitor(r io.Reader) (*Monitor, error) {
 	return &Monitor{cg: cg, window: f.Window, cause: cerr}, nil
 }
 
+// BundleInfo summarises a model bundle's envelope and usability without
+// keeping the loaded model. The model registry records it in entry
+// manifests so listings can show what a bundle is before anyone loads it.
+type BundleInfo struct {
+	// Version is the bundle's file-format version.
+	Version int
+	// Window is the event-coalescing window the model classifies with.
+	Window int
+	// Degraded reports that the statistical sections are unusable and a
+	// Monitor loading this bundle would run the call-graph fallback.
+	Degraded bool
+}
+
+// InspectBundle decodes a model bundle just far enough to describe it:
+// the file-format version, the detection window, and whether a Monitor
+// would run degraded. It applies LoadMonitor's acceptance rules — a
+// bundle with no usable model at all is an error, including the typed
+// FallbackUnavailableError for statistical corruption with no call-graph
+// section to fall back to.
+func InspectBundle(r io.Reader) (BundleInfo, error) {
+	f, err := decodeClassifierFile(r)
+	if err != nil {
+		return BundleInfo{}, err
+	}
+	info := BundleInfo{Version: f.Version, Window: f.Window}
+	if _, cerr := f.classifier(); cerr != nil {
+		if _, gerr := f.callGraph(); gerr != nil {
+			if len(f.CallGraph) == 0 {
+				return BundleInfo{}, &FallbackUnavailableError{Version: f.Version, Cause: cerr}
+			}
+			return BundleInfo{}, fmt.Errorf("core: no usable model: %w (call-graph fallback: %v)", cerr, gerr)
+		}
+		info.Degraded = true
+	}
+	return info, nil
+}
+
 // Degraded reports whether the monitor fell back to the call-graph
 // baseline.
 func (m *Monitor) Degraded() bool { return m.clf == nil }

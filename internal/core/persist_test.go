@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -44,6 +45,54 @@ func TestClassifierSaveLoadRoundTrip(t *testing.T) {
 	}
 	if loaded.Model().NumSVs() != clf.Model().NumSVs() {
 		t.Errorf("SV count = %d, want %d", loaded.Model().NumSVs(), clf.Model().NumSVs())
+	}
+}
+
+func TestInspectBundle(t *testing.T) {
+	clf, _ := trainStream(t, 31)
+
+	// Healthy bundle: current version, not degraded.
+	f := saveFile(t, clf)
+	info, err := InspectBundle(encodeFile(t, f))
+	if err != nil {
+		t.Fatalf("InspectBundle(healthy): %v", err)
+	}
+	if info.Version != classifierVersion || info.Window != clf.window || info.Degraded {
+		t.Errorf("healthy bundle info = %+v, want version %d window %d not degraded",
+			info, classifierVersion, clf.window)
+	}
+
+	// Corrupt statistical sections with a call graph present: degraded.
+	f = saveFile(t, clf)
+	f.Model = []byte("corrupt")
+	info, err = InspectBundle(encodeFile(t, f))
+	if err != nil {
+		t.Fatalf("InspectBundle(degradable): %v", err)
+	}
+	if !info.Degraded {
+		t.Error("corrupt statistical sections with a call graph: Degraded = false")
+	}
+
+	// Version-1 bundle (no call-graph section) with corrupt statistics:
+	// the typed migration error, same as LoadMonitor.
+	f = saveFile(t, clf)
+	f.Version = 1
+	f.Model = []byte("corrupt")
+	f.CallGraph = nil
+	if _, err = InspectBundle(encodeFile(t, f)); err == nil {
+		t.Fatal("version-1 corrupt bundle accepted")
+	}
+	var fbErr *FallbackUnavailableError
+	if !errors.As(err, &fbErr) {
+		t.Fatalf("error %v is not a FallbackUnavailableError", err)
+	}
+	if fbErr.Version != 1 {
+		t.Errorf("FallbackUnavailableError.Version = %d, want 1", fbErr.Version)
+	}
+
+	// Garbage never decodes.
+	if _, err := InspectBundle(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage accepted")
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/svm"
 )
@@ -129,11 +130,12 @@ func RunAll(opts Options) ([]DatasetResult, error) {
 // Table1 renders the paper's Table I: the WSVM measurements per dataset.
 func Table1(results []DatasetResult) *report.Table {
 	t := report.NewTable("Name", "Attack Method", "Application", "Payload",
-		"ACC", "PPV", "TPR", "TNR", "NPV")
+		"ACC", "PPV", "TPR", "TNR", "NPV", "F1")
 	for _, r := range results {
 		s := r.Result.WSVM
 		t.AddRow(r.Spec.Name, r.Spec.AttackMethodLabel(), r.Spec.AppLabel(), r.Spec.PayloadLabel(),
-			report.Pct(s.ACC), report.Pct(s.PPV), report.Pct(s.TPR), report.Pct(s.TNR), report.Pct(s.NPV))
+			report.Pct(s.ACC), report.Pct(s.PPV), report.Pct(s.TPR), report.Pct(s.TNR), report.Pct(s.NPV),
+			report.Pct(s.F1))
 	}
 	return t
 }
@@ -153,16 +155,16 @@ func AUCTable(results []DatasetResult) *report.Table {
 // five measurements of all three models (the figures' bar groups as
 // table rows).
 func FigureSeries(results []DatasetResult) *report.Table {
-	t := report.NewTable("Name", "Model", "ACC", "PPV", "TPR", "TNR", "NPV")
+	t := report.NewTable("Name", "Model", "ACC", "PPV", "TPR", "TNR", "NPV", "F1")
 	for _, r := range results {
-		add := func(model string, acc, ppv, tpr, tnr, npv float64) {
+		add := func(model string, s metrics.Summary) {
 			t.AddRow(r.Spec.Name, model,
-				report.Pct(acc), report.Pct(ppv), report.Pct(tpr), report.Pct(tnr), report.Pct(npv))
+				report.Pct(s.ACC), report.Pct(s.PPV), report.Pct(s.TPR), report.Pct(s.TNR),
+				report.Pct(s.NPV), report.Pct(s.F1))
 		}
-		cg, sv, ws := r.Result.CGraph, r.Result.SVM, r.Result.WSVM
-		add("CGraph", cg.ACC, cg.PPV, cg.TPR, cg.TNR, cg.NPV)
-		add("SVM", sv.ACC, sv.PPV, sv.TPR, sv.TNR, sv.NPV)
-		add("WSVM", ws.ACC, ws.PPV, ws.TPR, ws.TNR, ws.NPV)
+		add("CGraph", r.Result.CGraph)
+		add("SVM", r.Result.SVM)
+		add("WSVM", r.Result.WSVM)
 	}
 	return t
 }

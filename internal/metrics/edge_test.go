@@ -67,6 +67,43 @@ func TestConfusionEmptyDenominators(t *testing.T) {
 	}
 }
 
+func TestF1EmptyDenominator(t *testing.T) {
+	var c Confusion
+	// No predictions: 2TP+FP+FN is empty, so F1 is NaN like the other
+	// ratios (not a panic, not zero).
+	if got := c.F1(); !math.IsNaN(got) {
+		t.Errorf("empty confusion: F1 = %v, want NaN", got)
+	}
+	if s := c.Summary(); !math.IsNaN(s.F1) {
+		t.Errorf("empty confusion: Summary.F1 = %v, want NaN", s.F1)
+	}
+
+	// Only true negatives recorded: still no benign evidence, still NaN.
+	c.Add(false, false)
+	c.Add(false, false)
+	if got := c.F1(); !math.IsNaN(got) {
+		t.Errorf("TN-only confusion: F1 = %v, want NaN", got)
+	}
+
+	// One false positive makes the denominator non-empty: F1 becomes 0.
+	c.Add(false, true)
+	if got := c.F1(); got != 0 {
+		t.Errorf("FP-only benign evidence: F1 = %v, want 0", got)
+	}
+}
+
+func TestF1HarmonicMean(t *testing.T) {
+	c := Confusion{TP: 8, FN: 2, FP: 3, TN: 7}
+	ppv, tpr := c.PPV(), c.TPR()
+	want := 2 * ppv * tpr / (ppv + tpr)
+	if got := c.F1(); math.Abs(got-want) > 1e-15 {
+		t.Errorf("F1 = %v, want harmonic mean of PPV/TPR = %v", got, want)
+	}
+	if !strings.Contains(c.Summary().String(), "F1=") {
+		t.Errorf("Summary.String %q does not report F1", c.Summary())
+	}
+}
+
 func TestMeanSkipsNaNPerElement(t *testing.T) {
 	ss := []Summary{
 		{ACC: 1, PPV: math.NaN(), TPR: 0.5, TNR: math.NaN(), NPV: 0.2},

@@ -7,6 +7,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 )
@@ -60,20 +61,42 @@ func (c Confusion) TNR() float64 { return ratio(c.TN, c.FP+c.TN) }
 // NPV is the negative predictive value TN/(TN+FN) (Eqn. 10).
 func (c Confusion) NPV() float64 { return ratio(c.TN, c.TN+c.FN) }
 
-// Summary bundles the five measurements of one evaluation run.
+// F1 is the harmonic mean of PPV and TPR, computed as 2·TP/(2·TP+FP+FN).
+// Like the other ratios it is NaN when its denominator is empty (no
+// benign samples and no false positives recorded).
+func (c Confusion) F1() float64 { return ratio(2*c.TP, 2*c.TP+c.FP+c.FN) }
+
+// Summary bundles the six measurements of one evaluation run: the
+// paper's five (Eqns. 6–10) plus the F1 score the promotion gate and
+// experiment reports use.
 type Summary struct {
-	ACC, PPV, TPR, TNR, NPV float64
+	ACC, PPV, TPR, TNR, NPV, F1 float64
 }
 
-// Summary computes all five measurements.
+// Summary computes all six measurements.
 func (c Confusion) Summary() Summary {
-	return Summary{ACC: c.ACC(), PPV: c.PPV(), TPR: c.TPR(), TNR: c.TNR(), NPV: c.NPV()}
+	return Summary{ACC: c.ACC(), PPV: c.PPV(), TPR: c.TPR(), TNR: c.TNR(), NPV: c.NPV(), F1: c.F1()}
 }
 
 // String renders the summary in table-row form.
 func (s Summary) String() string {
-	return fmt.Sprintf("ACC=%.3f PPV=%.3f TPR=%.3f TNR=%.3f NPV=%.3f",
-		s.ACC, s.PPV, s.TPR, s.TNR, s.NPV)
+	return fmt.Sprintf("ACC=%.3f PPV=%.3f TPR=%.3f TNR=%.3f NPV=%.3f F1=%.3f",
+		s.ACC, s.PPV, s.TPR, s.TNR, s.NPV, s.F1)
+}
+
+// MarshalJSON renders undefined (NaN) measurements as null: JSON has no
+// NaN literal, and a summary that silently fails to encode would drop
+// whole API responses that embed one.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	p := func(v float64) *float64 {
+		if math.IsNaN(v) {
+			return nil
+		}
+		return &v
+	}
+	return json.Marshal(struct {
+		ACC, PPV, TPR, TNR, NPV, F1 *float64
+	}{p(s.ACC), p(s.PPV), p(s.TPR), p(s.TNR), p(s.NPV), p(s.F1)})
 }
 
 // Mean averages summaries element-wise, skipping NaN entries per element
@@ -101,5 +124,6 @@ func Mean(ss []Summary) Summary {
 	acc(func(s Summary) float64 { return s.TPR }, func(o *Summary, v float64) { o.TPR = v })
 	acc(func(s Summary) float64 { return s.TNR }, func(o *Summary, v float64) { o.TNR = v })
 	acc(func(s Summary) float64 { return s.NPV }, func(o *Summary, v float64) { o.NPV = v })
+	acc(func(s Summary) float64 { return s.F1 }, func(o *Summary, v float64) { o.F1 = v })
 	return out
 }

@@ -1,0 +1,83 @@
+package registry
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/metrics"
+)
+
+// Gate is the promotion policy: the minimum shadow evidence and the
+// verdict-agreement thresholds a challenger must clear before it may
+// replace the champion. The zero value selects the defaults; the gate
+// fails closed — a measurement that is undefined because the shadow
+// traffic never exercised it (NaN) blocks promotion rather than waving
+// it through.
+type Gate struct {
+	// MinEvents is the minimum number of shadow-replayed events
+	// (default 1000).
+	MinEvents int
+	// MinTPR is the minimum challenger agreement rate on windows the
+	// champion called benign (default 0.95). Lower means the challenger
+	// would raise false alarms the champion does not.
+	MinTPR float64
+	// MaxFPR is the maximum rate at which the challenger may clear
+	// windows the champion flagged malicious (default 0.05). Higher
+	// means the challenger would miss detections the champion makes.
+	MaxFPR float64
+}
+
+// withDefaults fills unset thresholds.
+func (g Gate) withDefaults() Gate {
+	if g.MinEvents <= 0 {
+		g.MinEvents = 1000
+	}
+	if g.MinTPR <= 0 {
+		g.MinTPR = 0.95
+	}
+	if g.MaxFPR <= 0 {
+		g.MaxFPR = 0.05
+	}
+	return g
+}
+
+// Decision is the gate's verdict on one comparison: whether promotion is
+// allowed and, when it is not, every threshold that blocked it.
+type Decision struct {
+	// OK reports that every gate condition passed.
+	OK bool `json:"ok"`
+	// Reasons lists the failed conditions (empty when OK).
+	Reasons []string `json:"reasons,omitempty"`
+	// Summary is the agreement measurement set the decision was made on.
+	Summary metrics.Summary `json:"summary"`
+}
+
+// Decide evaluates the gate against accumulated shadow evidence.
+func (g Gate) Decide(c Comparison) Decision {
+	g = g.withDefaults()
+	d := Decision{Summary: c.Summary()}
+	if c.Events < g.MinEvents {
+		d.Reasons = append(d.Reasons,
+			fmt.Sprintf("shadow events %d < required %d", c.Events, g.MinEvents))
+	}
+	tpr := c.Confusion.TPR()
+	switch {
+	case math.IsNaN(tpr):
+		d.Reasons = append(d.Reasons,
+			"benign agreement (TPR) undefined: no champion-benign windows shadowed")
+	case tpr < g.MinTPR:
+		d.Reasons = append(d.Reasons,
+			fmt.Sprintf("benign agreement (TPR) %.3f < required %.3f", tpr, g.MinTPR))
+	}
+	tnr := c.Confusion.TNR()
+	switch {
+	case math.IsNaN(tnr):
+		d.Reasons = append(d.Reasons,
+			"malicious agreement (FPR) undefined: no champion-malicious windows shadowed")
+	case 1-tnr > g.MaxFPR:
+		d.Reasons = append(d.Reasons,
+			fmt.Sprintf("missed-detection rate (FPR) %.3f > allowed %.3f", 1-tnr, g.MaxFPR))
+	}
+	d.OK = len(d.Reasons) == 0
+	return d
+}

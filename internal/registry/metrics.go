@@ -1,0 +1,23 @@
+package registry
+
+import "repro/internal/telemetry"
+
+// Registry lifecycle metrics, registered on the default telemetry
+// registry so they surface on the serving process's /metrics endpoint
+// next to the serve_* instruments.
+var (
+	mPublishes = telemetry.NewCounter("registry_publishes_total",
+		"model bundles published into the registry store")
+	mPromotions = telemetry.NewCounter("registry_promotions_total",
+		"challenger entries promoted to current")
+	mRollbacks = telemetry.NewCounter("registry_rollbacks_total",
+		"current-pointer rollbacks to a prior entry")
+	mShadowEvents = telemetry.NewCounter("registry_shadow_events_total",
+		"events replayed against shadow challengers")
+	mShadowDropped = telemetry.NewCounter("registry_shadow_dropped_batches_total",
+		"shadow batches dropped because the shadow queue was full")
+	mShadowDiverged = telemetry.NewCounter("registry_shadow_divergence_total",
+		"shadow batches whose champion and challenger window counts disagreed")
+	mShadowLag = telemetry.NewGauge("registry_shadow_lag_events",
+		"events queued for shadow scoring but not yet replayed")
+)

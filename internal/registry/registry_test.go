@@ -1,0 +1,404 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/svm"
+	"repro/internal/trace"
+)
+
+// Shared trained bundle: training dominates test time, so every test
+// reuses one model and its dataset.
+var (
+	fixtureOnce sync.Once
+	fixtureErr  error
+	fixtureRaw  []byte
+	fixtureLogs *dataset.Logs
+)
+
+func testBundle(t *testing.T) ([]byte, *dataset.Logs) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		spec, err := dataset.ByName("vim_reverse_tcp")
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		logs, err := spec.Generate(13)
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		td, err := core.BuildTrainingData(logs.Benign, logs.Mixed, core.Config{
+			Seed:        13,
+			FixedParams: &svm.Params{Lambda: 8, Kernel: svm.RBFKernel{Sigma2: 2}},
+		})
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		clf, err := td.Train()
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		var buf bytes.Buffer
+		if err := clf.Save(&buf); err != nil {
+			fixtureErr = err
+			return
+		}
+		fixtureRaw = buf.Bytes()
+		fixtureLogs = logs
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixtureRaw, fixtureLogs
+}
+
+// bundleEnvelope mirrors core's on-disk classifier envelope by gob field
+// names, so tests can corrupt sections without reaching into core.
+type bundleEnvelope struct {
+	Magic     string
+	Version   int
+	Window    int
+	Lambda    float64
+	Encoder   []byte
+	Scaler    []byte
+	Model     []byte
+	HasPlatt  bool
+	PlattA    float64
+	PlattB    float64
+	CallGraph []byte
+}
+
+func mutateBundle(t *testing.T, raw []byte, mutate func(*bundleEnvelope)) []byte {
+	t.Helper()
+	var env bundleEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&env)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func openStore(t *testing.T) *Store {
+	t.Helper()
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestStorePublishLifecycle(t *testing.T) {
+	raw, _ := testBundle(t)
+	st := openStore(t)
+
+	man, err := st.Publish(bytes.NewReader(raw), TrainInfo{App: "vim.exe", Seed: 13})
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if len(man.ID) != idLen || !strings.HasPrefix(man.SHA256, man.ID) {
+		t.Errorf("manifest id %q is not a prefix of hash %q", man.ID, man.SHA256)
+	}
+	if man.FormatVersion != 2 || man.Window <= 0 || man.Degraded {
+		t.Errorf("manifest envelope = %+v, want version 2, positive window, not degraded", man)
+	}
+	if man.Parent != "" {
+		t.Errorf("first entry has parent %q, want none", man.Parent)
+	}
+
+	// The first publish auto-promotes.
+	ptr, ok, err := st.Current()
+	if err != nil || !ok || ptr.ID != man.ID {
+		t.Fatalf("Current = %+v ok=%v err=%v, want initial publish to set %s", ptr, ok, err, man.ID)
+	}
+
+	// Republishing identical bytes is idempotent.
+	again, err := st.Publish(bytes.NewReader(raw), TrainInfo{})
+	if err != nil {
+		t.Fatalf("re-Publish: %v", err)
+	}
+	if again.ID != man.ID || !again.CreatedAt.Equal(man.CreatedAt) {
+		t.Errorf("re-publish returned %+v, want the original entry %+v", again, man)
+	}
+
+	// A different (degraded) bundle becomes a second entry with lineage.
+	degraded := mutateBundle(t, raw, func(e *bundleEnvelope) { e.Model = []byte("corrupt") })
+	man2, err := st.Publish(bytes.NewReader(degraded), TrainInfo{})
+	if err != nil {
+		t.Fatalf("Publish degraded: %v", err)
+	}
+	if man2.ID == man.ID {
+		t.Fatal("distinct bundles share an id")
+	}
+	if !man2.Degraded {
+		t.Error("corrupt statistical sections not recorded as degraded")
+	}
+	if man2.Parent != man.ID {
+		t.Errorf("second entry parent = %q, want %q", man2.Parent, man.ID)
+	}
+
+	// The second publish must not repoint current.
+	ptr, _, _ = st.Current()
+	if ptr.ID != man.ID {
+		t.Errorf("second publish moved current to %s", ptr.ID)
+	}
+
+	list, err := st.List()
+	if err != nil || len(list) != 2 {
+		t.Fatalf("List = %d entries, err %v, want 2", len(list), err)
+	}
+
+	// Promotion and rollback repoint the pointer and append history.
+	if _, err := st.SetCurrent(man2.ID, "promoted"); err != nil {
+		t.Fatalf("SetCurrent: %v", err)
+	}
+	ptr, _, _ = st.Current()
+	if ptr.ID != man2.ID {
+		t.Fatalf("current = %s after promotion, want %s", ptr.ID, man2.ID)
+	}
+	target, err := st.RollbackTarget()
+	if err != nil || target != man.ID {
+		t.Fatalf("RollbackTarget = %q err %v, want %s", target, err, man.ID)
+	}
+	if _, err := st.SetCurrent(target, "rollback"); err != nil {
+		t.Fatalf("rollback SetCurrent: %v", err)
+	}
+	hist, err := st.History()
+	if err != nil || len(hist) != 3 {
+		t.Fatalf("History = %d records, err %v, want 3", len(hist), err)
+	}
+	if hist[2].From != man2.ID || hist[2].To != man.ID {
+		t.Errorf("rollback transition = %+v, want %s -> %s", hist[2], man2.ID, man.ID)
+	}
+}
+
+func TestStoreRejectsUnloadableBundles(t *testing.T) {
+	raw, _ := testBundle(t)
+	st := openStore(t)
+
+	if _, err := st.Publish(strings.NewReader("not a model"), TrainInfo{}); err == nil {
+		t.Error("garbage bundle accepted")
+	}
+
+	// A version-1 bundle with corrupt statistics has no fallback: the
+	// publish error must carry the migration instruction, not a generic
+	// load failure.
+	v1 := mutateBundle(t, raw, func(e *bundleEnvelope) {
+		e.Version = 1
+		e.Model = []byte("corrupt")
+		e.CallGraph = nil
+	})
+	_, err := st.Publish(bytes.NewReader(v1), TrainInfo{})
+	if err == nil {
+		t.Fatal("version-1 corrupt bundle accepted")
+	}
+	var fbErr *core.FallbackUnavailableError
+	if !errors.As(err, &fbErr) {
+		t.Fatalf("publish error %v is not a FallbackUnavailableError", err)
+	}
+	if !strings.Contains(err.Error(), "re-save or retrain") {
+		t.Errorf("publish error %q lacks the migration instruction", err)
+	}
+}
+
+func TestStoreIDValidation(t *testing.T) {
+	st := openStore(t)
+	for _, id := range []string{"", "..", "../../escape", "ABCDEF123456", "zzzzzzzzzzzz", "abc"} {
+		if _, err := st.Get(id); err == nil {
+			t.Errorf("Get(%q) accepted an invalid id", id)
+		}
+		if _, err := st.BundlePath(id); err == nil {
+			t.Errorf("BundlePath(%q) accepted an invalid id", id)
+		}
+	}
+	if _, err := st.SetCurrent("0123456789ab", "absent"); err == nil {
+		t.Error("SetCurrent accepted an id with no committed entry")
+	}
+}
+
+func TestStoreIgnoresUncommittedEntries(t *testing.T) {
+	raw, _ := testBundle(t)
+	st := openStore(t)
+	man, err := st.Publish(bytes.NewReader(raw), TrainInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash between bundle and manifest: a directory with no
+	// manifest must be invisible.
+	torn := filepath.Join(st.Root(), entriesDir, "0123456789ab")
+	if err := os.MkdirAll(torn, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(torn, bundleFile), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	list, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != man.ID {
+		t.Errorf("List sees %d entries, want only the committed %s", len(list), man.ID)
+	}
+}
+
+// champion replays the dataset's events through a monitor, batching them,
+// and returns per-batch events plus champion verdict flags.
+type champBatch struct {
+	events    []trace.Event
+	malicious []bool
+}
+
+func championBatches(t *testing.T, mon *core.Monitor, log *trace.Log, batchSize int) []champBatch {
+	t.Helper()
+	det, err := mon.Stream(log.Modules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []champBatch
+	events := log.Events
+	for len(events) > 0 {
+		n := batchSize
+		if n > len(events) {
+			n = len(events)
+		}
+		b := champBatch{events: events[:n]}
+		for _, e := range events[:n] {
+			d, err := det.Feed(e)
+			var evErr *core.EventError
+			if err != nil && !errors.As(err, &evErr) {
+				t.Fatal(err)
+			}
+			if d != nil {
+				b.malicious = append(b.malicious, d.Malicious)
+			}
+		}
+		out = append(out, b)
+		events = events[n:]
+	}
+	return out
+}
+
+func TestCanaryIdenticalChallengerAgreesPerfectly(t *testing.T) {
+	raw, logs := testBundle(t)
+	mon, err := core.LoadMonitor(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	challenger, err := core.LoadMonitor(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := championBatches(t, mon, logs.Malicious, 37)
+	// Size the queue to hold every batch so nothing is dropped no matter
+	// how slowly the shadow worker drains.
+	can, err := NewCanary("abcdefabcdef", challenger, len(batches))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer can.Stop()
+
+	total := 0
+	for _, b := range batches {
+		if !can.Offer("sess-1", logs.Malicious.Modules, b.events, b.malicious) {
+			t.Fatal("Offer rejected a batch with capacity for every batch")
+		}
+		total += len(b.events)
+	}
+	can.Sync()
+	cmp := can.Status()
+	if cmp.Events != total {
+		t.Errorf("shadow events = %d, want %d", cmp.Events, total)
+	}
+	if cmp.Windows == 0 {
+		t.Fatal("no verdict pairs compared")
+	}
+	if cmp.Diverged != 0 || cmp.Dropped != 0 {
+		t.Errorf("diverged=%d dropped=%d, want 0/0", cmp.Diverged, cmp.Dropped)
+	}
+	if cmp.Confusion.FP != 0 || cmp.Confusion.FN != 0 {
+		t.Errorf("identical challenger disagreed: %+v", cmp.Confusion)
+	}
+	s := cmp.Summary()
+	if !math.IsNaN(s.ACC) && s.ACC != 1 {
+		t.Errorf("identical challenger ACC = %v, want 1", s.ACC)
+	}
+}
+
+func TestCanaryStopIsIdempotentAndRejectsOffers(t *testing.T) {
+	raw, logs := testBundle(t)
+	challenger, err := core.LoadMonitor(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	can, err := NewCanary("abcdefabcdef", challenger, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	can.Stop()
+	can.Stop()
+	if can.Offer("s", logs.Benign.Modules, logs.Benign.Events[:1], nil) {
+		t.Error("Offer accepted a batch after Stop")
+	}
+}
+
+func TestGateDecide(t *testing.T) {
+	mk := func(events int, tp, tn, fp, fn int) Comparison {
+		return Comparison{Events: events, Confusion: metrics.Confusion{TP: tp, TN: tn, FP: fp, FN: fn}}
+	}
+	g := Gate{MinEvents: 100, MinTPR: 0.9, MaxFPR: 0.1}
+
+	if d := g.Decide(mk(500, 95, 40, 2, 5)); !d.OK {
+		t.Errorf("healthy comparison blocked: %v", d.Reasons)
+	}
+	if d := g.Decide(mk(50, 95, 40, 2, 5)); d.OK || len(d.Reasons) != 1 {
+		t.Errorf("too-few-events comparison passed: %+v", d)
+	}
+	// Low agreement on champion-benign windows (new false alarms).
+	if d := g.Decide(mk(500, 50, 40, 2, 50)); d.OK {
+		t.Error("low-TPR challenger passed the gate")
+	}
+	// Challenger clears windows the champion flags (missed detections).
+	if d := g.Decide(mk(500, 95, 10, 40, 5)); d.OK {
+		t.Error("high-FPR challenger passed the gate")
+	}
+	// No shadow evidence at all: fails closed on undefined measures.
+	d := g.Decide(Comparison{})
+	if d.OK {
+		t.Error("empty comparison passed the gate")
+	}
+	found := 0
+	for _, r := range d.Reasons {
+		if strings.Contains(r, "undefined") {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("empty comparison reasons %v, want both undefined measures reported", d.Reasons)
+	}
+
+	// Zero-value gate applies defaults.
+	if d := (Gate{}).Decide(mk(999, 1000, 100, 0, 0)); d.OK {
+		t.Error("999 events passed the default 1000-event floor")
+	}
+	if d := (Gate{}).Decide(mk(1000, 1000, 100, 0, 0)); !d.OK {
+		t.Errorf("default gate blocked a perfect comparison: %v", d.Reasons)
+	}
+}

@@ -70,6 +70,13 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
 	mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	if s.cfg.Registry != nil {
+		mux.HandleFunc("GET /v1/models", s.handleModels)
+		mux.HandleFunc("POST /v1/models/shadow", s.handleShadowStart)
+		mux.HandleFunc("DELETE /v1/models/shadow", s.handleShadowStop)
+		mux.HandleFunc("POST /v1/models/promote", s.handlePromote)
+		mux.HandleFunc("POST /v1/models/rollback", s.handleRollback)
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -85,6 +92,13 @@ func (s *Server) buildMux() {
 		fmt.Fprintln(w, "  GET    /v1/sessions/{id}   (?checkpoint=1)")
 		fmt.Fprintln(w, "  POST   /v1/sessions/{id}/events")
 		fmt.Fprintln(w, "  DELETE /v1/sessions/{id}")
+		if s.cfg.Registry != nil {
+			fmt.Fprintln(w, "  GET    /v1/models")
+			fmt.Fprintln(w, "  POST   /v1/models/shadow")
+			fmt.Fprintln(w, "  DELETE /v1/models/shadow")
+			fmt.Fprintln(w, "  POST   /v1/models/promote")
+			fmt.Fprintln(w, "  POST   /v1/models/rollback")
+		}
 		fmt.Fprintln(w, "  GET    /healthz, /readyz")
 		fmt.Fprintln(w, "  GET    /metrics, /spans, /debug/vars, /debug/pprof/")
 	})

@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+)
+
+// ModelsInfo is the JSON body of GET /v1/models: the registry-backed
+// model's catalogue, which entry is serving, the pointer history, and
+// any active shadow evaluation.
+type ModelsInfo struct {
+	// Model is the name sessions use to reach the registry-backed model.
+	Model string `json:"model"`
+	// Loaded is the registry entry the server is scoring with right now;
+	// Current is the entry the registry pointer names. They differ only
+	// between a pointer move and the reload that follows it.
+	Loaded  string `json:"loaded"`
+	Current string `json:"current"`
+	// Entries is the registry catalogue, oldest first.
+	Entries []registry.Manifest `json:"entries"`
+	// History is the promotion/rollback log, oldest first.
+	History []registry.Transition `json:"history,omitempty"`
+	// Shadow is the active shadow evaluation, absent when none runs.
+	Shadow *ShadowStatus `json:"shadow,omitempty"`
+}
+
+// ShadowStatus reports one shadow evaluation: the accumulated
+// champion/challenger comparison, the replay lag in events, and what
+// the promotion gate would decide on the evidence so far.
+type ShadowStatus struct {
+	registry.Comparison
+	Lag      int               `json:"lag"`
+	Decision registry.Decision `json:"decision"`
+}
+
+// shadowStatus snapshots the canary for the API.
+func (s *Server) shadowStatus(c *registry.Canary) *ShadowStatus {
+	st := c.Status()
+	return &ShadowStatus{Comparison: st, Lag: c.Lag(), Decision: s.cfg.Gate.Decide(st)}
+}
+
+// registryModel returns the registry-backed model; the lifecycle routes
+// are only registered when one exists.
+func (s *Server) registryModel() *model {
+	return s.models[s.cfg.RegistryModel]
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	store := s.cfg.Registry
+	m := s.registryModel()
+	entries, err := store.List()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "listing registry: %v", err)
+		return
+	}
+	hist, err := store.History()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reading history: %v", err)
+		return
+	}
+	_, entry, _ := m.snapshot()
+	info := ModelsInfo{Model: m.name, Loaded: entry, Entries: entries, History: hist}
+	if ptr, ok, err := store.Current(); err == nil && ok {
+		info.Current = ptr.ID
+	}
+	if c := s.canary.Load(); c != nil {
+		info.Shadow = s.shadowStatus(c)
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// shadowRequest asks to start shadow evaluation of one registry entry.
+type shadowRequest struct {
+	ID string `json:"id"`
+}
+
+func (s *Server) handleShadowStart(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	var req shadowRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if cur := s.canary.Load(); cur != nil {
+		writeError(w, http.StatusConflict,
+			"shadow evaluation of %s already active; stop it first (DELETE /v1/models/shadow)", cur.ID())
+		return
+	}
+	m := s.registryModel()
+	_, entry, mon := m.snapshot()
+	if req.ID == entry {
+		writeError(w, http.StatusBadRequest, "entry %s is already the serving champion", req.ID)
+		return
+	}
+	rc, err := s.cfg.Registry.OpenBundle(req.ID)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	challenger, err := core.LoadMonitor(rc)
+	rc.Close()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "loading challenger %s: %v", req.ID, err)
+		return
+	}
+	if challenger.Window() != mon.Window() {
+		writeError(w, http.StatusConflict,
+			"window mismatch: champion scores %d-event windows, challenger %s scores %d; verdicts cannot be compared",
+			mon.Window(), req.ID, challenger.Window())
+		return
+	}
+	c, err := registry.NewCanary(req.ID, challenger, s.cfg.ShadowQueue)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "starting canary: %v", err)
+		return
+	}
+	if !s.canary.CompareAndSwap(nil, c) {
+		c.Stop()
+		writeError(w, http.StatusConflict, "shadow evaluation already active")
+		return
+	}
+	s.cfg.Logger.Info("shadow evaluation started", "challenger", req.ID, "champion", entry)
+	writeJSON(w, http.StatusCreated, s.shadowStatus(c))
+}
+
+func (s *Server) handleShadowStop(w http.ResponseWriter, r *http.Request) {
+	c := s.canary.Swap(nil)
+	if c == nil {
+		writeError(w, http.StatusNotFound, "no shadow evaluation active")
+		return
+	}
+	status := s.shadowStatus(c)
+	c.Stop()
+	s.cfg.Logger.Info("shadow evaluation stopped", "challenger", c.ID())
+	writeJSON(w, http.StatusOK, status)
+}
+
+// promoteRequest asks to promote a registry entry to champion. Force
+// bypasses the gate (and the need for shadow evidence at all).
+type promoteRequest struct {
+	ID    string `json:"id"`
+	Force bool   `json:"force"`
+}
+
+// promoteRejection is the 409 body when the gate blocks a promotion.
+type promoteRejection struct {
+	Error    string            `json:"error"`
+	Decision registry.Decision `json:"decision"`
+}
+
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	var req promoteRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	store := s.cfg.Registry
+	c := s.canary.Load()
+	reason := "forced promotion"
+	if !req.Force {
+		if c == nil || c.ID() != req.ID {
+			writeError(w, http.StatusConflict,
+				"no shadow evidence for %s; start shadow evaluation first, or pass force", req.ID)
+			return
+		}
+		c.Sync() // judge on a settled comparison, not an in-flight one
+		cmp := c.Status()
+		d := s.cfg.Gate.Decide(cmp)
+		if !d.OK {
+			writeJSON(w, http.StatusConflict, promoteRejection{
+				Error: "promotion gate rejected " + req.ID, Decision: d,
+			})
+			return
+		}
+		reason = "gated promotion: " + gateEvidence(cmp)
+	}
+	tr, err := store.Promote(req.ID, reason)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.Reload(); err != nil {
+		// Keep the pointer honest about what is serving.
+		if tr.From != "" {
+			if _, rerr := store.SetCurrent(tr.From, "revert: reload after promotion failed"); rerr != nil {
+				s.cfg.Logger.Error("reverting failed promotion", "error", rerr)
+			}
+		}
+		writeError(w, http.StatusInternalServerError, "promotion reverted; reload failed: %v", err)
+		return
+	}
+	if c != nil && c.ID() == req.ID && s.canary.CompareAndSwap(c, nil) {
+		c.Stop()
+	}
+	s.cfg.Logger.Info("model promoted", "entry", req.ID, "from", tr.From, "reason", reason)
+	writeJSON(w, http.StatusOK, tr)
+}
+
+// gateEvidence condenses the comparison a promotion was approved on.
+func gateEvidence(c registry.Comparison) string {
+	return fmt.Sprintf("shadowed %d events over %d windows", c.Events, c.Windows)
+}
+
+// rollbackRequest optionally names the rollback destination; empty means
+// the previously-serving entry.
+type rollbackRequest struct {
+	ID string `json:"id"`
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	// The body is optional: an empty POST rolls back one step.
+	var req rollbackRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "decoding request body: %v", err)
+		return
+	}
+	store := s.cfg.Registry
+	id := req.ID
+	if id == "" {
+		var err error
+		if id, err = store.RollbackTarget(); err != nil {
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+	}
+	tr, err := store.Rollback(id, "rollback")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.Reload(); err != nil {
+		if tr.From != "" {
+			if _, rerr := store.SetCurrent(tr.From, "revert: reload after rollback failed"); rerr != nil {
+				s.cfg.Logger.Error("reverting failed rollback", "error", rerr)
+			}
+		}
+		writeError(w, http.StatusInternalServerError, "rollback reverted; reload failed: %v", err)
+		return
+	}
+	s.cfg.Logger.Info("model rolled back", "entry", id, "from", tr.From)
+	writeJSON(w, http.StatusOK, tr)
+}

@@ -24,6 +24,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/registry"
 )
 
 // Config parameterises a Server. The zero value of every limit selects a
@@ -47,6 +49,21 @@ type Config struct {
 	// Preloaded maps model names to already-loaded monitors (tests,
 	// embedding callers). Preloaded models are not hot-reloadable.
 	Preloaded map[string]*core.Monitor
+	// Registry connects the server to a model registry: the model named
+	// RegistryModel is loaded from the registry's current entry and
+	// managed over the /v1/models API (shadow evaluation, gated
+	// promotion, rollback). Nil disables the lifecycle endpoints.
+	Registry *registry.Store
+	// RegistryModel names the registry-backed model (default "default",
+	// so sessions that name no model ride the registry champion).
+	RegistryModel string
+	// Gate is the promotion policy for shadow evaluation; the zero value
+	// selects the registry package's defaults.
+	Gate registry.Gate
+	// ShadowQueue caps queued shadow batches awaiting challenger replay
+	// (default 256). A full queue drops batches — shadow evaluation
+	// never blocks or backpressures the serving path.
+	ShadowQueue int
 	// SpoolDir is where shutdown and eviction checkpoint sessions.
 	// Empty disables the spool: shutdown discards session state and
 	// idle sessions are never evicted.
@@ -99,6 +116,12 @@ func (c Config) withDefaults() Config {
 	if c.Parallel <= 0 {
 		c.Parallel = runtime.GOMAXPROCS(0)
 	}
+	if c.RegistryModel == "" {
+		c.RegistryModel = "default"
+	}
+	if c.ShadowQueue <= 0 {
+		c.ShadowQueue = 256
+	}
 	if c.TurnEvents <= 0 {
 		c.TurnEvents = 1024
 	}
@@ -108,20 +131,30 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// model is one named bundle; mu guards the monitor pointer across hot
-// reloads. Sessions capture the monitor's detector at creation, so a
+// model is one named bundle; mu guards the monitor pointer (and, for
+// registry-backed models, the resolved bundle path and entry id) across
+// hot reloads. Sessions capture the monitor's detector at creation, so a
 // reload changes what new sessions score with, never live ones.
 type model struct {
-	name string
-	path string // empty for preloaded monitors
-	mu   sync.RWMutex
-	mon  *core.Monitor
+	name  string
+	store *registry.Store // non-nil for the registry-backed model
+	mu    sync.RWMutex
+	path  string // empty for preloaded monitors; current bundle for registry models
+	entry string // registry entry id currently loaded ("" otherwise)
+	mon   *core.Monitor
 }
 
 func (m *model) monitor() *core.Monitor {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.mon
+}
+
+// snapshot returns the reload-guarded fields consistently.
+func (m *model) snapshot() (path, entry string, mon *core.Monitor) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.path, m.entry, m.mon
 }
 
 // Server is the serving subsystem: models, sessions, the scoring worker
@@ -140,6 +173,12 @@ type Server struct {
 	janitorStop chan struct{}
 	janitorDone chan struct{}
 	closing     atomic.Bool
+
+	// reloadMu serialises Reload calls (SIGHUP races /v1/models writes).
+	reloadMu sync.Mutex
+	// canary is the active shadow evaluation, nil when none. The scoring
+	// path reads it lock-free on every turn.
+	canary atomic.Pointer[registry.Canary]
 }
 
 // NewServer loads the configured models, restores any spooled sessions,
@@ -166,6 +205,29 @@ func NewServer(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: model %q configured twice", name)
 		}
 		s.models[name] = &model{name: name, mon: mon}
+	}
+	if cfg.Registry != nil {
+		name := cfg.RegistryModel
+		if _, dup := s.models[name]; dup {
+			return nil, fmt.Errorf("serve: model %q configured twice (registry and -model/preloaded)", name)
+		}
+		ptr, ok, err := cfg.Registry.Current()
+		if err != nil {
+			return nil, fmt.Errorf("serve: registry: %w", err)
+		}
+		if !ok {
+			return nil, fmt.Errorf("serve: registry at %s has no current entry; publish a model first (leaps-train -registry)", cfg.Registry.Root())
+		}
+		path, err := cfg.Registry.BundlePath(ptr.ID)
+		if err != nil {
+			return nil, fmt.Errorf("serve: registry: %w", err)
+		}
+		mon, err := loadMonitorFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("serve: registry entry %s: %w", ptr.ID, err)
+		}
+		s.models[name] = &model{name: name, store: cfg.Registry, path: path, entry: ptr.ID, mon: mon}
+		cfg.Logger.Info("registry champion loaded", "model", name, "entry", ptr.ID, "degraded", mon.Degraded())
 	}
 	if len(s.models) == 0 {
 		return nil, fmt.Errorf("serve: no models configured")
@@ -195,35 +257,72 @@ func loadMonitorFile(path string) (*core.Monitor, error) {
 // /healthz, /readyz and the telemetry introspection surface.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Reload re-reads every path-backed model bundle, swapping each monitor
-// atomically. A bundle that fails to load keeps its previous monitor and
-// contributes to the returned error. Live sessions are unaffected; only
-// sessions created after the reload see the new models.
+// Reload re-reads every reloadable model — path-backed bundles from
+// their configured paths, the registry-backed model from the registry's
+// current entry — and swaps the set in atomically. The call is
+// all-or-nothing: every bundle is staged first, and if any fails to load
+// no model is swapped and the returned error (an errors.Join aggregate)
+// names every failing model and path. Live sessions are unaffected
+// either way; only sessions created after a successful reload see the
+// new monitors.
 func (s *Server) Reload() error {
-	var firstErr error
-	reloaded := 0
-	for _, m := range s.models {
-		if m.path == "" {
-			continue
-		}
-		mon, err := loadMonitorFile(m.path)
-		if err != nil {
-			s.cfg.Logger.Error("model reload failed; keeping previous", "model", m.name, "error", err)
-			if firstErr == nil {
-				firstErr = fmt.Errorf("serve: reloading model %q: %w", m.name, err)
-			}
-			continue
-		}
-		m.mu.Lock()
-		m.mon = mon
-		m.mu.Unlock()
-		reloaded++
-		s.cfg.Logger.Info("model reloaded", "model", m.name, "path", m.path, "degraded", mon.Degraded())
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+
+	type staged struct {
+		m     *model
+		path  string
+		entry string
+		mon   *core.Monitor
 	}
-	if reloaded > 0 {
+	var stage []staged
+	var errs []error
+	for _, m := range s.models {
+		switch {
+		case m.store != nil:
+			ptr, ok, err := m.store.Current()
+			if err == nil && !ok {
+				err = errors.New("registry has no current entry")
+			}
+			var path string
+			if err == nil {
+				path, err = m.store.BundlePath(ptr.ID)
+			}
+			var mon *core.Monitor
+			if err == nil {
+				mon, err = loadMonitorFile(path)
+			}
+			if err != nil {
+				errs = append(errs, fmt.Errorf("model %q (registry %s): %w", m.name, m.store.Root(), err))
+				continue
+			}
+			stage = append(stage, staged{m: m, path: path, entry: ptr.ID, mon: mon})
+		case m.path != "":
+			mon, err := loadMonitorFile(m.path)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("model %q (%s): %w", m.name, m.path, err))
+				continue
+			}
+			stage = append(stage, staged{m: m, path: m.path, mon: mon})
+		}
+	}
+	if len(errs) > 0 {
+		err := fmt.Errorf("serve: reload aborted; no models swapped: %w", errors.Join(errs...))
+		s.cfg.Logger.Error("model reload aborted; keeping all previous models",
+			"failed", len(errs), "error", err)
+		return err
+	}
+	for _, st := range stage {
+		st.m.mu.Lock()
+		st.m.path, st.m.entry, st.m.mon = st.path, st.entry, st.mon
+		st.m.mu.Unlock()
+		s.cfg.Logger.Info("model reloaded",
+			"model", st.m.name, "path", st.path, "degraded", st.mon.Degraded())
+	}
+	if len(stage) > 0 {
 		mModelReloads.Inc()
 	}
-	return firstErr
+	return nil
 }
 
 // Shutdown drains every session queue (or discards it once ctx expires),
@@ -253,6 +352,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	close(s.workCh)
 	s.workers.Wait()
+	if c := s.canary.Swap(nil); c != nil {
+		c.Stop()
+	}
 
 	var firstErr error
 	if s.cfg.SpoolDir != "" {
@@ -289,12 +391,31 @@ func (s *Server) runTurn(sess *session) {
 		if !ok {
 			return
 		}
-		b.done <- sess.score(b)
+		rep := sess.score(b)
+		b.done <- rep
+		s.shadowOffer(sess, b, rep)
 		if budget -= len(b.events); budget <= 0 {
 			s.workCh <- sess // scheduled stays set; next worker continues
 			return
 		}
 	}
+}
+
+// shadowOffer mirrors one scored batch to the active canary when the
+// session rides the registry-backed model. The champion's verdicts are
+// already final and delivered by the time it runs, and the offer itself
+// is a non-blocking try-send, so shadow evaluation can never perturb the
+// serving path's verdict stream.
+func (s *Server) shadowOffer(sess *session, b *ingestBatch, rep ingestReply) {
+	c := s.canary.Load()
+	if c == nil || rep.err != nil || sess.model != s.cfg.RegistryModel {
+		return
+	}
+	flags := make([]bool, len(rep.verdicts))
+	for i, v := range rep.verdicts {
+		flags[i] = v.Malicious
+	}
+	c.Offer(sess.id, sess.mm, b.events, flags)
 }
 
 // janitor periodically checkpoints idle sessions to the spool and evicts

@@ -25,6 +25,7 @@ import (
 var (
 	testModelOnce sync.Once
 	testMonitor   *core.Monitor
+	testBundleRaw []byte
 	testLogs      *dataset.Logs
 	testModelErr  error
 )
@@ -60,6 +61,7 @@ func newTestModel(t *testing.T) (*core.Monitor, *dataset.Logs) {
 			testModelErr = err
 			return
 		}
+		testBundleRaw = append([]byte(nil), buf.Bytes()...)
 		testMonitor, testModelErr = core.LoadMonitor(&buf)
 		testLogs = logs
 	})

@@ -31,6 +31,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/etl"
 	"repro/internal/metrics"
+	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/svm"
 	"repro/internal/trace"
@@ -96,6 +97,20 @@ type (
 	ServeEventBatch = serve.EventBatch
 	// ServeVerdict is the wire form of one classified window.
 	ServeVerdict = serve.Verdict
+
+	// ModelRegistry is the content-addressed model store behind
+	// leaps-train -registry and the /v1/models lifecycle endpoints.
+	ModelRegistry = registry.Store
+	// ModelManifest describes one immutable registry entry.
+	ModelManifest = registry.Manifest
+	// TrainInfo records a published model's training provenance.
+	TrainInfo = registry.TrainInfo
+	// PromotionGate is the shadow-evidence policy a challenger must clear
+	// before promotion.
+	PromotionGate = registry.Gate
+	// ShadowComparison is accumulated champion/challenger agreement
+	// evidence from shadow evaluation.
+	ShadowComparison = registry.Comparison
 
 	// ParseOpts controls raw-log parsing fault tolerance.
 	ParseOpts = etl.ParseOpts
@@ -409,6 +424,17 @@ func NewServer(config ServeConfig) (*Server, error) {
 		return nil, fmt.Errorf("leaps: %w", err)
 	}
 	return s, nil
+}
+
+// OpenModelRegistry opens (creating on first use) the content-addressed
+// model registry at dir — the store leaps-train publishes into and
+// leaps-serve promotes from.
+func OpenModelRegistry(dir string) (*ModelRegistry, error) {
+	st, err := registry.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("leaps: %w", err)
+	}
+	return st, nil
 }
 
 // LoadMonitor reads a model file like LoadDetector but degrades instead of

@@ -1,0 +1,192 @@
+#!/bin/sh
+# End-to-end smoke test of the model registry lifecycle: trains two
+# seeds into a registry, serves the champion, shadow-evaluates the
+# challenger against live traffic, and walks promotion and rollback
+# over the /v1/models API. Asserts that
+#
+#   - leaps-train -registry publishes every seed and the first becomes
+#     the serving champion,
+#   - a session scored while a shadow evaluation runs is byte-identical
+#     to a champion-only reference server (shadow never perturbs),
+#   - promotion without shadow evidence is refused, and the gate
+#     rejects on insufficient evidence with the failed conditions,
+#   - forced promotion swaps new sessions to the challenger while live
+#     sessions keep their pinned model (verdict continuity),
+#   - rollback returns new sessions to the previous champion.
+set -eu
+
+workdir=$(mktemp -d)
+champ_pid=""
+chall_pid=""
+reg_pid=""
+cleanup() {
+	for pid in "$champ_pid" "$chall_pid" "$reg_pid"; do
+		[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	done
+	for pid in "$champ_pid" "$chall_pid" "$reg_pid"; do
+		[ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+	done
+	rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+say() { printf 'registry-smoke: %s\n' "$*"; }
+fail() {
+	say "FAIL: $*"
+	exit 1
+}
+
+say "building CLIs into $workdir"
+go build -o "$workdir" ./cmd/leaps-trace ./cmd/leaps-train ./cmd/leaps-serve
+
+say "generating dataset with serve wire files"
+"$workdir/leaps-trace" -dataset vim_reverse_tcp -out "$workdir" -seed 1 -serve-json -quiet
+
+say "training seeds 1 and 2 and publishing both into the registry"
+"$workdir/leaps-train" \
+	-benign "$workdir/vim_reverse_tcp_benign.letl" \
+	-mixed "$workdir/vim_reverse_tcp_mixed.letl" \
+	-model "$workdir/leaps.model" \
+	-lambda 8 -sigma2 2 -seeds "1, 2" \
+	-registry "$workdir/registry" -quiet -telemetry-out none
+
+session_json="$workdir/vim_reverse_tcp_malicious.session.json"
+batch_a="$workdir/vim_reverse_tcp_malicious.events.json"
+batch_b="$workdir/vim_reverse_tcp_benign.events.json"
+
+# start_server <logfile> <args...>: boots leaps-serve in the background
+# and sets $started_pid / $started_addr (runs in the main shell so the
+# pid survives; don't call it in a command substitution).
+start_server() {
+	log="$1"
+	shift
+	"$workdir/leaps-serve" "$@" 2>"$log" &
+	started_pid=$!
+	started_addr=""
+	for _ in $(seq 1 100); do
+		started_addr=$(sed -n 's/.*addr=\([0-9.]*:[0-9]*\).*/\1/p' "$log" | head -n1)
+		[ -n "$started_addr" ] && break
+		kill -0 "$started_pid" 2>/dev/null || fail "leaps-serve exited early: $(cat "$log")"
+		sleep 0.1
+	done
+	[ -n "$started_addr" ] || fail "no listen address logged in $log"
+}
+
+# open_session <addr>: creates a session for the malicious process.
+open_session() {
+	curl -fsS -X POST --data-binary @"$session_json" "http://$1/v1/sessions" |
+		sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -n1
+}
+
+# post_batch <addr> <sid> <batch> <out>: streams a batch, saving verdicts.
+post_batch() {
+	curl -fsS -X POST --data-binary @"$3" "http://$1/v1/sessions/$2/events" >"$4"
+}
+
+say "starting champion reference server (seed-1 model, no registry)"
+start_server "$workdir/champ.log" -model "$workdir/leaps.model" -addr 127.0.0.1:0
+champ_pid=$started_pid
+champ_addr=$started_addr
+
+say "starting challenger reference server (seed-2 model, no registry)"
+start_server "$workdir/chall.log" -model "$workdir/leaps.model.seed2" -addr 127.0.0.1:0
+chall_pid=$started_pid
+chall_addr=$started_addr
+
+# The gate's event floor is set impossibly high so the gated promotion
+# attempt is deterministically rejected; the pass path is covered by
+# unit tests where the comparison is controlled.
+say "starting registry-backed server"
+start_server "$workdir/reg.log" -registry "$workdir/registry" \
+	-gate-min-events 10000000 -addr 127.0.0.1:0
+reg_pid=$started_pid
+reg_addr=$started_addr
+
+say "computing reference verdicts"
+champ_sid=$(open_session "$champ_addr")
+chall_sid=$(open_session "$chall_addr")
+[ -n "$champ_sid" ] && [ -n "$chall_sid" ] || fail "reference session creation returned no id"
+post_batch "$champ_addr" "$champ_sid" "$batch_a" "$workdir/champ_a.json"
+post_batch "$champ_addr" "$champ_sid" "$batch_b" "$workdir/champ_b.json"
+post_batch "$chall_addr" "$chall_sid" "$batch_a" "$workdir/chall_a.json"
+grep -q '"first_event"' "$workdir/champ_a.json" || fail "reference batch produced no verdicts"
+
+say "reading the registry catalogue"
+curl -fsS "http://$reg_addr/v1/models" >"$workdir/models.json"
+current=$(sed -n 's/.*"current": *"\([^"]*\)".*/\1/p' "$workdir/models.json" | head -n1)
+loaded=$(sed -n 's/.*"loaded": *"\([^"]*\)".*/\1/p' "$workdir/models.json" | head -n1)
+challenger=$(grep -o '"id": *"[^"]*"' "$workdir/models.json" |
+	sed 's/.*: *"\(.*\)"/\1/' | grep -v "^$current\$" | sort -u | head -n1)
+[ -n "$current" ] && [ -n "$challenger" ] || fail "could not parse entry ids from /v1/models"
+[ "$loaded" = "$current" ] || fail "server loaded $loaded but registry current is $current"
+say "champion=$current challenger=$challenger"
+
+say "promotion without shadow evidence must be refused"
+status=$(curl -s -o "$workdir/noevidence.json" -w '%{http_code}' \
+	-X POST -d '{"id": "'"$challenger"'"}' "http://$reg_addr/v1/models/promote")
+[ "$status" = "409" ] || fail "evidence-free promote got status $status, want 409"
+grep -q 'no shadow evidence' "$workdir/noevidence.json" || fail "409 body does not explain the refusal"
+
+say "starting shadow evaluation of the challenger"
+status=$(curl -s -o "$workdir/shadow.json" -w '%{http_code}' \
+	-X POST -d '{"id": "'"$challenger"'"}' "http://$reg_addr/v1/models/shadow")
+[ "$status" = "201" ] || fail "shadow start got status $status, want 201"
+grep -q '"challenger_id": *"'"$challenger"'"' "$workdir/shadow.json" || fail "shadow status names the wrong challenger"
+
+say "streaming batch A with the shadow attached"
+pinned_sid=$(open_session "$reg_addr")
+[ -n "$pinned_sid" ] || fail "session creation returned no id"
+post_batch "$reg_addr" "$pinned_sid" "$batch_a" "$workdir/reg_a.json"
+cmp -s "$workdir/reg_a.json" "$workdir/champ_a.json" ||
+	fail "verdicts with shadow attached differ from the champion-only reference"
+say "shadowed verdicts byte-identical to champion-only reference"
+
+say "gated promotion must be rejected on insufficient evidence"
+status=$(curl -s -o "$workdir/gated.json" -w '%{http_code}' \
+	-X POST -d '{"id": "'"$challenger"'"}' "http://$reg_addr/v1/models/promote")
+[ "$status" = "409" ] || fail "under-evidenced promote got status $status, want 409"
+grep -q 'shadow events' "$workdir/gated.json" || fail "gate rejection does not list the failed condition"
+
+curl -fsS "http://$reg_addr/v1/models" >"$workdir/models2.json"
+grep -q '"events": *[1-9]' "$workdir/models2.json" || fail "shadow comparison accumulated no events"
+say "gate rejected with evidence on record"
+
+say "forcing the promotion"
+status=$(curl -s -o "$workdir/promoted.json" -w '%{http_code}' \
+	-X POST -d '{"id": "'"$challenger"'", "force": true}' "http://$reg_addr/v1/models/promote")
+[ "$status" = "200" ] || fail "forced promote got status $status: $(cat "$workdir/promoted.json")"
+grep -q '"to": *"'"$challenger"'"' "$workdir/promoted.json" || fail "promotion transition targets the wrong entry"
+
+curl -fsS "http://$reg_addr/v1/models" >"$workdir/models3.json"
+grep -q '"loaded": *"'"$challenger"'"' "$workdir/models3.json" || fail "challenger not serving after promotion"
+grep -q '"challenger_id"' "$workdir/models3.json" && fail "shadow evaluation survived its challenger's promotion"
+say "challenger promoted and serving"
+
+say "checking verdict continuity of the pre-promotion session"
+post_batch "$reg_addr" "$pinned_sid" "$batch_b" "$workdir/reg_b.json"
+cmp -s "$workdir/reg_b.json" "$workdir/champ_b.json" ||
+	fail "live session switched models mid-stream: batch B differs from its pinned model's reference"
+say "live session stayed pinned to the old champion"
+
+say "checking that new sessions score with the challenger"
+new_sid=$(open_session "$reg_addr")
+post_batch "$reg_addr" "$new_sid" "$batch_a" "$workdir/new_a.json"
+cmp -s "$workdir/new_a.json" "$workdir/chall_a.json" ||
+	fail "post-promotion session verdicts differ from the challenger reference"
+say "new sessions score with the promoted model"
+
+say "rolling back"
+status=$(curl -s -o "$workdir/rollback.json" -w '%{http_code}' \
+	-X POST -d '{}' "http://$reg_addr/v1/models/rollback")
+[ "$status" = "200" ] || fail "rollback got status $status: $(cat "$workdir/rollback.json")"
+grep -q '"to": *"'"$current"'"' "$workdir/rollback.json" || fail "rollback transition targets the wrong entry"
+
+curl -fsS "http://$reg_addr/v1/models" >"$workdir/models4.json"
+grep -q '"loaded": *"'"$current"'"' "$workdir/models4.json" || fail "champion not serving after rollback"
+back_sid=$(open_session "$reg_addr")
+post_batch "$reg_addr" "$back_sid" "$batch_a" "$workdir/back_a.json"
+cmp -s "$workdir/back_a.json" "$workdir/champ_a.json" ||
+	fail "post-rollback session verdicts differ from the champion reference"
+say "rollback restored the champion for new sessions"
+
+say "PASS"
