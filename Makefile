@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build fmt-check vet test race fuzz-smoke bench bench-compare determinism verify verify-telemetry serve-smoke registry-smoke doc-lint
+.PHONY: build fmt-check vet test race fuzz-smoke bench bench-compare determinism verify verify-telemetry serve-smoke registry-smoke autopilot-smoke doc-lint
 
 build:
 	$(GO) build ./...
@@ -63,10 +63,18 @@ serve-smoke:
 registry-smoke:
 	./scripts/registry-smoke.sh
 
+# End-to-end smoke test of the retraining autopilot: drives traffic past
+# the retrain trigger, force-crashes the server mid-cycle with
+# LEAPS_CRASHPOINT (asserting the faultinject exit code), and requires
+# the restarted server to resume from the journal and converge on a
+# gated promotion with reference-identical verdicts.
+autopilot-smoke:
+	./scripts/autopilot-smoke.sh
+
 # Godoc gate: package comments everywhere under internal/ and cmd/, and
 # doc comments on every exported identifier in internal/serve.
 doc-lint:
 	./scripts/doc-lint.sh
 
-verify: build fmt-check vet test race determinism fuzz-smoke doc-lint verify-telemetry serve-smoke registry-smoke
+verify: build fmt-check vet test race determinism fuzz-smoke doc-lint verify-telemetry serve-smoke registry-smoke autopilot-smoke
 	./scripts/bench-compare.sh -w

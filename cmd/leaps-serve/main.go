@@ -10,6 +10,10 @@
 //	    [-addr 127.0.0.1:8341] [-spool ./spool] [-queue-depth 8192] \
 //	    [-max-sessions 1024] [-max-body 8388608] [-request-timeout 30s] \
 //	    [-idle-timeout 15m] [-evict-interval 1m] [-parallel N] \
+//	    [-autopilot -autopilot-benign b.letl -autopilot-mixed m.letl \
+//	     -autopilot-app vim.exe -autopilot-lambda 8 -autopilot-sigma2 2 \
+//	     -autopilot-trigger 5000 -autopilot-interval 1m \
+//	     -autopilot-state dir -autopilot-shadow-timeout 10m] \
 //	    [-quiet] [-verbose] [-log-json]
 //
 // API (see README.md "Serving" for request/response bodies):
@@ -23,6 +27,9 @@
 //	DELETE /v1/models/shadow         stop the shadow evaluation
 //	POST   /v1/models/promote        gated (or forced) promotion
 //	POST   /v1/models/rollback       return to a prior champion
+//	GET    /v1/autopilot             retraining controller status
+//	POST   /v1/autopilot/pause       suspend retraining (journaled)
+//	POST   /v1/autopilot/resume      resume; resets the circuit breaker
 //	GET    /healthz, /readyz         liveness and readiness probes
 //	GET    /metrics, /spans, ...     telemetry introspection
 //
@@ -32,6 +39,15 @@
 // are shadow-evaluated against live traffic and promoted only when the
 // -gate-* thresholds pass (see README.md "Model registry"). At least one
 // model source is required; -registry counts as one.
+//
+// With -autopilot (requires -registry plus -autopilot-benign and
+// -autopilot-mixed), a crash-safe retraining controller closes the loop
+// unattended: once -autopilot-trigger new verdict windows accumulate it
+// retrains from the configured logs, publishes the candidate, shadow-
+// evaluates it against live traffic and promotes it when the gate
+// passes. Its journal lives under -autopilot-state (default
+// <registry>/autopilot); a restarted server resumes any interrupted
+// cycle from there. See DESIGN.md "Retraining autopilot".
 //
 // On SIGTERM or SIGINT the server stops accepting work, drains every
 // session queue, checkpoints all sessions to the spool directory and
@@ -50,10 +66,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/autopilot"
+	"repro/internal/faultinject"
 	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/telemetry/slogx"
@@ -119,11 +138,28 @@ func run(args []string, ready chan<- string) error {
 		quiet      = fs.Bool("quiet", false, "only warnings and errors")
 		verbose    = fs.Bool("verbose", false, "debug-level logging")
 		logJSON    = fs.Bool("log-json", false, "emit JSON log records instead of key=value text")
+
+		apEnable   = fs.Bool("autopilot", false, "run the retraining autopilot (needs -registry, -autopilot-benign, -autopilot-mixed)")
+		apBenign   = fs.String("autopilot-benign", "", "benign training log the autopilot retrains from")
+		apMixed    = fs.String("autopilot-mixed", "", "mixed training log the autopilot retrains from")
+		apApp      = fs.String("autopilot-app", "", "application to slice from the training logs")
+		apWindow   = fs.Int("autopilot-window", 0, "retraining detection window (0 = core default)")
+		apLambda   = fs.Float64("autopilot-lambda", 0, "fixed WSVM lambda (0 with sigma2 0 = grid search)")
+		apSigma2   = fs.Float64("autopilot-sigma2", 0, "fixed RBF sigma^2 (0 with lambda 0 = grid search)")
+		apSeed     = fs.Int64("autopilot-seed", 1, "retraining data-selection seed")
+		apLenient  = fs.Bool("autopilot-lenient", false, "skip corrupt training-log records instead of failing the cycle")
+		apInterval = fs.Duration("autopilot-interval", time.Minute, "trigger-check period")
+		apTrigger  = fs.Uint64("autopilot-trigger", 5000, "new verdict windows that trigger a retraining cycle")
+		apState    = fs.String("autopilot-state", "", "autopilot journal directory (default <registry>/autopilot)")
+		apShadowTO = fs.Duration("autopilot-shadow-timeout", 10*time.Minute, "max wait for shadow evidence before the gate judges what it has")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	slogx.Configure(slogx.Options{Level: slogx.CLILevel(*quiet, *verbose), JSON: *logJSON})
+	if armed := faultinject.ArmFromEnv(); len(armed) > 0 {
+		slogx.Warn("crash points armed from environment", "points", strings.Join(armed, ","))
+	}
 	if len(models) == 0 && *regDir == "" {
 		return fmt.Errorf("missing -model (or -registry)")
 	}
@@ -136,12 +172,52 @@ func run(args []string, ready chan<- string) error {
 		store = st
 	}
 
-	srv, err := serve.NewServer(serve.Config{
+	gate := registry.Gate{MinEvents: *gateEvents, MinTPR: *gateTPR, MaxFPR: *gateFPR}
+	var ctl *autopilot.Controller
+	if *apEnable {
+		if store == nil {
+			return fmt.Errorf("-autopilot requires -registry")
+		}
+		if *apBenign == "" || *apMixed == "" {
+			return fmt.Errorf("-autopilot requires -autopilot-benign and -autopilot-mixed")
+		}
+		stateDir := *apState
+		if stateDir == "" {
+			stateDir = filepath.Join(*regDir, "autopilot")
+		}
+		c, err := autopilot.New(autopilot.Config{
+			Store: store,
+			Trainer: autopilot.LogTrainer{
+				BenignPath: *apBenign,
+				MixedPath:  *apMixed,
+				App:        *apApp,
+				Window:     *apWindow,
+				Lambda:     *apLambda,
+				Sigma2:     *apSigma2,
+				Seed:       *apSeed,
+				Lenient:    *apLenient,
+				Parallel:   *parallel,
+			},
+			Gate:          gate,
+			StateDir:      stateDir,
+			Interval:      *apInterval,
+			TriggerEvents: *apTrigger,
+			ShadowTimeout: *apShadowTO,
+			Seed:          *apSeed,
+			Logger:        slogx.L(),
+		})
+		if err != nil {
+			return err
+		}
+		ctl = c
+	}
+
+	cfg := serve.Config{
 		Models:         models,
 		Registry:       store,
 		RegistryModel:  *regModel,
 		ShadowQueue:    *shadowQ,
-		Gate:           registry.Gate{MinEvents: *gateEvents, MinTPR: *gateTPR, MaxFPR: *gateFPR},
+		Gate:           gate,
 		SpoolDir:       *spool,
 		MaxSessions:    *maxSess,
 		QueueDepth:     *queueDepth,
@@ -151,9 +227,20 @@ func run(args []string, ready chan<- string) error {
 		EvictInterval:  *evictEvery,
 		Parallel:       *parallel,
 		Logger:         slogx.L(),
-	})
+	}
+	if ctl != nil {
+		cfg.Autopilot = ctl
+	}
+	srv, err := serve.NewServer(cfg)
 	if err != nil {
 		return err
+	}
+	if ctl != nil {
+		ctl.Bind(srv)
+		if err := ctl.Start(); err != nil {
+			return err
+		}
+		slogx.Info("autopilot started", "trigger", *apTrigger, "interval", apInterval.String())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -184,6 +271,9 @@ func run(args []string, ready chan<- string) error {
 				continue
 			}
 			slogx.Info("shutting down", "signal", sig.String())
+			if ctl != nil {
+				ctl.Stop() // journal keeps any interrupted cycle resumable
+			}
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 			err := httpSrv.Shutdown(ctx) // stop intake, finish in-flight requests
 			if serr := srv.Shutdown(ctx); err == nil {

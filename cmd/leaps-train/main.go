@@ -50,6 +50,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/etl"
+	"repro/internal/faultinject"
 	"repro/internal/registry"
 	"repro/internal/svm"
 	"repro/internal/telemetry"
@@ -89,6 +90,9 @@ func run(args []string) error {
 		return err
 	}
 	slogx.Configure(slogx.Options{Level: slogx.CLILevel(*quiet, *verbose), JSON: *logJSON})
+	if armed := faultinject.ArmFromEnv(); len(armed) > 0 {
+		slogx.Warn("crash points armed from environment", "points", strings.Join(armed, ","))
+	}
 	if *benignPath == "" || *mixedPath == "" {
 		return fmt.Errorf("missing -benign or -mixed")
 	}

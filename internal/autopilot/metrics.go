@@ -1,0 +1,20 @@
+package autopilot
+
+import "repro/internal/telemetry"
+
+// Autopilot lifecycle metrics, on the default telemetry registry so
+// they surface on the serving process's /metrics endpoint next to the
+// serve_* and registry_* instruments.
+var (
+	mCycles = telemetry.NewCounterVec("autopilot_cycles_total",
+		"completed retraining cycles by outcome (promoted, rejected, unchanged, failed)",
+		"outcome")
+	mRetries = telemetry.NewCounter("autopilot_stage_retries_total",
+		"stage attempts retried after a failure, across all cycles")
+	mResumes = telemetry.NewCounter("autopilot_resumes_total",
+		"interrupted cycles resumed from the journal after a restart")
+	mBreakerOpen = telemetry.NewGauge("autopilot_breaker_open",
+		"1 while the circuit breaker is open (champion-only serving), else 0")
+	mPausedGauge = telemetry.NewGauge("autopilot_paused",
+		"1 while the autopilot is operator-paused, else 0")
+)

@@ -1,0 +1,101 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+func TestStepDisarmedIsNil(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Step("nowhere/armed"); err != nil {
+		t.Fatalf("disarmed Step returned %v", err)
+	}
+}
+
+func TestArmCrashFiresOnceAndRecovers(t *testing.T) {
+	t.Cleanup(Reset)
+	ArmCrash("test/point")
+
+	var crash *CrashPanic
+	func() {
+		defer func() { crash = Recover(recover()) }()
+		_ = Step("test/point")
+		t.Error("Step returned past an armed crash point")
+	}()
+	if crash == nil || crash.Point != "test/point" {
+		t.Fatalf("recovered crash %+v, want point %q", crash, "test/point")
+	}
+	// One-shot: the same point is inert afterwards.
+	if err := Step("test/point"); err != nil {
+		t.Fatalf("crash point fired twice: %v", err)
+	}
+}
+
+func TestArmErrorBudget(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("disk full")
+	ArmError("test/err", boom, 2)
+	for i := 0; i < 2; i++ {
+		if err := Step("test/err"); !errors.Is(err, boom) {
+			t.Fatalf("firing %d: got %v, want %v", i, err, boom)
+		}
+	}
+	if err := Step("test/err"); err != nil {
+		t.Fatalf("error point outlived its budget: %v", err)
+	}
+}
+
+func TestArmErrorUnlimitedUntilDisarm(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("eio")
+	ArmError("test/forever", boom, -1)
+	for i := 0; i < 5; i++ {
+		if err := Step("test/forever"); !errors.Is(err, boom) {
+			t.Fatalf("firing %d: got %v", i, err)
+		}
+	}
+	Disarm("test/forever")
+	if err := Step("test/forever"); err != nil {
+		t.Fatalf("disarmed point still fires: %v", err)
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	t.Cleanup(Reset)
+	t.Setenv(CrashEnv, " a/one , b/two ,")
+	got := ArmFromEnv()
+	if len(got) != 2 || got[0] != "a/one" || got[1] != "b/two" {
+		t.Fatalf("ArmFromEnv armed %v", got)
+	}
+	// The armed action is a process exit; assert the arming without
+	// firing it by inspecting the table.
+	pointMu.Lock()
+	defer pointMu.Unlock()
+	for _, p := range got {
+		a, ok := points[p]
+		if !ok || a.kind != armExit {
+			t.Fatalf("point %q armed as %+v, want exit", p, a)
+		}
+	}
+}
+
+func TestArmFromEnvEmpty(t *testing.T) {
+	t.Cleanup(Reset)
+	os.Unsetenv(CrashEnv)
+	if got := ArmFromEnv(); got != nil {
+		t.Fatalf("unset env armed %v", got)
+	}
+}
+
+func TestRecoverRepanicsOnForeignPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("foreign panic was swallowed")
+		}
+	}()
+	func() {
+		defer func() { Recover(recover()) }()
+		panic("unrelated")
+	}()
+}

@@ -27,11 +27,14 @@ type Comparison struct {
 	// counts champion/challenger verdict pairs compared.
 	Events  int `json:"events"`
 	Windows int `json:"windows"`
-	// Dropped counts batches the bounded shadow queue rejected; Diverged
-	// counts batches whose champion and challenger window counts
-	// disagreed (never expected when the windows match).
-	Dropped  int `json:"dropped"`
-	Diverged int `json:"diverged"`
+	// Dropped counts batches the bounded shadow queue rejected (or that
+	// arrived after the canary stopped); DroppedEvents counts the events
+	// those batches carried — the evidence the comparison never saw.
+	// Diverged counts batches whose champion and challenger window
+	// counts disagreed (never expected when the windows match).
+	Dropped       int `json:"dropped"`
+	DroppedEvents int `json:"dropped_events"`
+	Diverged      int `json:"diverged"`
 	// Confusion is the verdict-agreement matrix.
 	Confusion metrics.Confusion `json:"confusion"`
 }
@@ -110,6 +113,7 @@ func (c *Canary) Offer(session string, modules *trace.ModuleMap, events []trace.
 	b := shadowBatch{session: session, modules: modules, events: events, malicious: malicious}
 	select {
 	case <-c.stop:
+		c.dropOffer(len(events))
 		return false
 	default:
 	}
@@ -121,12 +125,20 @@ func (c *Canary) Offer(session string, modules *trace.ModuleMap, events []trace.
 		mShadowLag.Add(float64(len(events)))
 		return true
 	default:
-		c.mu.Lock()
-		c.cmp.Dropped++
-		c.mu.Unlock()
-		mShadowDropped.Inc()
+		c.dropOffer(len(events))
 		return false
 	}
+}
+
+// dropOffer accounts one rejected offer — a full queue or a stopped
+// canary — in the comparison and the telemetry counters.
+func (c *Canary) dropOffer(events int) {
+	c.mu.Lock()
+	c.cmp.Dropped++
+	c.cmp.DroppedEvents += events
+	c.mu.Unlock()
+	mShadowDropped.Inc()
+	mShadowDroppedEvents.Add(uint64(events))
 }
 
 // run is the single shadow worker: it replays queued batches in arrival

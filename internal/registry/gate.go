@@ -27,6 +27,12 @@ type Gate struct {
 	MaxFPR float64
 }
 
+// Effective returns the gate with every unset threshold replaced by its
+// default — the thresholds Decide actually applies. Callers that need to
+// know the evidence floor before deciding (the autopilot waits for it)
+// read it from here instead of re-hardcoding the defaults.
+func (g Gate) Effective() Gate { return g.withDefaults() }
+
 // withDefaults fills unset thresholds.
 func (g Gate) withDefaults() Gate {
 	if g.MinEvents <= 0 {

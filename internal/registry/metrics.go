@@ -16,6 +16,8 @@ var (
 		"events replayed against shadow challengers")
 	mShadowDropped = telemetry.NewCounter("registry_shadow_dropped_batches_total",
 		"shadow batches dropped because the shadow queue was full")
+	mShadowDroppedEvents = telemetry.NewCounter("registry_shadow_dropped_events_total",
+		"events carried by dropped shadow batches (evidence the comparison never saw)")
 	mShadowDiverged = telemetry.NewCounter("registry_shadow_divergence_total",
 		"shadow batches whose champion and challenger window counts disagreed")
 	mShadowLag = telemetry.NewGauge("registry_shadow_lag_events",

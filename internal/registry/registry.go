@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/telemetry"
 )
 
@@ -238,6 +239,9 @@ func (s *Store) Publish(r io.Reader, train TrainInfo) (Manifest, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return Manifest{}, fmt.Errorf("registry: creating entry: %w", err)
 	}
+	if err := faultinject.Step("registry/publish/bundle"); err != nil {
+		return Manifest{}, fmt.Errorf("registry: writing bundle: %w", err)
+	}
 	if err := writeFileAtomic(filepath.Join(dir, bundleFile), blob); err != nil {
 		return Manifest{}, fmt.Errorf("registry: writing bundle: %w", err)
 	}
@@ -246,7 +250,11 @@ func (s *Store) Publish(r io.Reader, train TrainInfo) (Manifest, error) {
 		return Manifest{}, fmt.Errorf("registry: encoding manifest: %w", err)
 	}
 	// The manifest lands last: an entry directory without one is an
-	// uncommitted publish and is ignored by Get/List.
+	// uncommitted publish and is ignored by Get/List. The fault point
+	// between the two writes is where crash tests kill the publisher.
+	if err := faultinject.Step("registry/publish/manifest"); err != nil {
+		return Manifest{}, fmt.Errorf("registry: writing manifest: %w", err)
+	}
 	if err := writeFileAtomic(filepath.Join(dir, manifestFile), manBlob); err != nil {
 		return Manifest{}, fmt.Errorf("registry: writing manifest: %w", err)
 	}
@@ -359,6 +367,9 @@ func (s *Store) SetCurrent(id, reason string) (Transition, error) {
 	blob, err := json.MarshalIndent(ptr, "", "  ")
 	if err != nil {
 		return Transition{}, fmt.Errorf("registry: encoding current pointer: %w", err)
+	}
+	if err := faultinject.Step("registry/setcurrent"); err != nil {
+		return Transition{}, fmt.Errorf("registry: repointing current: %w", err)
 	}
 	if err := writeFileAtomic(filepath.Join(s.root, currentFile), blob); err != nil {
 		return Transition{}, fmt.Errorf("registry: repointing current: %w", err)

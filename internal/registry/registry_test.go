@@ -359,6 +359,39 @@ func TestCanaryStopIsIdempotentAndRejectsOffers(t *testing.T) {
 	}
 }
 
+func TestCanaryCountsDroppedEvents(t *testing.T) {
+	raw, logs := testBundle(t)
+	challenger, err := core.LoadMonitor(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	can, err := NewCanary("abcdefabcdef", challenger, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	can.Stop()
+	batch := logs.Benign.Events[:3]
+	if can.Offer("s", logs.Benign.Modules, batch, nil) {
+		t.Fatal("Offer accepted a batch after Stop")
+	}
+	cmp := can.Status()
+	if cmp.Dropped != 1 || cmp.DroppedEvents != len(batch) {
+		t.Errorf("dropped=%d dropped_events=%d, want 1 batch carrying %d events",
+			cmp.Dropped, cmp.DroppedEvents, len(batch))
+	}
+}
+
+func TestGateEffectiveFillsDefaults(t *testing.T) {
+	eff := Gate{}.Effective()
+	if eff.MinEvents != 1000 || eff.MinTPR != 0.95 || eff.MaxFPR != 0.05 {
+		t.Errorf("zero gate Effective = %+v, want the documented defaults", eff)
+	}
+	set := Gate{MinEvents: 7, MinTPR: 0.5, MaxFPR: 0.2}
+	if got := set.Effective(); got != set {
+		t.Errorf("Effective rewrote explicit thresholds: %+v", got)
+	}
+}
+
 func TestGateDecide(t *testing.T) {
 	mk := func(events int, tp, tn, fp, fn int) Comparison {
 		return Comparison{Events: events, Confusion: metrics.Confusion{TP: tp, TN: tn, FP: fp, FN: fn}}

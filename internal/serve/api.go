@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -77,6 +78,11 @@ func (s *Server) buildMux() {
 		mux.HandleFunc("POST /v1/models/promote", s.handlePromote)
 		mux.HandleFunc("POST /v1/models/rollback", s.handleRollback)
 	}
+	if s.cfg.Autopilot != nil {
+		mux.HandleFunc("GET /v1/autopilot", s.handleAutopilot)
+		mux.HandleFunc("POST /v1/autopilot/pause", s.handleAutopilotPause)
+		mux.HandleFunc("POST /v1/autopilot/resume", s.handleAutopilotResume)
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -98,6 +104,11 @@ func (s *Server) buildMux() {
 			fmt.Fprintln(w, "  DELETE /v1/models/shadow")
 			fmt.Fprintln(w, "  POST   /v1/models/promote")
 			fmt.Fprintln(w, "  POST   /v1/models/rollback")
+		}
+		if s.cfg.Autopilot != nil {
+			fmt.Fprintln(w, "  GET    /v1/autopilot")
+			fmt.Fprintln(w, "  POST   /v1/autopilot/pause")
+			fmt.Fprintln(w, "  POST   /v1/autopilot/resume")
 		}
 		fmt.Fprintln(w, "  GET    /healthz, /readyz")
 		fmt.Fprintln(w, "  GET    /metrics, /spans, /debug/vars, /debug/pprof/")
@@ -320,7 +331,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		mRejected.With("queue_full").Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterHint(sess.Queued(), s.cfg.QueueDepth))
 		writeError(w, http.StatusTooManyRequests,
 			"session queue full (%d events queued, depth %d)", sess.Queued(), s.cfg.QueueDepth)
 		return
@@ -358,6 +369,21 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// retryAfterHint scales a 429's Retry-After with how backed up the
+// session is: a barely-full queue suggests retrying in a second, a queue
+// at full depth suggests several, capped so misbehaving clients never
+// park themselves for minutes on a stale hint.
+func retryAfterHint(queued, depth int) string {
+	secs := 1
+	if depth > 0 && queued > 0 {
+		secs += 4 * queued / depth
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.Itoa(secs)
+}
+
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.sessMu.Lock()
@@ -374,7 +400,13 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.SpoolDir != "" {
 		if err := core.RemoveSpoolCheckpoint(s.cfg.SpoolDir, id); err == nil {
 			removedSpool = true
-			_ = os.Remove(filepath.Join(s.cfg.SpoolDir, id+".json"))
+			// The sidecar is garbage once the checkpoint is gone, but a
+			// removal failure means the spool dir needs attention.
+			meta := filepath.Join(s.cfg.SpoolDir, id+".json")
+			if err := os.Remove(meta); err != nil && !os.IsNotExist(err) {
+				s.cfg.Logger.Warn("removing spool metadata sidecar",
+					"session", id, "path", meta, "error", err)
+			}
 		}
 	}
 	if !ok && !removedSpool {

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// Autopilot is the serving side's view of a retraining controller. The
+// concrete implementation lives in internal/autopilot; the interface
+// keeps serve free of that dependency (autopilot imports serve's types
+// structurally, not the other way around).
+type Autopilot interface {
+	// Status snapshots the controller for GET /v1/autopilot.
+	Status() any
+	// Pause suspends cycle starts; in-flight work stops at the next
+	// journaled transition. Idempotent.
+	Pause(reason string) error
+	// Resume lifts a pause, resets the circuit breaker and lets any
+	// interrupted cycle continue. Idempotent.
+	Resume() error
+}
+
+// TrafficStats reports the cumulative scored verdict windows (and how
+// many were malicious) across all sessions since the process started.
+// The autopilot's retrain trigger measures traffic deltas against it.
+func (s *Server) TrafficStats() (verdicts, malicious uint64) {
+	return s.trafficVerdicts.Load(), s.trafficMalicious.Load()
+}
+
+// pauseRequest optionally carries the operator's reason for pausing.
+type pauseRequest struct {
+	Reason string `json:"reason"`
+}
+
+func (s *Server) handleAutopilot(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Autopilot.Status())
+}
+
+func (s *Server) handleAutopilotPause(w http.ResponseWriter, r *http.Request) {
+	// The body is optional: an empty POST pauses without a reason.
+	var req pauseRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "decoding request body: %v", err)
+		return
+	}
+	if req.Reason == "" {
+		req.Reason = "operator pause"
+	}
+	if err := s.cfg.Autopilot.Pause(req.Reason); err != nil {
+		writeError(w, http.StatusInternalServerError, "pausing autopilot: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Autopilot.Status())
+}
+
+func (s *Server) handleAutopilotResume(w http.ResponseWriter, r *http.Request) {
+	if err := s.cfg.Autopilot.Resume(); err != nil {
+		writeError(w, http.StatusInternalServerError, "resuming autopilot: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Autopilot.Status())
+}

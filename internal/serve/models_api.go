@@ -75,60 +75,132 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// Sentinel errors from the programmatic shadow-lifecycle methods. The
+// HTTP layer maps them onto status codes; the autopilot matches them to
+// tell retryable conditions from terminal ones.
+var (
+	// ErrServerClosing: the server is shutting down.
+	ErrServerClosing = errors.New("server shutting down")
+	// ErrNoRegistry: the server has no registry configured.
+	ErrNoRegistry = errors.New("no registry configured")
+	// ErrShadowActive: a shadow evaluation is already running.
+	ErrShadowActive = errors.New("shadow evaluation already active")
+	// ErrAlreadyChampion: the entry is the serving champion already.
+	ErrAlreadyChampion = errors.New("entry is already the serving champion")
+	// ErrEntryNotFound: the registry holds no such committed entry.
+	ErrEntryNotFound = errors.New("no such registry entry")
+	// ErrEntryUnloadable: the entry's bundle cannot be loaded.
+	ErrEntryUnloadable = errors.New("challenger bundle unloadable")
+	// ErrWindowMismatch: champion and challenger window lengths differ,
+	// so their verdicts cannot be compared.
+	ErrWindowMismatch = errors.New("window mismatch")
+)
+
+// StartShadow begins shadow evaluation of a registry entry against live
+// traffic on the registry-backed model. It is the programmatic core of
+// POST /v1/models/shadow and the autopilot's canary hook.
+func (s *Server) StartShadow(entry string) error {
+	if s.closing.Load() {
+		return ErrServerClosing
+	}
+	m := s.registryModel()
+	if s.cfg.Registry == nil || m == nil {
+		return ErrNoRegistry
+	}
+	if cur := s.canary.Load(); cur != nil {
+		return fmt.Errorf("%w: evaluating %s; stop it first (DELETE /v1/models/shadow)",
+			ErrShadowActive, cur.ID())
+	}
+	_, champ, mon := m.snapshot()
+	if entry == champ {
+		return fmt.Errorf("%w: %s", ErrAlreadyChampion, entry)
+	}
+	rc, err := s.cfg.Registry.OpenBundle(entry)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrEntryNotFound, err)
+	}
+	challenger, err := core.LoadMonitor(rc)
+	rc.Close()
+	if err != nil {
+		return fmt.Errorf("%w: loading %s: %v", ErrEntryUnloadable, entry, err)
+	}
+	if challenger.Window() != mon.Window() {
+		return fmt.Errorf("%w: champion scores %d-event windows, challenger %s scores %d; verdicts cannot be compared",
+			ErrWindowMismatch, mon.Window(), entry, challenger.Window())
+	}
+	c, err := registry.NewCanary(entry, challenger, s.cfg.ShadowQueue)
+	if err != nil {
+		return fmt.Errorf("starting canary: %w", err)
+	}
+	if !s.canary.CompareAndSwap(nil, c) {
+		c.Stop()
+		return ErrShadowActive
+	}
+	s.cfg.Logger.Info("shadow evaluation started", "challenger", entry, "champion", champ)
+	return nil
+}
+
+// StopShadow ends any active shadow evaluation, reporting whether one
+// was running.
+func (s *Server) StopShadow() bool {
+	c := s.canary.Swap(nil)
+	if c == nil {
+		return false
+	}
+	c.Stop()
+	s.cfg.Logger.Info("shadow evaluation stopped", "challenger", c.ID())
+	return true
+}
+
+// ShadowComparison snapshots the active shadow evaluation's accumulated
+// champion/challenger evidence; ok reports whether one is running.
+func (s *Server) ShadowComparison() (cmp registry.Comparison, ok bool) {
+	c := s.canary.Load()
+	if c == nil {
+		return registry.Comparison{}, false
+	}
+	return c.Status(), true
+}
+
+// shadowErrorStatus maps StartShadow's sentinel errors onto the HTTP
+// codes the handler has always answered with.
+func shadowErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrServerClosing):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrShadowActive), errors.Is(err, ErrWindowMismatch):
+		return http.StatusConflict
+	case errors.Is(err, ErrAlreadyChampion):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrEntryNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrEntryUnloadable):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
 // shadowRequest asks to start shadow evaluation of one registry entry.
 type shadowRequest struct {
 	ID string `json:"id"`
 }
 
 func (s *Server) handleShadowStart(w http.ResponseWriter, r *http.Request) {
-	if s.closing.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server shutting down")
-		return
-	}
 	var req shadowRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	if cur := s.canary.Load(); cur != nil {
-		writeError(w, http.StatusConflict,
-			"shadow evaluation of %s already active; stop it first (DELETE /v1/models/shadow)", cur.ID())
+	if err := s.StartShadow(req.ID); err != nil {
+		writeError(w, shadowErrorStatus(err), "%v", err)
 		return
 	}
-	m := s.registryModel()
-	_, entry, mon := m.snapshot()
-	if req.ID == entry {
-		writeError(w, http.StatusBadRequest, "entry %s is already the serving champion", req.ID)
+	if c := s.canary.Load(); c != nil {
+		writeJSON(w, http.StatusCreated, s.shadowStatus(c))
 		return
 	}
-	rc, err := s.cfg.Registry.OpenBundle(req.ID)
-	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	challenger, err := core.LoadMonitor(rc)
-	rc.Close()
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "loading challenger %s: %v", req.ID, err)
-		return
-	}
-	if challenger.Window() != mon.Window() {
-		writeError(w, http.StatusConflict,
-			"window mismatch: champion scores %d-event windows, challenger %s scores %d; verdicts cannot be compared",
-			mon.Window(), req.ID, challenger.Window())
-		return
-	}
-	c, err := registry.NewCanary(req.ID, challenger, s.cfg.ShadowQueue)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "starting canary: %v", err)
-		return
-	}
-	if !s.canary.CompareAndSwap(nil, c) {
-		c.Stop()
-		writeError(w, http.StatusConflict, "shadow evaluation already active")
-		return
-	}
-	s.cfg.Logger.Info("shadow evaluation started", "challenger", req.ID, "champion", entry)
-	writeJSON(w, http.StatusCreated, s.shadowStatus(c))
+	// Raced with an immediate stop; report the start without a snapshot.
+	writeJSON(w, http.StatusCreated, ShadowStatus{Comparison: registry.Comparison{ChallengerID: req.ID}})
 }
 
 func (s *Server) handleShadowStop(w http.ResponseWriter, r *http.Request) {

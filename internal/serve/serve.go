@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/registry"
 )
 
@@ -60,6 +61,10 @@ type Config struct {
 	// Gate is the promotion policy for shadow evaluation; the zero value
 	// selects the registry package's defaults.
 	Gate registry.Gate
+	// Autopilot exposes a retraining controller over the API (GET
+	// /v1/autopilot, POST /v1/autopilot/{pause,resume}). Nil disables the
+	// endpoints. The server never calls into it from the scoring path.
+	Autopilot Autopilot
 	// ShadowQueue caps queued shadow batches awaiting challenger replay
 	// (default 256). A full queue drops batches — shadow evaluation
 	// never blocks or backpressures the serving path.
@@ -176,6 +181,11 @@ type Server struct {
 
 	// reloadMu serialises Reload calls (SIGHUP races /v1/models writes).
 	reloadMu sync.Mutex
+	// trafficVerdicts/trafficMalicious count scored verdict windows since
+	// process start, across all sessions — the autopilot's retrain
+	// trigger reads them through TrafficStats.
+	trafficVerdicts  atomic.Uint64
+	trafficMalicious atomic.Uint64
 	// canary is the active shadow evaluation, nil when none. The scoring
 	// path reads it lock-free on every turn.
 	canary atomic.Pointer[registry.Canary]
@@ -393,6 +403,16 @@ func (s *Server) runTurn(sess *session) {
 		}
 		rep := sess.score(b)
 		b.done <- rep
+		if rep.err == nil && len(rep.verdicts) > 0 {
+			var mal uint64
+			for _, v := range rep.verdicts {
+				if v.Malicious {
+					mal++
+				}
+			}
+			s.trafficVerdicts.Add(uint64(len(rep.verdicts)))
+			s.trafficMalicious.Add(mal)
+		}
 		s.shadowOffer(sess, b, rep)
 		if budget -= len(b.events); budget <= 0 {
 			s.workCh <- sess // scheduled stays set; next worker continues
@@ -490,6 +510,9 @@ type spoolMeta struct {
 // spoolSession writes the session's checkpoint and metadata sidecar. The
 // caller must have quiesced the session (no queued work, no turns).
 func (s *Server) spoolSession(sess *session) error {
+	if err := faultinject.Step("serve/spool/checkpoint"); err != nil {
+		return err
+	}
 	if err := core.WriteSpoolCheckpoint(s.cfg.SpoolDir, sess.id, sess.det); err != nil {
 		return err
 	}

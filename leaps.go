@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/autopilot"
 	"repro/internal/cfg"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -111,6 +112,21 @@ type (
 	// ShadowComparison is accumulated champion/challenger agreement
 	// evidence from shadow evaluation.
 	ShadowComparison = registry.Comparison
+
+	// AutopilotConfig parameterises the retraining autopilot.
+	AutopilotConfig = autopilot.Config
+	// AutopilotController is the crash-safe serve→retrain→shadow→promote
+	// controller behind leaps-serve -autopilot.
+	AutopilotController = autopilot.Controller
+	// AutopilotStatus is the controller's externally visible state (the
+	// body of GET /v1/autopilot).
+	AutopilotStatus = autopilot.Status
+	// AutopilotRecord is one journaled controller state transition.
+	AutopilotRecord = autopilot.Record
+	// AutopilotLogTrainer retrains from raw event-trace logs on disk.
+	AutopilotLogTrainer = autopilot.LogTrainer
+	// AutopilotTrainerFunc adapts a function to the autopilot's Trainer.
+	AutopilotTrainerFunc = autopilot.TrainerFunc
 
 	// ParseOpts controls raw-log parsing fault tolerance.
 	ParseOpts = etl.ParseOpts
@@ -424,6 +440,18 @@ func NewServer(config ServeConfig) (*Server, error) {
 		return nil, fmt.Errorf("leaps: %w", err)
 	}
 	return s, nil
+}
+
+// NewAutopilot opens (or resumes, via its journal) the retraining
+// controller: bind it to a Server with Bind, then Start. A controller
+// restarted over the same state directory picks up any interrupted
+// cycle exactly where the journal says it stopped.
+func NewAutopilot(config AutopilotConfig) (*AutopilotController, error) {
+	c, err := autopilot.New(config)
+	if err != nil {
+		return nil, fmt.Errorf("leaps: %w", err)
+	}
+	return c, nil
 }
 
 // OpenModelRegistry opens (creating on first use) the content-addressed

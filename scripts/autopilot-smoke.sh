@@ -1,0 +1,215 @@
+#!/bin/sh
+# End-to-end smoke test of the retraining autopilot: serve → drift →
+# retrain → shadow → gated promotion, with a forced mid-cycle crash and
+# a restart that must converge on the same promotion. Asserts that
+#
+#   - traffic past -autopilot-trigger starts a retraining cycle that
+#     trains a candidate, publishes it, and begins shadow evaluation,
+#   - a crash point armed via LEAPS_CRASHPOINT kills the server with
+#     the faultinject exit code (70) after the stage's side effect but
+#     before the journal admits it,
+#   - the journal under <registry>/autopilot records the partial cycle
+#     (published journaled, shadow-started not),
+#   - a restarted server resumes the interrupted cycle from the journal
+#     and drives it through the gate to a promotion,
+#   - the promoted model serves new sessions with verdicts byte-identical
+#     to a reference server running the same retrained model, and the
+#     breaker stays closed throughout.
+set -eu
+
+workdir=$(mktemp -d)
+ap_pid=""
+ref_pid=""
+pump_pid=""
+cleanup() {
+	touch "$workdir/pump.stop" 2>/dev/null || true
+	for pid in "$pump_pid" "$ap_pid" "$ref_pid"; do
+		[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	done
+	for pid in "$pump_pid" "$ap_pid" "$ref_pid"; do
+		[ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+	done
+	rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+say() { printf 'autopilot-smoke: %s\n' "$*"; }
+fail() {
+	say "FAIL: $*"
+	exit 1
+}
+
+say "building CLIs into $workdir"
+go build -o "$workdir" ./cmd/leaps-trace ./cmd/leaps-train ./cmd/leaps-serve
+
+say "generating dataset with serve wire files"
+"$workdir/leaps-trace" -dataset vim_reverse_tcp -out "$workdir" -seed 1 -serve-json -quiet
+
+# Seed 1 becomes the serving champion. Seed 2 is also trained so its
+# model file can back a reference server; publishing it up front is
+# harmless — the autopilot's Publish is content-addressed, so the
+# retrained candidate resolves to the same entry.
+say "training seeds 1 and 2 and publishing into the registry"
+"$workdir/leaps-train" \
+	-benign "$workdir/vim_reverse_tcp_benign.letl" \
+	-mixed "$workdir/vim_reverse_tcp_mixed.letl" \
+	-model "$workdir/leaps.model" \
+	-lambda 8 -sigma2 2 -seeds "1, 2" \
+	-registry "$workdir/registry" -quiet -telemetry-out none
+
+session_json="$workdir/vim_reverse_tcp_mixed.session.json"
+batch_mixed="$workdir/vim_reverse_tcp_mixed.events.json"
+journal="$workdir/registry/autopilot/autopilot.jsonl"
+
+# start_server <logfile> <args...>: boots leaps-serve in the background
+# and sets $started_pid / $started_addr (runs in the main shell so the
+# pid survives; don't call it in a command substitution).
+start_server() {
+	log="$1"
+	shift
+	"$workdir/leaps-serve" "$@" 2>"$log" &
+	started_pid=$!
+	started_addr=""
+	for _ in $(seq 1 100); do
+		started_addr=$(sed -n 's/.*addr=\([0-9.]*:[0-9]*\).*/\1/p' "$log" | head -n1)
+		[ -n "$started_addr" ] && break
+		kill -0 "$started_pid" 2>/dev/null || fail "leaps-serve exited early: $(cat "$log")"
+		sleep 0.1
+	done
+	[ -n "$started_addr" ] || fail "no listen address logged in $log"
+}
+
+# start_autopilot <logfile>: the registry-backed server with the
+# retraining controller. Mixed traffic keeps both gate measurements
+# defined (the champion flags some windows and clears others), and the
+# thresholds leave margin for seed-to-seed disagreement.
+start_autopilot() {
+	start_server "$1" -registry "$workdir/registry" -addr 127.0.0.1:0 \
+		-autopilot \
+		-autopilot-benign "$workdir/vim_reverse_tcp_benign.letl" \
+		-autopilot-mixed "$workdir/vim_reverse_tcp_mixed.letl" \
+		-autopilot-lambda 8 -autopilot-sigma2 2 -autopilot-seed 2 \
+		-autopilot-trigger 100 -autopilot-interval 100ms \
+		-autopilot-shadow-timeout 60s \
+		-gate-min-events 400 -gate-min-tpr 0.5 -gate-max-fpr 0.5
+}
+
+# open_session <addr>: creates a session for the mixed process.
+open_session() {
+	curl -fsS -X POST --data-binary @"$session_json" "http://$1/v1/sessions" |
+		sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -n1
+}
+
+# post_batch <addr> <sid> <batch> <out>: streams a batch, saving verdicts.
+post_batch() {
+	curl -fsS -X POST --data-binary @"$3" "http://$1/v1/sessions/$2/events" >"$4"
+}
+
+# pump_loop <addr>: background traffic generator — one short-lived
+# session per iteration streaming the mixed batch, until pump.stop
+# appears. Errors are ignored; the server under test may crash.
+pump_loop() {
+	addr=$1
+	until [ -f "$workdir/pump.stop" ]; do
+		sid=$(curl -s -X POST --data-binary @"$session_json" "http://$addr/v1/sessions" 2>/dev/null |
+			sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -n1) || sid=""
+		if [ -n "$sid" ]; then
+			curl -s -X POST --data-binary @"$batch_mixed" "http://$addr/v1/sessions/$sid/events" >/dev/null 2>&1 || true
+			curl -s -X DELETE "http://$addr/v1/sessions/$sid" >/dev/null 2>&1 || true
+		fi
+		sleep 0.1
+	done
+}
+
+stop_pump() {
+	touch "$workdir/pump.stop"
+	[ -n "$pump_pid" ] && wait "$pump_pid" 2>/dev/null || true
+	pump_pid=""
+	rm -f "$workdir/pump.stop"
+}
+
+say "run 1: crash point armed at autopilot/journal/shadow-started"
+export LEAPS_CRASHPOINT="autopilot/journal/shadow-started"
+start_autopilot "$workdir/ap1.log"
+unset LEAPS_CRASHPOINT
+ap_pid=$started_pid
+ap_addr=$started_addr
+grep -q "crash points armed" "$workdir/ap1.log" || fail "server did not arm LEAPS_CRASHPOINT"
+
+champion=$(curl -fsS "http://$ap_addr/v1/models" |
+	sed -n 's/.*"current": *"\([^"]*\)".*/\1/p' | head -n1)
+[ -n "$champion" ] || fail "no champion in the registry catalogue"
+say "champion=$champion"
+
+pump_loop "$ap_addr" &
+pump_pid=$!
+
+say "streaming traffic until the cycle reaches the armed crash point"
+for _ in $(seq 1 1200); do
+	kill -0 "$ap_pid" 2>/dev/null || break
+	sleep 0.1
+done
+kill -0 "$ap_pid" 2>/dev/null && fail "server did not crash within 120s: $(tail -5 "$workdir/ap1.log")"
+st=0
+wait "$ap_pid" || st=$?
+ap_pid=""
+[ "$st" = "70" ] || fail "crashed server exited $st, want the faultinject exit code 70"
+stop_pump
+say "server died with exit code 70 at the armed crash point"
+
+[ -f "$journal" ] || fail "no autopilot journal at $journal"
+grep -q '"state":"published"' "$journal" || fail "journal lacks the published transition"
+grep -q '"state":"shadow-started"' "$journal" && fail "shadow-started was journaled despite the crash point"
+say "journal holds the partial cycle (published, no shadow-started)"
+
+say "run 2: restarting; the journal must resume the interrupted cycle"
+start_autopilot "$workdir/ap2.log"
+ap_pid=$started_pid
+ap_addr=$started_addr
+
+pump_loop "$ap_addr" &
+pump_pid=$!
+
+say "waiting for the resumed cycle to promote"
+status=""
+promoted=""
+for _ in $(seq 1 1200); do
+	status=$(curl -s "http://$ap_addr/v1/autopilot" || true)
+	if printf '%s' "$status" | grep -q '"promoted": *1'; then
+		promoted=yes
+		break
+	fi
+	kill -0 "$ap_pid" 2>/dev/null || fail "server died awaiting promotion: $(tail -5 "$workdir/ap2.log")"
+	sleep 0.1
+done
+[ -n "$promoted" ] || fail "no promotion within 120s; status: $status; log: $(tail -5 "$workdir/ap2.log")"
+stop_pump
+
+grep -q "resuming interrupted cycle" "$workdir/ap2.log" || fail "restart did not resume from the journal"
+grep -q '"outcome":"promoted"' "$journal" || fail "journal lacks the promoted record"
+printf '%s' "$status" | grep -q '"breaker_open": *false' || fail "circuit breaker open after a clean promotion"
+say "resumed cycle promoted with the breaker closed"
+
+curl -fsS "http://$ap_addr/v1/models" >"$workdir/models.json"
+current=$(sed -n 's/.*"current": *"\([^"]*\)".*/\1/p' "$workdir/models.json" | head -n1)
+loaded=$(sed -n 's/.*"loaded": *"\([^"]*\)".*/\1/p' "$workdir/models.json" | head -n1)
+[ -n "$current" ] || fail "no current entry after promotion"
+[ "$current" != "$champion" ] || fail "current pointer still the old champion after promotion"
+[ "$loaded" = "$current" ] || fail "server loaded $loaded but registry current is $current"
+say "promoted entry $current is serving (was $champion)"
+
+say "starting reference server on the retrained model (seed 2)"
+start_server "$workdir/ref.log" -model "$workdir/leaps.model.seed2" -addr 127.0.0.1:0
+ref_pid=$started_pid
+ref_addr=$started_addr
+
+ref_sid=$(open_session "$ref_addr")
+new_sid=$(open_session "$ap_addr")
+[ -n "$ref_sid" ] && [ -n "$new_sid" ] || fail "session creation returned no id"
+post_batch "$ref_addr" "$ref_sid" "$batch_mixed" "$workdir/ref_verdicts.json"
+post_batch "$ap_addr" "$new_sid" "$batch_mixed" "$workdir/new_verdicts.json"
+cmp -s "$workdir/new_verdicts.json" "$workdir/ref_verdicts.json" ||
+	fail "post-promotion verdicts differ from the retrained model's reference"
+say "post-promotion sessions score byte-identically to the retrained model"
+
+say "PASS"
