@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build fmt-check vet test race fuzz-smoke bench bench-compare determinism verify verify-telemetry serve-smoke registry-smoke autopilot-smoke doc-lint
+.PHONY: build fmt-check vet test race fuzz-smoke bench bench-compare determinism verify verify-telemetry serve-smoke registry-smoke autopilot-smoke obs-smoke doc-lint
 
 build:
 	$(GO) build ./...
@@ -27,14 +27,16 @@ fuzz-smoke:
 
 # Measures the pipeline hot paths (parse, featurize, artifacts,
 # select-train, train, gridsearch, detect) and writes
-# BENCH_baseline.json; diff it against the committed baseline to spot
-# perf regressions.
+# BENCH_baseline.json, then drives the in-process serving workload and
+# writes per-endpoint/per-stage p50/p95/p99 latency to BENCH_serve.json;
+# diff both against the committed baselines to spot regressions.
 bench:
-	$(GO) run ./cmd/leaps-bench -perf-baseline BENCH_baseline.json
+	$(GO) run ./cmd/leaps-bench -perf-baseline BENCH_baseline.json -serve-baseline BENCH_serve.json
 
-# Reruns the benchmark suite and fails on >20% ns/op regressions against
-# the committed baseline. Warn-only in verify: absolute timings from the
-# committed baseline's machine don't transfer to arbitrary CI hosts.
+# Reruns both benchmark suites and fails on >20% regressions (ns/op for
+# the pipeline, p95 latency for serving) against the committed
+# baselines. Warn-only in verify: absolute timings from the committed
+# baselines' machine don't transfer to arbitrary CI hosts.
 bench-compare:
 	./scripts/bench-compare.sh
 
@@ -71,10 +73,19 @@ registry-smoke:
 autopilot-smoke:
 	./scripts/autopilot-smoke.sh
 
+# End-to-end smoke test of the observability layer: injects a W3C
+# traceparent over HTTP and asserts the same trace ID in the response
+# header, a /metrics exemplar (lint-clean per scripts/metricslint) and
+# the flight-recorder dumps produced by a forced circuit-breaker trip,
+# SIGQUIT and GET /debug/flightrecorder.
+obs-smoke:
+	./scripts/obs-smoke.sh
+
 # Godoc gate: package comments everywhere under internal/ and cmd/, and
-# doc comments on every exported identifier in internal/serve.
+# doc comments on every exported identifier in internal/serve,
+# internal/registry and internal/telemetry.
 doc-lint:
 	./scripts/doc-lint.sh
 
-verify: build fmt-check vet test race determinism fuzz-smoke doc-lint verify-telemetry serve-smoke registry-smoke autopilot-smoke
+verify: build fmt-check vet test race determinism fuzz-smoke doc-lint verify-telemetry serve-smoke registry-smoke autopilot-smoke obs-smoke
 	./scripts/bench-compare.sh -w

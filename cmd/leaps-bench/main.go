@@ -57,7 +57,9 @@ func run(args []string) error {
 		parallel   = fs.Int("parallel", 0, "per-dataset pipeline worker bound (0 = serial inside datasets; datasets already run concurrently)")
 		perfOut    = fs.String("perf-baseline", "", "benchmark pipeline hot paths and write a JSON baseline to this file")
 		perfCmp    = fs.String("perf-compare", "", "benchmark pipeline hot paths and diff against this committed baseline (fails on >20% ns/op regressions)")
-		perfWarn   = fs.Bool("perf-warn", false, "report -perf-compare regressions as warnings instead of failing")
+		perfWarn   = fs.Bool("perf-warn", false, "report -perf-compare and -serve-compare regressions as warnings instead of failing")
+		serveOut   = fs.String("serve-baseline", "", "drive an in-process serving workload and write per-endpoint p50/p95/p99 latency to this file")
+		serveCmp   = fs.String("serve-compare", "", "drive the serving workload and diff p95 latency against this committed baseline (fails on >20% regressions)")
 		debugAddr  = fs.String("debug-addr", "", "serve /metrics, /spans and pprof on this address while running")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -97,6 +99,18 @@ func run(args []string) error {
 	if *perfCmp != "" {
 		any = true
 		if err := runPerfCompare(*perfCmp, *perfWarn); err != nil {
+			return err
+		}
+	}
+	if *serveOut != "" {
+		any = true
+		if err := runServeBaseline(*serveOut); err != nil {
+			return err
+		}
+	}
+	if *serveCmp != "" {
+		any = true
+		if err := runServeCompare(*serveCmp, *perfWarn); err != nil {
 			return err
 		}
 	}

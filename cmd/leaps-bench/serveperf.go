@@ -1,0 +1,306 @@
+package main
+
+// Serving latency baseline: drives an in-process leaps-serve instance
+// over real HTTP, then reads the server's own latency histograms and
+// reports p50/p95/p99 per endpoint and pipeline stage as JSON
+// (BENCH_serve.json). -serve-compare re-runs the workload and fails on
+// >20% p95 regressions against the committed baseline — the serving
+// SLO artifact next to the pipeline's ns/op one.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/serve"
+	"repro/internal/svm"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/slogx"
+)
+
+// serveWorkload sizes the driven traffic: enough observations that the
+// tail quantiles are populated, small enough to finish in seconds.
+const (
+	serveSessions   = 4
+	serveBatches    = 25 // per session
+	serveBatchSize  = 64 // events per batch
+	serveParallel   = 4
+	serveStatusGets = 50
+)
+
+// serveLatency is one histogram's quantile summary, in milliseconds.
+type serveLatency struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	P50ms float64 `json:"p50_ms"`
+	P95ms float64 `json:"p95_ms"`
+	P99ms float64 `json:"p99_ms"`
+}
+
+// serveBaseline is the file layout of BENCH_serve.json.
+type serveBaseline struct {
+	GeneratedAt string         `json:"generated_at"`
+	GoVersion   string         `json:"go_version"`
+	GOOS        string         `json:"goos"`
+	GOARCH      string         `json:"goarch"`
+	Workload    string         `json:"workload"`
+	Endpoints   []serveLatency `json:"endpoints"`
+	Stages      []serveLatency `json:"stages"`
+}
+
+// quantileRow summarises one histogram snapshot in milliseconds.
+func quantileRow(name string, m telemetry.MetricSnapshot) serveLatency {
+	ms := func(q float64) float64 {
+		v := m.Quantile(q)
+		if math.IsNaN(v) {
+			return 0
+		}
+		return v * 1000
+	}
+	return serveLatency{Name: name, Count: m.Count, P50ms: ms(0.50), P95ms: ms(0.95), P99ms: ms(0.99)}
+}
+
+// runServeSuite trains a small model, serves it in-process, drives the
+// workload over HTTP and summarises the latency histograms.
+func runServeSuite() (*serveBaseline, error) {
+	spec, err := dataset.ByName("vim_reverse_tcp")
+	if err != nil {
+		return nil, err
+	}
+	spec.BenignEvents, spec.MixedEvents, spec.MaliciousEvents = 4000, 2000, 1000
+	logs, err := spec.Generate(7)
+	if err != nil {
+		return nil, err
+	}
+	td, err := core.BuildTrainingData(logs.Benign, logs.Mixed, core.Config{
+		Seed:        7,
+		FixedParams: &svm.Params{Lambda: 8, Kernel: svm.RBFKernel{Sigma2: 2}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	clf, err := td.Train()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		return nil, err
+	}
+	mon, err := core.LoadMonitor(&buf)
+	if err != nil {
+		return nil, err
+	}
+
+	// The quantiles must describe this workload alone, not whatever the
+	// process observed before it.
+	telemetry.Default().Reset()
+
+	srv, err := serve.NewServer(serve.Config{
+		Preloaded: map[string]*core.Monitor{"default": mon},
+		Parallel:  serveParallel,
+		Logger:    slogx.L(), // honours -q
+	})
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_ = srv.Shutdown(ctx)
+		cancel()
+	}()
+	client := ts.Client()
+
+	do := func(method, url string, body any) error {
+		var rd *bytes.Reader
+		if body != nil {
+			blob, err := json.Marshal(body)
+			if err != nil {
+				return err
+			}
+			rd = bytes.NewReader(blob)
+		} else {
+			rd = bytes.NewReader(nil)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			return fmt.Errorf("%s %s: status %d", method, url, resp.StatusCode)
+		}
+		return nil
+	}
+
+	events := serve.EventSpecsOf(logs.Benign.Events)
+	sessSpec := serve.SessionSpecOf(logs.Benign, "")
+	var ids []string
+	for i := 0; i < serveSessions; i++ {
+		blob, err := json.Marshal(sessSpec)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(blob))
+		if err != nil {
+			return nil, err
+		}
+		var info serve.SessionInfo
+		err = json.NewDecoder(resp.Body).Decode(&info)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusCreated || info.ID == "" {
+			return nil, fmt.Errorf("create session: status %d", resp.StatusCode)
+		}
+		ids = append(ids, info.ID)
+	}
+	for b := 0; b < serveBatches; b++ {
+		lo := (b * serveBatchSize) % max(1, len(events)-serveBatchSize)
+		batch := serve.EventBatch{Events: events[lo : lo+serveBatchSize]}
+		for _, id := range ids {
+			if err := do("POST", ts.URL+"/v1/sessions/"+id+"/events", batch); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 0; i < serveStatusGets; i++ {
+		if err := do("GET", ts.URL+"/v1/sessions/"+ids[i%len(ids)], nil); err != nil {
+			return nil, err
+		}
+	}
+
+	base := &serveBaseline{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Workload: fmt.Sprintf("%d sessions x %d batches x %d events, %d status reads",
+			serveSessions, serveBatches, serveBatchSize, serveStatusGets),
+	}
+	for _, m := range telemetry.Default().Snapshot() {
+		switch {
+		case m.Name == "serve_http_seconds":
+			base.Endpoints = append(base.Endpoints, quantileRow(m.LabelValue, m))
+		case m.Name == "serve_queue_wait_seconds",
+			m.Name == "serve_score_seconds",
+			m.Name == "serve_verdict_seconds":
+			base.Stages = append(base.Stages, quantileRow(m.Name, m))
+		}
+	}
+	if len(base.Endpoints) == 0 {
+		return nil, fmt.Errorf("serve bench: no serve_http_seconds observations recorded")
+	}
+	return base, nil
+}
+
+func printServeResults(base *serveBaseline) {
+	fmt.Printf("serve workload: %s\n", base.Workload)
+	for _, rows := range [][]serveLatency{base.Endpoints, base.Stages} {
+		for _, r := range rows {
+			fmt.Printf("%-40s n=%-6d p50=%8.3fms p95=%8.3fms p99=%8.3fms\n",
+				r.Name, r.Count, r.P50ms, r.P95ms, r.P99ms)
+		}
+	}
+}
+
+// runServeBaseline drives the serving workload and writes BENCH_serve.json.
+func runServeBaseline(path string) error {
+	base, err := runServeSuite()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	printServeResults(base)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// serveRegressionThreshold flags fresh p95s slower than baseline by more
+// than this ratio (>20%).
+const serveRegressionThreshold = 1.20
+
+// serveRegressionFloorMs ignores regressions below this absolute p95:
+// sub-millisecond endpoints jitter by multiples on loaded CI machines
+// without meaning anything.
+const serveRegressionFloorMs = 2.0
+
+// runServeCompare re-runs the serving workload and diffs per-endpoint
+// p95 latency against the committed baseline at path.
+func runServeCompare(path string, warnOnly bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var committed serveBaseline
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	old := make(map[string]serveLatency)
+	for _, r := range append(committed.Endpoints, committed.Stages...) {
+		old[r.Name] = r
+	}
+
+	fresh, err := runServeSuite()
+	if err != nil {
+		return err
+	}
+
+	var regressions []string
+	for _, r := range append(fresh.Endpoints, fresh.Stages...) {
+		o, ok := old[r.Name]
+		if !ok {
+			fmt.Printf("%-40s p95=%8.3fms   (new, not in baseline)\n", r.Name, r.P95ms)
+			continue
+		}
+		status := "ok"
+		if o.P95ms > 0 && r.P95ms > serveRegressionFloorMs && r.P95ms/o.P95ms > serveRegressionThreshold {
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: p95 %.3f -> %.3f ms (%.2fx)", r.Name, o.P95ms, r.P95ms, r.P95ms/o.P95ms))
+		}
+		fmt.Printf("%-40s p95=%8.3fms  baseline %8.3fms  %s\n", r.Name, r.P95ms, o.P95ms, status)
+	}
+	if len(regressions) > 0 {
+		msg := fmt.Sprintf("%d serving latency regression(s) vs %s (threshold %.0f%%, floor %.1fms):",
+			len(regressions), path, (serveRegressionThreshold-1)*100, serveRegressionFloorMs)
+		for _, r := range regressions {
+			msg += "\n  " + r
+		}
+		if warnOnly {
+			fmt.Fprintln(os.Stderr, "warning:", msg)
+			return nil
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	fmt.Printf("no serving latency regressions vs %s\n", path)
+	return nil
+}

@@ -75,6 +75,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/registry"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 	"repro/internal/telemetry/slogx"
 )
 
@@ -152,6 +153,10 @@ func run(args []string, ready chan<- string) error {
 		apTrigger  = fs.Uint64("autopilot-trigger", 5000, "new verdict windows that trigger a retraining cycle")
 		apState    = fs.String("autopilot-state", "", "autopilot journal directory (default <registry>/autopilot)")
 		apShadowTO = fs.Duration("autopilot-shadow-timeout", 10*time.Minute, "max wait for shadow evidence before the gate judges what it has")
+		apRetries  = fs.Int("autopilot-retries", 0, "retries per failed autopilot stage (0 = default 2, negative = no retries)")
+		apBackoff  = fs.Duration("autopilot-backoff", 0, "base retry backoff (0 = default 500ms)")
+		apBreaker  = fs.Int("autopilot-breaker", 0, "consecutive failed cycles that trip the circuit breaker (0 = default 3)")
+		flightDir  = fs.String("flight-dir", "", "directory for flight-recorder dumps (default -spool, else <registry>/flightrec; empty without either disables dumps)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -163,6 +168,24 @@ func run(args []string, ready chan<- string) error {
 	if len(models) == 0 && *regDir == "" {
 		return fmt.Errorf("missing -model (or -registry)")
 	}
+	// Flight-recorder dumps land next to the server's other durable state
+	// unless -flight-dir points elsewhere. With neither a spool nor a
+	// registry configured there is no state dir at all; dumps stay off.
+	switch {
+	case *flightDir != "":
+		telemetry.SetFlightDir(*flightDir)
+	case *spool != "":
+		telemetry.SetFlightDir(*spool)
+	case *regDir != "":
+		telemetry.SetFlightDir(filepath.Join(*regDir, "flightrec"))
+	}
+	// A crash-point exit is precisely when the recent-history ring matters
+	// most: dump it on the way down.
+	faultinject.SetExitHook(func(point string) {
+		if path := telemetry.DumpFlight("crashpoint-" + point); path != "" {
+			slogx.Warn("flight recorder dumped before crash-point exit", "point", point, "dump", path)
+		}
+	})
 	var store *registry.Store
 	if *regDir != "" {
 		st, err := registry.Open(*regDir)
@@ -198,13 +221,16 @@ func run(args []string, ready chan<- string) error {
 				Lenient:    *apLenient,
 				Parallel:   *parallel,
 			},
-			Gate:          gate,
-			StateDir:      stateDir,
-			Interval:      *apInterval,
-			TriggerEvents: *apTrigger,
-			ShadowTimeout: *apShadowTO,
-			Seed:          *apSeed,
-			Logger:        slogx.L(),
+			Gate:             gate,
+			StateDir:         stateDir,
+			Interval:         *apInterval,
+			TriggerEvents:    *apTrigger,
+			ShadowTimeout:    *apShadowTO,
+			StageRetries:     *apRetries,
+			BackoffBase:      *apBackoff,
+			BreakerThreshold: *apBreaker,
+			Seed:             *apSeed,
+			Logger:           slogx.L(),
 		})
 		if err != nil {
 			return err
@@ -256,7 +282,7 @@ func run(args []string, ready chan<- string) error {
 	}
 
 	sigs := make(chan os.Signal, 2)
-	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT, syscall.SIGHUP)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT, syscall.SIGHUP, syscall.SIGQUIT)
 	defer signal.Stop(sigs)
 	for {
 		select {
@@ -267,6 +293,16 @@ func run(args []string, ready chan<- string) error {
 				slogx.Info("SIGHUP: reloading models")
 				if err := srv.Reload(); err != nil {
 					slogx.Warn("model reload incomplete", "err", err.Error())
+				}
+				continue
+			}
+			if sig == syscall.SIGQUIT {
+				// The operator's "what is it doing right now" signal: dump
+				// the flight recorder and keep serving.
+				if path := telemetry.DumpFlight("sigquit"); path != "" {
+					slogx.Info("SIGQUIT: flight recorder dumped", "dump", path)
+				} else {
+					slogx.Warn("SIGQUIT: no flight directory configured; dump skipped")
 				}
 				continue
 			}

@@ -28,10 +28,13 @@ import (
 	"context"
 	"errors"
 	"log/slog"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/registry"
+	"repro/internal/telemetry"
 )
 
 // Serving is what the autopilot needs from the serving subsystem:
@@ -233,6 +236,43 @@ type Controller struct {
 	stopOnce sync.Once
 	ctx      context.Context // cancelled by Stop; handed to the Trainer
 	cancel   context.CancelFunc
+
+	// cycleTrace is the executing cycle's trace ID, stamped on every
+	// journal transition's flight entry so one trace follows a retrain
+	// cycle end to end. Atomic because journalAppend runs both with and
+	// without c.mu held.
+	cycleTrace atomic.Pointer[string]
+}
+
+// journalAppend commits one journal transition and mirrors it into the
+// telemetry flight recorder (kind "autopilot"), stamped with the
+// executing cycle's trace ID when one is set.
+func (c *Controller) journalAppend(rec Record) error {
+	err := c.jrn.append(rec)
+	var trace string
+	if p := c.cycleTrace.Load(); p != nil {
+		trace = *p
+	}
+	attrs := map[string]string{}
+	if rec.Cycle != 0 {
+		attrs["cycle"] = strconv.Itoa(rec.Cycle)
+	}
+	if rec.Entry != "" {
+		attrs["entry"] = rec.Entry
+	}
+	if rec.Outcome != "" {
+		attrs["outcome"] = rec.Outcome
+	}
+	if rec.Note != "" {
+		attrs["note"] = rec.Note
+	}
+	if err != nil {
+		attrs["journal_error"] = err.Error()
+	}
+	telemetry.RecordFlight(telemetry.FlightEntry{
+		Kind: "autopilot", Name: rec.State, Trace: trace, Attrs: attrs,
+	})
+	return err
 }
 
 // New opens (or resumes) a controller over the journal in
@@ -410,7 +450,7 @@ func (c *Controller) Pause(reason string) error {
 		c.pauseRsn = reason
 		return nil
 	}
-	if err := c.jrn.append(Record{State: statePaused, Note: reason}); err != nil {
+	if err := c.journalAppend(Record{State: statePaused, Note: reason}); err != nil {
 		return err
 	}
 	c.paused, c.pauseRsn = true, reason
@@ -427,7 +467,7 @@ func (c *Controller) Resume() error {
 		c.mu.Unlock()
 		return nil
 	}
-	if err := c.jrn.append(Record{State: stateResumed}); err != nil {
+	if err := c.journalAppend(Record{State: stateResumed}); err != nil {
 		c.mu.Unlock()
 		return err
 	}
@@ -438,7 +478,7 @@ func (c *Controller) Resume() error {
 	if wasBreaker {
 		// Best-effort informational record; the resumed record above
 		// already reset the derived breaker state.
-		if err := c.jrn.append(Record{State: stateBreakerClosed}); err != nil {
+		if err := c.journalAppend(Record{State: stateBreakerClosed}); err != nil {
 			c.cfg.Logger.Warn("autopilot: journaling breaker-closed", "error", err)
 		}
 	}

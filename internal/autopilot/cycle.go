@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/registry"
+	"repro/internal/telemetry"
 )
 
 // Cycle stages, the resume granularity: the journal's last record maps
@@ -59,7 +60,13 @@ func (c *Controller) RunCycle() (Result, error) {
 	c.incomplete = nil
 	c.running = true
 	c.mu.Unlock()
+	// One trace ID per cycle execution: every journal transition, span
+	// and flight entry the cycle produces carries it, so a promotion (or
+	// a breaker trip) is reconstructible as a single trace.
+	trace := telemetry.NewTraceID().String()
+	c.cycleTrace.Store(&trace)
 	defer func() {
+		c.cycleTrace.Store(nil)
 		c.mu.Lock()
 		c.running = false
 		c.phase = "idle"
@@ -132,7 +139,7 @@ func (c *Controller) runCycle(rp *resumePoint) (Result, error) {
 		c.lastCycle = res.Cycle
 		c.mu.Unlock()
 		verdicts, _ := c.serving().TrafficStats()
-		if err := c.jrn.append(Record{Cycle: res.Cycle, State: stateCycleStart, Baseline: verdicts}); err != nil {
+		if err := c.journalAppend(Record{Cycle: res.Cycle, State: stateCycleStart, Baseline: verdicts}); err != nil {
 			return res, err
 		}
 		c.mu.Lock()
@@ -175,7 +182,7 @@ func (c *Controller) runCycle(rp *resumePoint) (Result, error) {
 			return c.finishCycle(res, entry, OutcomeUnchanged,
 				"candidate reproduces the serving champion", nil)
 		}
-		if err := c.jrn.append(Record{Cycle: res.Cycle, State: statePublished, Entry: entry}); err != nil {
+		if err := c.journalAppend(Record{Cycle: res.Cycle, State: statePublished, Entry: entry}); err != nil {
 			return res, err
 		}
 		stage = stageShadow
@@ -197,7 +204,7 @@ func (c *Controller) runCycle(rp *resumePoint) (Result, error) {
 		}); err != nil {
 			return res, err
 		}
-		if err := c.jrn.append(Record{Cycle: res.Cycle, State: stateShadowStarted, Entry: entry}); err != nil {
+		if err := c.journalAppend(Record{Cycle: res.Cycle, State: stateShadowStarted, Entry: entry}); err != nil {
 			srv.StopShadow()
 			return res, err
 		}
@@ -212,7 +219,7 @@ func (c *Controller) runCycle(rp *resumePoint) (Result, error) {
 		if !d.OK {
 			out, note = OutcomeRejected, strings.Join(d.Reasons, "; ")
 		}
-		if err := c.jrn.append(Record{Cycle: res.Cycle, State: stateEvaluated, Entry: entry, Outcome: out, Note: note}); err != nil {
+		if err := c.journalAppend(Record{Cycle: res.Cycle, State: stateEvaluated, Entry: entry, Outcome: out, Note: note}); err != nil {
 			srv.StopShadow()
 			return res, err
 		}
@@ -246,7 +253,7 @@ func (c *Controller) runCycle(rp *resumePoint) (Result, error) {
 		}); err != nil {
 			return res, err
 		}
-		if err := c.jrn.append(Record{Cycle: res.Cycle, State: statePromoted, Entry: entry}); err != nil {
+		if err := c.journalAppend(Record{Cycle: res.Cycle, State: statePromoted, Entry: entry}); err != nil {
 			return res, err
 		}
 		return c.finishCycle(res, entry, OutcomePromoted, resumeNote, decision)
@@ -275,7 +282,7 @@ func (c *Controller) finishCycle(res Result, entry, outcome, note string, d *reg
 	res.Entry = entry
 	res.Outcome = outcome
 	res.Decision = d
-	if err := c.jrn.append(Record{Cycle: res.Cycle, State: stateCycleDone, Entry: entry, Outcome: outcome, Note: note}); err != nil {
+	if err := c.journalAppend(Record{Cycle: res.Cycle, State: stateCycleDone, Entry: entry, Outcome: outcome, Note: note}); err != nil {
 		return res, err
 	}
 	mCycles.With(outcome).Inc()
@@ -301,7 +308,7 @@ func (c *Controller) finishCycle(res Result, entry, outcome, note string, d *reg
 // failCycle records a failed cycle and advances the circuit breaker.
 func (c *Controller) failCycle(cycle int, entry string, cause error) {
 	note := cause.Error()
-	if err := c.jrn.append(Record{Cycle: cycle, State: stateCycleDone, Outcome: OutcomeFailed, Entry: entry, Note: note}); err != nil {
+	if err := c.journalAppend(Record{Cycle: cycle, State: stateCycleDone, Outcome: OutcomeFailed, Entry: entry, Note: note}); err != nil {
 		// The journal itself is failing; the cycle stays mid-flight on
 		// disk and will be resumed rather than counted.
 		c.cfg.Logger.Error("autopilot: journaling failed cycle", "cycle", cycle, "error", err)
@@ -322,9 +329,17 @@ func (c *Controller) failCycle(cycle int, entry string, cause error) {
 		"consecutive_failures", n)
 	if trip {
 		setGauge(mBreakerOpen, true)
-		if err := c.jrn.append(Record{State: stateBreakerOpen,
+		if err := c.journalAppend(Record{State: stateBreakerOpen,
 			Note: fmt.Sprintf("%d consecutive failed cycles", n)}); err != nil {
 			c.cfg.Logger.Warn("autopilot: journaling breaker-open", "error", err)
+		}
+		// The breaker opening is a capture-now moment: persist the flight
+		// recorder next to the journal so the failure run's recent spans,
+		// logs and transitions survive for the post-mortem.
+		if path, err := telemetry.DumpFlightTo(c.cfg.StateDir, "breaker-trip"); err != nil {
+			c.cfg.Logger.Warn("autopilot: writing breaker-trip flight dump", "error", err)
+		} else {
+			c.cfg.Logger.Info("flight recorder dumped on breaker trip", "dump", path)
 		}
 		c.cfg.Logger.Error("autopilot circuit breaker tripped; serving continues on champion only",
 			"consecutive_failures", n, "threshold", c.cfg.BreakerThreshold)

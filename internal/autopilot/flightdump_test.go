@@ -1,0 +1,82 @@
+package autopilot
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/registry"
+	"repro/internal/telemetry"
+)
+
+// TestBreakerTripDumpsFlightRecorder forces consecutive cycle failures
+// until the circuit breaker opens and asserts the capture-now artifact:
+// a flight-recorder dump in the state dir whose entries include the
+// failing cycles' journal transitions, each stamped with its cycle's
+// trace ID.
+func TestBreakerTripDumpsFlightRecorder(t *testing.T) {
+	fx := newFixture(t, TrainerFunc(func(context.Context) ([]byte, registry.TrainInfo, error) {
+		return nil, registry.TrainInfo{}, errors.New("training backend down")
+	}))
+	fx.cfg.StageRetries = -1 // no retries: each RunCycle fails once
+	ctl := fx.controller(t)
+
+	for i := 0; i < fx.cfg.BreakerThreshold; i++ {
+		if _, err := ctl.RunCycle(); err == nil {
+			t.Fatalf("cycle %d succeeded with a broken trainer", i+1)
+		}
+	}
+	if st := ctl.Snapshot(); !st.BreakerOpen {
+		t.Fatalf("breaker not open: %+v", st)
+	}
+
+	matches, err := filepath.Glob(filepath.Join(fx.cfg.StateDir, "flight-breaker-trip-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("found %d breaker-trip dumps in %s, want 1", len(matches), fx.cfg.StateDir)
+	}
+	blob, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump telemetry.FlightDump
+	if err := json.Unmarshal(blob, &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if dump.Reason != "breaker-trip" {
+		t.Fatalf("dump reason = %q, want breaker-trip", dump.Reason)
+	}
+
+	// The journal transitions of the failing cycles must be in the dump,
+	// each carrying its cycle's trace so the post-mortem reads as traces.
+	traces := map[string]bool{}
+	states := map[string]bool{}
+	for _, e := range dump.Entries {
+		if e.Kind != "autopilot" {
+			continue
+		}
+		states[e.Name] = true
+		switch e.Name {
+		case statePaused, stateResumed, stateBreakerClosed:
+			continue // journaled outside any cycle: no trace to carry
+		}
+		if e.Trace == "" {
+			t.Fatalf("autopilot flight entry %q has no cycle trace", e.Name)
+		}
+		traces[e.Trace] = true
+	}
+	for _, want := range []string{stateCycleStart, stateCycleDone, stateBreakerOpen} {
+		if !states[want] {
+			t.Errorf("dump records no %q transition (got %v)", want, states)
+		}
+	}
+	if len(traces) < fx.cfg.BreakerThreshold {
+		t.Errorf("dump holds %d distinct cycle traces, want >= %d (one per failed cycle)",
+			len(traces), fx.cfg.BreakerThreshold)
+	}
+}

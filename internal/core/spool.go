@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/telemetry"
 )
 
 // Checkpoint spool: a directory holding one checkpoint file per live
@@ -75,6 +77,9 @@ func WriteSpoolCheckpoint(dir, id string, s *StreamDetector) (err error) {
 	if err = os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("core: publishing spool checkpoint: %w", err)
 	}
+	telemetry.RecordFlight(telemetry.FlightEntry{
+		Kind: "spool", Name: "checkpoint", Attrs: map[string]string{"session": id},
+	})
 	return nil
 }
 
@@ -89,6 +94,9 @@ func OpenSpoolCheckpoint(dir, id string) (io.ReadCloser, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: opening spool checkpoint: %w", err)
 	}
+	telemetry.RecordFlight(telemetry.FlightEntry{
+		Kind: "spool", Name: "restore", Attrs: map[string]string{"session": id},
+	})
 	return f, nil
 }
 

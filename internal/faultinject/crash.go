@@ -68,7 +68,24 @@ var (
 	points  map[string]*armed
 	// armedCount keeps the disarmed Step fast: one atomic load, no lock.
 	armedCount atomic.Int32
+	// exitHook runs just before an environment-armed crash point kills
+	// the process (see SetExitHook).
+	exitHook atomic.Pointer[func(point string)]
 )
+
+// SetExitHook installs fn to run immediately before an armExit crash
+// point terminates the process. Binaries use it to flush last-moment
+// diagnostics — leaps-serve dumps the telemetry flight recorder — in
+// the narrow window a simulated crash still allows. The hook must not
+// block; a nil fn clears it. What to flush is the binary's policy, so
+// the hook is injected from main rather than hard-wired here.
+func SetExitHook(fn func(point string)) {
+	if fn == nil {
+		exitHook.Store(nil)
+		return
+	}
+	exitHook.Store(&fn)
+}
 
 func arm(point string, a *armed) {
 	pointMu.Lock()
@@ -175,6 +192,9 @@ func Step(point string) error {
 		panic(&CrashPanic{Point: point})
 	case armExit:
 		fmt.Fprintf(os.Stderr, "faultinject: crash point %q reached; exiting %d\n", point, CrashExitCode)
+		if fn := exitHook.Load(); fn != nil {
+			(*fn)(point)
+		}
 		os.Exit(CrashExitCode)
 	}
 	return err

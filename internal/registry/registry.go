@@ -259,6 +259,10 @@ func (s *Store) Publish(r io.Reader, train TrainInfo) (Manifest, error) {
 		return Manifest{}, fmt.Errorf("registry: writing manifest: %w", err)
 	}
 	mPublishes.Inc()
+	telemetry.RecordFlight(telemetry.FlightEntry{
+		Kind: "registry", Name: "publish",
+		Attrs: map[string]string{"entry": id, "parent": parent},
+	})
 
 	if _, ok, err := s.Current(); err == nil && !ok {
 		if _, err := s.SetCurrent(id, "initial publish"); err != nil {
@@ -399,6 +403,10 @@ func (s *Store) Promote(id, reason string) (Transition, error) {
 	tr, err := s.SetCurrent(id, reason)
 	if err == nil {
 		mPromotions.Inc()
+		telemetry.RecordFlight(telemetry.FlightEntry{
+			Kind: "registry", Name: "promote",
+			Attrs: map[string]string{"entry": id, "from": tr.From, "reason": reason},
+		})
 	}
 	return tr, err
 }
@@ -409,6 +417,10 @@ func (s *Store) Rollback(id, reason string) (Transition, error) {
 	tr, err := s.SetCurrent(id, reason)
 	if err == nil {
 		mRollbacks.Inc()
+		telemetry.RecordFlight(telemetry.FlightEntry{
+			Kind: "registry", Name: "rollback",
+			Attrs: map[string]string{"entry": id, "from": tr.From, "reason": reason},
+		})
 	}
 	return tr, err
 }

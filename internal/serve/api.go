@@ -319,7 +319,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, IngestResult{Verdicts: []Verdict{}})
 		return
 	}
-	b := &ingestBatch{events: events, enq: time.Now(), done: make(chan ingestReply, 1)}
+	b := &ingestBatch{
+		events: events,
+		enq:    time.Now(),
+		trace:  telemetry.TraceIDFrom(r.Context()),
+		done:   make(chan ingestReply, 1),
+	}
 	schedule, err := sess.enqueue(b, s.cfg.QueueDepth)
 	if errors.Is(err, ErrSessionClosed) {
 		// The session was evicted between lookup and enqueue; restore it

@@ -26,4 +26,10 @@ var (
 		"window verdicts produced across all sessions")
 	mModelReloads = telemetry.NewCounter("serve_model_reloads_total",
 		"successful hot reloads of the model set")
+	mHTTPSeconds = telemetry.NewHistogramVec("serve_http_seconds",
+		"HTTP request latency by route", "route", telemetry.DurationBuckets())
+	mQueueWaitSeconds = telemetry.NewHistogram("serve_queue_wait_seconds",
+		"latency from batch acceptance to worker pickup", telemetry.DurationBuckets())
+	mScoreSeconds = telemetry.NewHistogram("serve_score_seconds",
+		"detector scoring time per batch", telemetry.DurationBuckets())
 )

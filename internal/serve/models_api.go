@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/registry"
+	"repro/internal/telemetry"
 )
 
 // ModelsInfo is the JSON body of GET /v1/models: the registry-backed
@@ -250,6 +252,18 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 		cmp := c.Status()
 		d := s.cfg.Gate.Decide(cmp)
 		if !d.OK {
+			// A gate rejection is exactly the moment an operator wants the
+			// recent-history ring preserved: dump it before answering.
+			telemetry.RecordFlight(telemetry.FlightEntry{
+				Kind:  "gate",
+				Name:  req.ID,
+				Trace: telemetry.TraceIDFrom(r.Context()),
+				Attrs: map[string]string{"decision": "rejected", "reasons": strings.Join(d.Reasons, "; ")},
+			})
+			if path := telemetry.DumpFlight("gate-rejected"); path != "" {
+				s.cfg.Logger.Warn("promotion gate rejected; flight recorder dumped",
+					"entry", req.ID, "dump", path)
+			}
 			writeJSON(w, http.StatusConflict, promoteRejection{
 				Error: "promotion gate rejected " + req.ID, Decision: d,
 			})

@@ -31,6 +31,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/registry"
+	"repro/internal/telemetry"
 )
 
 // Config parameterises a Server. The zero value of every limit selects a
@@ -263,9 +265,10 @@ func loadMonitorFile(path string) (*core.Monitor, error) {
 	return core.LoadMonitor(f)
 }
 
-// Handler returns the server's HTTP API: the five /v1 session endpoints,
-// /healthz, /readyz and the telemetry introspection surface.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP API — the /v1 endpoints, health
+// probes and telemetry introspection surface — wrapped in the tracing
+// middleware, so every request carries a trace ID end to end.
+func (s *Server) Handler() http.Handler { return s.traced(s.mux) }
 
 // Reload re-reads every reloadable model — path-backed bundles from
 // their configured paths, the registry-backed model from the registry's
@@ -401,7 +404,10 @@ func (s *Server) runTurn(sess *session) {
 		if !ok {
 			return
 		}
+		mQueueWaitSeconds.ObserveTraced(time.Since(b.enq).Seconds(), b.trace)
+		scoreStart := time.Now()
 		rep := sess.score(b)
+		mScoreSeconds.ObserveTraced(time.Since(scoreStart).Seconds(), b.trace)
 		b.done <- rep
 		if rep.err == nil && len(rep.verdicts) > 0 {
 			var mal uint64
@@ -412,6 +418,16 @@ func (s *Server) runTurn(sess *session) {
 			}
 			s.trafficVerdicts.Add(uint64(len(rep.verdicts)))
 			s.trafficMalicious.Add(mal)
+			telemetry.RecordFlight(telemetry.FlightEntry{
+				Kind:  "verdict",
+				Name:  sess.id,
+				Trace: b.trace,
+				Attrs: map[string]string{
+					"model":     sess.model,
+					"verdicts":  strconv.Itoa(len(rep.verdicts)),
+					"malicious": strconv.FormatUint(mal, 10),
+				},
+			})
 		}
 		s.shadowOffer(sess, b, rep)
 		if budget -= len(b.events); budget <= 0 {
@@ -436,6 +452,12 @@ func (s *Server) shadowOffer(sess *session, b *ingestBatch, rep ingestReply) {
 		flags[i] = v.Malicious
 	}
 	c.Offer(sess.id, sess.mm, b.events, flags)
+	telemetry.RecordFlight(telemetry.FlightEntry{
+		Kind:  "shadow",
+		Name:  sess.id,
+		Trace: b.trace,
+		Attrs: map[string]string{"events": strconv.Itoa(len(b.events))},
+	})
 }
 
 // janitor periodically checkpoints idle sessions to the spool and evicts

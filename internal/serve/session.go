@@ -33,6 +33,10 @@ type ingestReply struct {
 type ingestBatch struct {
 	events []trace.Event
 	enq    time.Time
+	// trace is the originating request's trace ID; it follows the batch
+	// across the queue hand-off so worker-side observations and flight
+	// entries join up with the HTTP request that carried the events.
+	trace string
 	// done is buffered so the scoring worker never blocks on a waiter
 	// that timed out and walked away.
 	done chan ingestReply
@@ -135,7 +139,7 @@ func (s *session) score(b *ingestBatch) ingestReply {
 		}
 		s.mu.Unlock()
 	}
-	mVerdictSeconds.Observe(time.Since(b.enq).Seconds())
+	mVerdictSeconds.ObserveTraced(time.Since(b.enq).Seconds(), b.trace)
 	return rep
 }
 

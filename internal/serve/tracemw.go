@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// statusWriter captures the response status so the tracing middleware
+// can label its flight entries and latency observations with it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// traced wraps the API mux with the request-tracing middleware: every
+// request gets a TraceContext — adopted from an incoming traceparent
+// header or freshly minted — threaded through the request context so
+// spans, flight entries and exemplars downstream carry the same trace
+// ID. The server's own span context is echoed back in the response's
+// traceparent header, per-route latency lands in serve_http_seconds
+// with the trace ID as the bucket exemplar, and the request completion
+// is recorded in the flight recorder (kind "http").
+func (s *Server) traced(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var tc telemetry.TraceContext
+		if parent, ok := telemetry.ParseTraceParent(r.Header.Get("traceparent")); ok {
+			tc = parent.Child()
+		} else {
+			tc = telemetry.TraceContext{Trace: telemetry.NewTraceID(), Span: telemetry.NewSpanID()}
+		}
+		ctx := telemetry.WithTraceContext(r.Context(), tc)
+		w.Header().Set("traceparent", tc.TraceParent())
+
+		// Resolve the mux pattern without dispatching, so the route label
+		// is the registered template ("POST /v1/sessions/{id}/events"),
+		// never a raw path that would explode label cardinality.
+		route := r.URL.Path
+		if _, pattern := s.mux.Handler(r); pattern != "" {
+			route = pattern
+		}
+
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		d := time.Since(start)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		mHTTPSeconds.With(route).ObserveTraced(d.Seconds(), tc.Trace.String())
+		telemetry.RecordFlight(telemetry.FlightEntry{
+			Kind:  "http",
+			Name:  route,
+			Trace: tc.Trace.String(),
+			Dur:   d,
+			Attrs: map[string]string{
+				"method": r.Method,
+				"status": strconv.Itoa(sw.status),
+			},
+		})
+	})
+}

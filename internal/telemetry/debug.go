@@ -25,10 +25,11 @@ func publishExpvar() {
 
 // Handler returns the debug surface the CLIs serve behind -debug-addr:
 //
-//	/metrics          registry in Prometheus text form (?format=json for JSON)
-//	/spans            span table as an indented tree (?format=json for JSON)
-//	/debug/vars       expvar, including the combined snapshot
-//	/debug/pprof/...  net/http/pprof profiles
+//	/metrics               registry in Prometheus text form (?format=json for JSON)
+//	/spans                 span table as an indented tree (?format=json for JSON)
+//	/debug/flightrecorder  flight-recorder ring as a JSON dump
+//	/debug/vars            expvar, including the combined snapshot
+//	/debug/pprof/...       net/http/pprof profiles
 func Handler() http.Handler {
 	mux := http.NewServeMux()
 	Register(mux)
@@ -40,14 +41,16 @@ func Handler() http.Handler {
 		fmt.Fprintln(w, "leaps debug endpoints:")
 		fmt.Fprintln(w, "  /metrics        (?format=json)")
 		fmt.Fprintln(w, "  /spans          (?format=json)")
+		fmt.Fprintln(w, "  /debug/flightrecorder")
 		fmt.Fprintln(w, "  /debug/vars")
 		fmt.Fprintln(w, "  /debug/pprof/")
 	})
 	return mux
 }
 
-// Register mounts the debug endpoints (/metrics, /spans, /debug/vars,
-// /debug/pprof/*) on an existing mux, so servers with their own API
+// Register mounts the debug endpoints (/metrics, /spans,
+// /debug/flightrecorder, /debug/vars, /debug/pprof/*) on an existing
+// mux, so servers with their own API
 // surface — leaps-serve — can expose the introspection endpoints on the
 // same listener instead of a separate -debug-addr one.
 func Register(mux *http.ServeMux) {
@@ -75,6 +78,10 @@ func Register(mux *http.ServeMux) {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = WriteSpansText(w, spans)
+	})
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteFlightDump(w, "on-demand")
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderKeepsNewestEntries(t *testing.T) {
+	var f FlightRecorder
+	const total = flightSlots + 100
+	for i := 0; i < total; i++ {
+		f.Record(FlightEntry{Kind: "test", Name: strconv.Itoa(i)})
+	}
+	if f.Len() != total {
+		t.Fatalf("Len = %d, want %d", f.Len(), total)
+	}
+	got := f.Snapshot()
+	if len(got) != flightSlots {
+		t.Fatalf("snapshot holds %d entries, want ring capacity %d", len(got), flightSlots)
+	}
+	for i, e := range got {
+		want := strconv.Itoa(total - flightSlots + i)
+		if e.Name != want {
+			t.Fatalf("entry %d is %q, want %q (oldest first)", i, e.Name, want)
+		}
+		if e.Time.IsZero() {
+			t.Fatalf("entry %d has no timestamp stamped", i)
+		}
+	}
+}
+
+// TestFlightRecorderConcurrent hammers the ring from many writers while
+// a reader snapshots (run under -race): no write may be lost from the
+// total count and every surfaced entry must be intact.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	var f FlightRecorder
+	const writers, perWriter = 8, 1000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, e := range f.Snapshot() {
+					if e.Kind != "w" {
+						panic("torn flight entry: " + e.Kind)
+					}
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				f.Record(FlightEntry{Kind: "w", Name: fmt.Sprintf("%d-%d", w, i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if f.Len() != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", f.Len(), writers*perWriter)
+	}
+	if got := len(f.Snapshot()); got != flightSlots {
+		t.Fatalf("snapshot holds %d entries, want full ring %d", got, flightSlots)
+	}
+}
+
+func TestFlightRecorderReset(t *testing.T) {
+	var f FlightRecorder
+	f.Record(FlightEntry{Kind: "test", Name: "a"})
+	f.Reset()
+	if f.Len() != 0 || len(f.Snapshot()) != 0 {
+		t.Fatal("Reset left entries behind")
+	}
+}
+
+func TestWriteFlightDump(t *testing.T) {
+	flight.Reset()
+	defer flight.Reset()
+	RecordFlight(FlightEntry{Kind: "test", Name: "dumped", Trace: "deadbeef"})
+	var buf bytes.Buffer
+	if err := WriteFlightDump(&buf, "unit-test"); err != nil {
+		t.Fatal(err)
+	}
+	var dump FlightDump
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if dump.Reason != "unit-test" || dump.DumpedAt.IsZero() {
+		t.Fatalf("dump header wrong: %+v", dump)
+	}
+	if len(dump.Entries) != 1 || dump.Entries[0].Name != "dumped" || dump.Entries[0].Trace != "deadbeef" {
+		t.Fatalf("dump entries wrong: %+v", dump.Entries)
+	}
+}
+
+func TestDumpFlightToSanitizesReason(t *testing.T) {
+	flight.Reset()
+	defer flight.Reset()
+	RecordFlight(FlightEntry{Kind: "test", Name: "x"})
+	dir := t.TempDir()
+	path, err := DumpFlightTo(dir, "crashpoint-serve/spool/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Base(path)
+	if filepath.Dir(path) != dir {
+		t.Fatalf("dump %q landed outside %q", path, dir)
+	}
+	if want := "flight-crashpoint-serve-spool-checkpoint-"; len(base) < len(want) || base[:len(want)] != want {
+		t.Fatalf("dump filename %q not sanitized", base)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump FlightDump
+	if err := json.Unmarshal(blob, &dump); err != nil {
+		t.Fatal(err)
+	}
+	// The reason inside the dump stays verbatim.
+	if dump.Reason != "crashpoint-serve/spool/checkpoint" {
+		t.Fatalf("dump reason %q not verbatim", dump.Reason)
+	}
+}
+
+func TestDumpFlightNoDirIsNoop(t *testing.T) {
+	old := FlightDir()
+	defer SetFlightDir(old)
+	SetFlightDir("")
+	if path := DumpFlight("anything"); path != "" {
+		t.Fatalf("DumpFlight with no dir wrote %q", path)
+	}
+	dir := t.TempDir()
+	SetFlightDir(dir)
+	path := DumpFlight("configured")
+	if path == "" {
+		t.Fatal("DumpFlight with a dir configured wrote nothing")
+	}
+	if filepath.Dir(path) != dir {
+		t.Fatalf("dump %q landed outside %q", path, dir)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // disabled is the process-wide kill switch. The zero value means enabled,
@@ -117,6 +118,22 @@ func (r *Registry) CounterVec(name, help, label string) *CounterVec {
 	return v
 }
 
+// HistogramVec returns the named histogram family keyed by one label,
+// creating it with the given bucket layout if needed.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	m := r.register(name, func() metric {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		return &HistogramVec{name: name, help: help, label: label, bounds: b,
+			children: make(map[string]*Histogram)}
+	})
+	v, ok := m.(*HistogramVec)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as %T", name, m))
+	}
+	return v
+}
+
 // Reset zeroes every instrument in the registry (labeled children are
 // dropped entirely). Meant for tests and for CLIs separating runs.
 func (r *Registry) Reset() {
@@ -129,14 +146,14 @@ func (r *Registry) Reset() {
 		case *Gauge:
 			m.bits.Store(0)
 		case *Histogram:
-			for i := range m.counts {
-				m.counts[i].Store(0)
-			}
-			m.sumBits.Store(0)
-			m.count.Store(0)
+			m.reset()
 		case *CounterVec:
 			m.mu.Lock()
 			m.children = make(map[string]*Counter)
+			m.mu.Unlock()
+		case *HistogramVec:
+			m.mu.Lock()
+			m.children = make(map[string]*Histogram)
 			m.mu.Unlock()
 		}
 	}
@@ -181,6 +198,12 @@ func NewHistogram(name, help string, bounds []float64) *Histogram {
 // registry.
 func NewCounterVec(name, help, label string) *CounterVec {
 	return Default().CounterVec(name, help, label)
+}
+
+// NewHistogramVec registers a labeled histogram family on the default
+// registry.
+func NewHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	return Default().HistogramVec(name, help, label, bounds)
 }
 
 // Counter is a monotonically increasing uint64.
@@ -250,13 +273,29 @@ func (g *Gauge) snapshot() []MetricSnapshot {
 	return []MetricSnapshot{{Name: g.name, Kind: "gauge", Help: g.help, Value: g.Value()}}
 }
 
+// Exemplar is one sampled observation annotated with the trace it came
+// from — the join key between a latency histogram bucket and the
+// request that landed in it.
+type Exemplar struct {
+	// Value is the observed value.
+	Value float64 `json:"value"`
+	// TraceID is the hex trace ID of the observing request.
+	TraceID string `json:"trace_id"`
+	// Time is when the observation was recorded.
+	Time time.Time `json:"time"`
+}
+
 // Histogram counts observations into a fixed ascending bucket layout.
 // Bucket counts are non-cumulative internally and cumulated at snapshot
-// time, Prometheus-style.
+// time, Prometheus-style. Each bucket keeps the most recent traced
+// observation as its exemplar.
 type Histogram struct {
 	name, help string
+	labelKey   string
+	labelVal   string
 	bounds     []float64 // ascending upper bounds; implicit +Inf after
 	counts     []atomic.Uint64
+	exemplars  []atomic.Pointer[Exemplar]
 	sumBits    atomic.Uint64
 	count      atomic.Uint64
 }
@@ -269,7 +308,18 @@ func newHistogram(name, help string, bounds []float64) *Histogram {
 	}
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
-	return &Histogram{name: name, help: help, bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	return &Histogram{name: name, help: help, bounds: b,
+		counts:    make([]atomic.Uint64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1)}
+}
+
+// bucketIndex returns which bucket v lands in.
+func (h *Histogram) bucketIndex(v float64) int {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	return i
 }
 
 // Observe records one value.
@@ -277,11 +327,7 @@ func (h *Histogram) Observe(v float64) {
 	if disabled.Load() {
 		return
 	}
-	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
-	}
-	h.counts[i].Add(1)
+	h.counts[h.bucketIndex(v)].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
@@ -290,6 +336,29 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveTraced records one value and, when traceID is non-empty,
+// replaces the landing bucket's exemplar with this observation.
+func (h *Histogram) ObserveTraced(v float64, traceID string) {
+	if disabled.Load() {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	h.exemplars[h.bucketIndex(v)].Store(&Exemplar{Value: v, TraceID: traceID, Time: time.Now()})
+}
+
+// reset zeroes the histogram's counters and drops its exemplars.
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+		h.exemplars[i].Store(nil)
+	}
+	h.sumBits.Store(0)
+	h.count.Store(0)
 }
 
 // Count returns the number of observations.
@@ -308,6 +377,7 @@ func (h *Histogram) snapshot() []MetricSnapshot {
 		Value: h.Sum(),
 		Count: h.count.Load(),
 	}
+	s.Label, s.LabelValue = h.labelKey, h.labelVal
 	var cum uint64
 	for i := range h.counts {
 		cum += h.counts[i].Load()
@@ -315,14 +385,28 @@ func (h *Histogram) snapshot() []MetricSnapshot {
 		if i < len(h.bounds) {
 			ub = h.bounds[i]
 		}
-		s.Buckets = append(s.Buckets, Bucket{UpperBound: ub, Count: cum})
+		s.Buckets = append(s.Buckets, Bucket{UpperBound: ub, Count: cum, Exemplar: h.exemplars[i].Load()})
 	}
 	return []MetricSnapshot{s}
 }
 
+// MaxLabelCardinality caps how many distinct label values a labeled
+// family (CounterVec, HistogramVec) will materialise. Values arriving
+// past the cap are folded into a single overflow child labeled
+// OverflowLabel, so hostile or buggy label values — session IDs, raw
+// error strings — cannot grow the registry (and every scrape) without
+// bound. The overflow child's count surfaces in Snapshot() like any
+// other child, making the drop itself observable.
+const MaxLabelCardinality = 64
+
+// OverflowLabel is the label value of the fold-in child that absorbs
+// updates for values past MaxLabelCardinality.
+const OverflowLabel = "_overflow"
+
 // CounterVec is a family of counters distinguished by one label value
 // (e.g. etl_skipped_records_total{cause=...}). Hot paths should resolve
-// With once and cache the child counter.
+// With once and cache the child counter. Distinct label values are
+// capped at MaxLabelCardinality; the excess folds into OverflowLabel.
 type CounterVec struct {
 	name, help, label string
 	mu                sync.RWMutex
@@ -330,7 +414,8 @@ type CounterVec struct {
 }
 
 // With returns the child counter for the given label value, creating it
-// on first use.
+// on first use. Past MaxLabelCardinality distinct values it returns the
+// shared overflow child instead.
 func (v *CounterVec) With(value string) *Counter {
 	v.mu.RLock()
 	c, ok := v.children[value]
@@ -343,9 +428,26 @@ func (v *CounterVec) With(value string) *Counter {
 	if c, ok = v.children[value]; ok {
 		return c
 	}
+	if len(v.children) >= MaxLabelCardinality {
+		value = OverflowLabel
+		if c, ok = v.children[value]; ok {
+			return c
+		}
+	}
 	c = &Counter{name: v.name, help: v.help, labelKey: v.label, labelVal: value}
 	v.children[value] = c
 	return c
+}
+
+// Overflowed returns how many updates were folded into the overflow
+// child (0 when the cardinality cap was never reached).
+func (v *CounterVec) Overflowed() uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if c, ok := v.children[OverflowLabel]; ok {
+		return c.Value()
+	}
+	return 0
 }
 
 func (v *CounterVec) metricName() string { return v.name }
@@ -356,6 +458,56 @@ func (v *CounterVec) snapshot() []MetricSnapshot {
 	out := make([]MetricSnapshot, 0, len(v.children))
 	for _, c := range v.children {
 		out = append(out, c.snapshot()...)
+	}
+	return out
+}
+
+// HistogramVec is a family of histograms distinguished by one label
+// value (e.g. serve_http_seconds{route=...}), sharing one bucket
+// layout. Distinct label values are capped at MaxLabelCardinality; the
+// excess folds into OverflowLabel.
+type HistogramVec struct {
+	name, help, label string
+	bounds            []float64
+	mu                sync.RWMutex
+	children          map[string]*Histogram
+}
+
+// With returns the child histogram for the given label value, creating
+// it on first use. Past MaxLabelCardinality distinct values it returns
+// the shared overflow child instead.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.RLock()
+	h, ok := v.children[value]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok = v.children[value]; ok {
+		return h
+	}
+	if len(v.children) >= MaxLabelCardinality {
+		value = OverflowLabel
+		if h, ok = v.children[value]; ok {
+			return h
+		}
+	}
+	h = newHistogram(v.name, v.help, v.bounds)
+	h.labelKey, h.labelVal = v.label, value
+	v.children[value] = h
+	return h
+}
+
+func (v *HistogramVec) metricName() string { return v.name }
+
+func (v *HistogramVec) snapshot() []MetricSnapshot {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]MetricSnapshot, 0, len(v.children))
+	for _, h := range v.children {
+		out = append(out, h.snapshot()...)
 	}
 	return out
 }

@@ -6,10 +6,14 @@
 package slogx
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"log/slog"
 	"os"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // Options configures the process logger.
@@ -34,10 +38,50 @@ func build(o Options) *slog.Logger {
 		w = os.Stderr
 	}
 	ho := &slog.HandlerOptions{Level: o.Level}
+	var h slog.Handler
 	if o.JSON {
-		return slog.New(slog.NewJSONHandler(w, ho))
+		h = slog.NewJSONHandler(w, ho)
+	} else {
+		h = slog.NewTextHandler(w, ho)
 	}
-	return slog.New(slog.NewTextHandler(w, ho))
+	return slog.New(flightHandler{h})
+}
+
+// flightHandler tees every emitted record into the telemetry flight
+// recorder (kind "log"), so recent log lines appear in flight dumps
+// next to the spans and verdicts they narrate. Level filtering has
+// already happened by the time Handle runs, so the ring sees exactly
+// what the operator's log stream sees.
+type flightHandler struct {
+	slog.Handler
+}
+
+// Handle records the entry in the flight recorder, then delegates.
+func (h flightHandler) Handle(ctx context.Context, r slog.Record) error {
+	attrs := make(map[string]string, r.NumAttrs()+1)
+	attrs["level"] = r.Level.String()
+	r.Attrs(func(a slog.Attr) bool {
+		attrs[a.Key] = fmt.Sprint(a.Value.Any())
+		return true
+	})
+	telemetry.RecordFlight(telemetry.FlightEntry{
+		Time:  r.Time,
+		Kind:  "log",
+		Name:  r.Message,
+		Trace: telemetry.TraceIDFrom(ctx),
+		Attrs: attrs,
+	})
+	return h.Handler.Handle(ctx, r)
+}
+
+// WithAttrs keeps the tee on derived handlers.
+func (h flightHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return flightHandler{h.Handler.WithAttrs(attrs)}
+}
+
+// WithGroup keeps the tee on derived handlers.
+func (h flightHandler) WithGroup(name string) slog.Handler {
+	return flightHandler{h.Handler.WithGroup(name)}
 }
 
 // Configure replaces the process logger and returns it.

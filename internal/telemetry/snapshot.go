@@ -17,12 +17,15 @@ type Bucket struct {
 	UpperBound float64 `json:"-"`
 	// Count is the cumulative observation count up to UpperBound.
 	Count uint64 `json:"count"`
+	// Exemplar is the bucket's most recent traced observation, if any.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // bucketJSON is the wire form of Bucket (JSON has no +Inf literal).
 type bucketJSON struct {
-	UpperBound string `json:"le"`
-	Count      uint64 `json:"count"`
+	UpperBound string    `json:"le"`
+	Count      uint64    `json:"count"`
+	Exemplar   *Exemplar `json:"exemplar,omitempty"`
 }
 
 // MarshalJSON renders the bound as a string ("+Inf" for the overflow
@@ -32,7 +35,7 @@ func (b Bucket) MarshalJSON() ([]byte, error) {
 	if !math.IsInf(b.UpperBound, 1) {
 		ub = fmt.Sprintf("%g", b.UpperBound)
 	}
-	return json.Marshal(bucketJSON{UpperBound: ub, Count: b.Count})
+	return json.Marshal(bucketJSON{UpperBound: ub, Count: b.Count, Exemplar: b.Exemplar})
 }
 
 // UnmarshalJSON parses the wire form back.
@@ -42,6 +45,7 @@ func (b *Bucket) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	b.Count = w.Count
+	b.Exemplar = w.Exemplar
 	if w.UpperBound == "+Inf" {
 		b.UpperBound = math.Inf(1)
 		return nil
@@ -65,6 +69,38 @@ type MetricSnapshot struct {
 	// Count and Buckets are histogram-only.
 	Count   uint64   `json:"count,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) of a histogram
+// snapshot by linear interpolation inside the bucket the target rank
+// lands in, Prometheus histogram_quantile-style. Observations in the
+// +Inf bucket are clamped to the last finite bound. It returns NaN for
+// non-histogram snapshots and histograms with no observations.
+func (m MetricSnapshot) Quantile(q float64) float64 {
+	if m.Count == 0 || len(m.Buckets) == 0 || q <= 0 || q > 1 {
+		return math.NaN()
+	}
+	rank := q * float64(m.Count)
+	lower := 0.0
+	for i, b := range m.Buckets {
+		if float64(b.Count) < rank {
+			lower = b.UpperBound
+			continue
+		}
+		if math.IsInf(b.UpperBound, 1) {
+			return lower // clamp: no upper edge to interpolate toward
+		}
+		prev := uint64(0)
+		if i > 0 {
+			prev = m.Buckets[i-1].Count
+		}
+		inBucket := float64(b.Count - prev)
+		if inBucket == 0 {
+			return b.UpperBound
+		}
+		return lower + (b.UpperBound-lower)*(rank-float64(prev))/inBucket
+	}
+	return lower
 }
 
 // Snapshot bundles the registry and span-table state for the JSON
@@ -125,16 +161,37 @@ func WriteText(w io.Writer, metrics []MetricSnapshot) error {
 		switch m.Kind {
 		case "histogram":
 			var err error
+			family := ""
+			if m.Label != "" {
+				family = fmt.Sprintf("%s=%q", m.Label, m.LabelValue)
+			}
 			for _, b := range m.Buckets {
 				ub := "+Inf"
 				if !math.IsInf(b.UpperBound, 1) {
 					ub = fmt.Sprintf("%g", b.UpperBound)
 				}
-				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.Name, ub, b.Count); err != nil {
+				labels := fmt.Sprintf("le=%q", ub)
+				if family != "" {
+					labels = family + "," + labels
+				}
+				ex := ""
+				if b.Exemplar != nil {
+					// OpenMetrics exemplar syntax: the trace that landed in
+					// this bucket, its value, and its unix timestamp.
+					ex = fmt.Sprintf(" # {trace_id=%q} %g %.3f",
+						b.Exemplar.TraceID, b.Exemplar.Value,
+						float64(b.Exemplar.Time.UnixMilli())/1000)
+				}
+				if _, err = fmt.Fprintf(w, "%s_bucket{%s} %d%s\n", m.Name, labels, b.Count, ex); err != nil {
 					return err
 				}
 			}
-			if _, err = fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", m.Name, m.Value, m.Name, m.Count); err != nil {
+			sumLabels := ""
+			if family != "" {
+				sumLabels = "{" + family + "}"
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n",
+				m.Name, sumLabels, m.Value, m.Name, sumLabels, m.Count); err != nil {
 				return err
 			}
 		default:

@@ -11,9 +11,13 @@ import (
 // StartSpan("train/smo") under the same parentage accumulates into one
 // SpanSnapshot (count, total, min, max) rather than recording individual
 // traces — the cheap shape that still answers "where does the pipeline
-// spend effort".
+// spend effort". When the starting context carries a TraceContext, the
+// span's completion is additionally recorded in the flight recorder
+// stamped with the trace ID, so individual requests and retraining
+// cycles stay reconstructible from the ring.
 type Span struct {
 	path  string
+	trace string
 	start time.Time
 }
 
@@ -30,16 +34,21 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok && parent != nil {
 		name = parent.path + "/" + name
 	}
-	s := &Span{path: name, start: time.Now()}
+	s := &Span{path: name, trace: TraceIDFrom(ctx), start: time.Now()}
 	return context.WithValue(ctx, spanCtxKey{}, s), s
 }
 
-// End records the span's duration into the global span table.
+// End records the span's duration into the global span table and, for
+// traced spans, into the flight recorder.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	globalSpans.record(s.path, time.Since(s.start))
+	d := time.Since(s.start)
+	globalSpans.record(s.path, d)
+	if s.trace != "" {
+		RecordFlight(FlightEntry{Kind: "span", Name: s.path, Trace: s.trace, Dur: d})
+	}
 }
 
 // spanStat accumulates one path's durations.

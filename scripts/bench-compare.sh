@@ -1,13 +1,13 @@
 #!/bin/sh
-# bench-compare.sh — rerun the pipeline benchmark suite and diff it
-# against the committed BENCH_baseline.json, flagging >20% ns/op
-# regressions.
+# bench-compare.sh — rerun the benchmark suites and diff them against
+# the committed baselines: BENCH_baseline.json (pipeline ns/op) and
+# BENCH_serve.json (serving p95 latency), flagging >20% regressions.
 #
-# Usage: scripts/bench-compare.sh [-w] [baseline.json]
+# Usage: scripts/bench-compare.sh [-w] [baseline.json [serve-baseline.json]]
 #   -w    warn on regressions instead of failing (for noisy machines)
 #
-# The comparison itself lives in `leaps-bench -perf-compare`; this script
-# is the make/CI entry point.
+# The comparisons themselves live in `leaps-bench -perf-compare` and
+# `leaps-bench -serve-compare`; this script is the make/CI entry point.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,10 +18,15 @@ if [ "${1:-}" = "-w" ]; then
     shift
 fi
 baseline="${1:-BENCH_baseline.json}"
+serve_baseline="${2:-BENCH_serve.json}"
 
 if [ ! -f "$baseline" ]; then
     echo "bench-compare: baseline $baseline not found; generate it with 'make bench'" >&2
     exit 1
 fi
+if [ ! -f "$serve_baseline" ]; then
+    echo "bench-compare: serve baseline $serve_baseline not found; generate it with 'make bench'" >&2
+    exit 1
+fi
 
-exec go run ./cmd/leaps-bench -perf-compare "$baseline" $warn
+exec go run ./cmd/leaps-bench -perf-compare "$baseline" -serve-compare "$serve_baseline" $warn

@@ -1,0 +1,141 @@
+#!/bin/sh
+# End-to-end smoke test of the observability layer: boots leaps-serve,
+# injects a W3C traceparent over HTTP and follows the trace ID through
+# every exposition surface. Asserts that
+#
+#   - the response echoes a traceparent with the injected trace ID and
+#     a fresh (child) span ID,
+#   - /metrics carries the trace ID as an OpenMetrics exemplar on a
+#     latency histogram bucket, and the whole exposition passes the
+#     in-repo promtool-style linter (scripts/metricslint),
+#   - /debug/pprof/ and /debug/flightrecorder respond, and the on-demand
+#     flight dump contains the traced request,
+#   - a forced autopilot circuit-breaker trip (retraining from a log
+#     that does not exist, retries off, breaker threshold 1) dumps the
+#     flight recorder to the state dir, and that dump still holds the
+#     injected trace ID,
+#   - SIGQUIT dumps the flight recorder without stopping the server.
+set -eu
+
+workdir=$(mktemp -d)
+srv_pid=""
+cleanup() {
+	[ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null || true
+	[ -n "$srv_pid" ] && wait "$srv_pid" 2>/dev/null || true
+	rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+say() { printf 'obs-smoke: %s\n' "$*"; }
+fail() {
+	say "FAIL: $*"
+	exit 1
+}
+
+say "building CLIs into $workdir"
+go build -o "$workdir" ./cmd/leaps-trace ./cmd/leaps-train ./cmd/leaps-serve ./scripts/metricslint
+
+say "generating dataset with serve wire files"
+"$workdir/leaps-trace" -dataset vim_reverse_tcp -out "$workdir" -seed 1 -serve-json -quiet
+
+say "training model and publishing it into the registry"
+"$workdir/leaps-train" \
+	-benign "$workdir/vim_reverse_tcp_benign.letl" \
+	-mixed "$workdir/vim_reverse_tcp_mixed.letl" \
+	-model "$workdir/leaps.model" \
+	-registry "$workdir/registry" \
+	-lambda 8 -sigma2 2 -seed 1 -quiet -telemetry-out none
+
+session_json="$workdir/vim_reverse_tcp_malicious.session.json"
+batch="$workdir/vim_reverse_tcp_malicious.events.json"
+state_dir="$workdir/registry/autopilot"
+
+# The autopilot is configured to fail on purpose: the benign training
+# log does not exist, retries are off and the breaker threshold is 1,
+# so the first cycle (triggered by a single verdict window) trips the
+# circuit breaker and dumps the flight recorder into the state dir.
+say "starting server with a breaker-trip autopilot configuration"
+log="$workdir/serve.log"
+"$workdir/leaps-serve" \
+	-registry "$workdir/registry" -addr 127.0.0.1:0 -spool "$workdir/spool" \
+	-autopilot \
+	-autopilot-benign "$workdir/no-such-benign.letl" \
+	-autopilot-mixed "$workdir/no-such-mixed.letl" \
+	-autopilot-trigger 1 -autopilot-interval 200ms \
+	-autopilot-retries=-1 -autopilot-breaker 1 \
+	2>"$log" &
+srv_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+	addr=$(sed -n 's/.*addr=\([0-9.]*:[0-9]*\).*/\1/p' "$log" | head -n1)
+	[ -n "$addr" ] && break
+	kill -0 "$srv_pid" 2>/dev/null || fail "leaps-serve exited early: $(cat "$log")"
+	sleep 0.1
+done
+[ -n "$addr" ] || fail "no listen address logged in $log"
+say "server at $addr"
+
+trace="4bf92f3577b34da6a3ce929d0e0e4736"
+parent="00-$trace-00f067aa0ba902b7-01"
+
+sid=$(curl -fsS -X POST --data-binary @"$session_json" "http://$addr/v1/sessions" |
+	sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -n1)
+[ -n "$sid" ] || fail "session creation returned no id"
+
+say "ingesting events with injected traceparent $parent"
+curl -fsS -D "$workdir/headers.txt" -X POST --data-binary @"$batch" \
+	-H "traceparent: $parent" \
+	"http://$addr/v1/sessions/$sid/events" >"$workdir/verdicts.json"
+grep -q '"first_event"' "$workdir/verdicts.json" || fail "ingest produced no verdicts"
+
+echoed=$(sed -n 's/^[Tt]raceparent: *\(.*\)/\1/p' "$workdir/headers.txt" | tr -d '\r' | head -n1)
+case "$echoed" in
+00-"$trace"-*) ;;
+*) fail "response traceparent '$echoed' does not carry injected trace $trace" ;;
+esac
+case "$echoed" in
+*00f067aa0ba902b7*) fail "response reused the caller's span ID instead of minting a child span" ;;
+esac
+say "response header carries the trace in a child span: $echoed"
+
+say "checking /metrics: exemplar with the injected trace, lint-clean exposition"
+curl -fsS "http://$addr/metrics" >"$workdir/metrics.txt"
+grep -q "trace_id=\"$trace\"" "$workdir/metrics.txt" ||
+	fail "no /metrics exemplar carries trace $trace"
+"$workdir/metricslint" "$workdir/metrics.txt" || fail "metricslint rejected the /metrics exposition"
+say "exemplar present and exposition lints clean"
+
+say "checking debug surfaces"
+curl -fsS "http://$addr/debug/pprof/" >/dev/null || fail "/debug/pprof/ unreachable"
+curl -fsS "http://$addr/debug/flightrecorder" >"$workdir/ondemand.json"
+grep -q '"reason": "on-demand"' "$workdir/ondemand.json" || fail "on-demand dump has wrong reason"
+grep -q "$trace" "$workdir/ondemand.json" || fail "on-demand flight dump lost trace $trace"
+say "pprof and on-demand flight dump OK"
+
+say "waiting for the breaker to trip and dump the flight recorder"
+dump=""
+for _ in $(seq 1 150); do
+	dump=$(ls "$state_dir"/flight-breaker-trip-*.json 2>/dev/null | head -n1)
+	[ -n "$dump" ] && break
+	kill -0 "$srv_pid" 2>/dev/null || fail "server died before the breaker tripped: $(cat "$log")"
+	sleep 0.2
+done
+[ -n "$dump" ] || fail "no breaker-trip flight dump in $state_dir (log: $(tail -5 "$log"))"
+grep -q '"reason": "breaker-trip"' "$dump" || fail "dump $dump has wrong reason"
+grep -q "$trace" "$dump" || fail "breaker-trip dump $dump lost the ingest trace $trace"
+grep -q '"kind": "autopilot"' "$dump" || fail "breaker-trip dump records no autopilot journal transitions"
+say "breaker-trip dump carries the trace: $dump"
+
+say "checking SIGQUIT dumps without stopping the server"
+kill -QUIT "$srv_pid"
+sigquit_dump=""
+for _ in $(seq 1 50); do
+	sigquit_dump=$(ls "$workdir"/spool/flight-sigquit-*.json 2>/dev/null | head -n1)
+	[ -n "$sigquit_dump" ] && break
+	sleep 0.1
+done
+[ -n "$sigquit_dump" ] || fail "SIGQUIT produced no dump in the spool dir"
+curl -fsS "http://$addr/healthz" >/dev/null || fail "server stopped serving after SIGQUIT"
+say "SIGQUIT dump written, server still up"
+
+say "PASS"
