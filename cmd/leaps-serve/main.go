@@ -67,6 +67,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -298,11 +299,27 @@ func run(args []string, ready chan<- string) error {
 			}
 			if sig == syscall.SIGQUIT {
 				// The operator's "what is it doing right now" signal: dump
-				// the flight recorder and keep serving.
-				if path := telemetry.DumpFlight("sigquit"); path != "" {
-					slogx.Info("SIGQUIT: flight recorder dumped", "dump", path)
+				// the flight recorder and keep serving. Catching SIGQUIT
+				// suppresses the runtime's dump-all-goroutines-and-exit
+				// default, so write a goroutine stack dump too — to a file
+				// next to the flight dump, or to stderr (where the runtime
+				// would have put it) when no flight directory is configured.
+				// Each kill -QUIT is a deliberate ask, so this bypasses the
+				// trigger-dump rate limit.
+				if dir := telemetry.FlightDir(); dir != "" {
+					if path, err := telemetry.DumpFlightTo(dir, "sigquit"); err == nil {
+						slogx.Info("SIGQUIT: flight recorder dumped", "dump", path)
+					} else {
+						slogx.Warn("SIGQUIT: flight dump failed", "err", err.Error())
+					}
+					if path, err := telemetry.DumpGoroutinesTo(dir, "sigquit"); err == nil {
+						slogx.Info("SIGQUIT: goroutine stacks dumped", "dump", path)
+					} else {
+						slogx.Warn("SIGQUIT: goroutine dump failed", "err", err.Error())
+					}
 				} else {
-					slogx.Warn("SIGQUIT: no flight directory configured; dump skipped")
+					slogx.Warn("SIGQUIT: no flight directory configured; dumping goroutine stacks to stderr")
+					_ = pprof.Lookup("goroutine").WriteTo(os.Stderr, 2)
 				}
 				continue
 			}

@@ -29,6 +29,12 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Unwrap lets http.ResponseController reach the underlying writer, so
+// handlers behind the middleware keep Flush/Hijack and friends.
+func (w *statusWriter) Unwrap() http.ResponseWriter {
+	return w.ResponseWriter
+}
+
 // traced wraps the API mux with the request-tracing middleware: every
 // request gets a TraceContext — adopted from an incoming traceparent
 // header or freshly minted — threaded through the request context so

@@ -7,9 +7,33 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
+
+// acceptsOpenMetrics reports whether an Accept header asks for the
+// OpenMetrics text format. A media range with an explicit q=0 is a
+// refusal, any other application/openmetrics-text range is a yes.
+func acceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if !strings.EqualFold(strings.TrimSpace(mediaType), "application/openmetrics-text") {
+			continue
+		}
+		for _, p := range strings.Split(params, ";") {
+			k, v, _ := strings.Cut(strings.TrimSpace(p), "=")
+			if strings.EqualFold(strings.TrimSpace(k), "q") {
+				if q, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil && q == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
 
 // publishOnce guards the expvar publication (expvar panics on duplicate
 // names).
@@ -25,7 +49,9 @@ func publishExpvar() {
 
 // Handler returns the debug surface the CLIs serve behind -debug-addr:
 //
-//	/metrics               registry in Prometheus text form (?format=json for JSON)
+//	/metrics               registry in Prometheus text form (?format=json
+//	                       for JSON; Accept: application/openmetrics-text
+//	                       for OpenMetrics with exemplars)
 //	/spans                 span table as an indented tree (?format=json for JSON)
 //	/debug/flightrecorder  flight-recorder ring as a JSON dump
 //	/debug/vars            expvar, including the combined snapshot
@@ -64,7 +90,16 @@ func Register(mux *http.ServeMux) {
 			_ = enc.Encode(metrics)
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// Prometheus picks its parser from the response Content-Type, and
+		// exemplars are OpenMetrics-only syntax — the classic text parser
+		// errors on them. Emit them only to clients that negotiated the
+		// OpenMetrics format via Accept.
+		if acceptsOpenMetrics(r.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			_ = WriteOpenMetrics(w, metrics)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = WriteText(w, metrics)
 	})
 	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {

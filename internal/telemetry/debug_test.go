@@ -84,6 +84,79 @@ func TestDebugServerEndpoints(t *testing.T) {
 	}
 }
 
+// TestMetricsContentNegotiation checks that /metrics keeps the classic
+// text format exemplar-free and reserves exemplars (plus the "# EOF"
+// terminator) for clients that ask for OpenMetrics via Accept.
+func TestMetricsContentNegotiation(t *testing.T) {
+	h := NewHistogram("negotiate_test_seconds", "negotiation", []float64{1})
+	h.ObserveTraced(0.5, "feedfacefeedfacefeedfacefeedface")
+
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	url := "http://" + srv.Addr + "/metrics"
+
+	fetch := func(accept string) (string, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Header.Get("Content-Type"), string(body)
+	}
+
+	ct, body := fetch("")
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("plain scrape Content-Type = %q", ct)
+	}
+	if strings.Contains(body, " # {") || strings.Contains(body, "# EOF") {
+		t.Errorf("plain text scrape carries OpenMetrics syntax:\n%s", body)
+	}
+
+	ct, body = fetch("application/openmetrics-text; version=1.0.0, text/plain;q=0.5")
+	if !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("OpenMetrics scrape Content-Type = %q", ct)
+	}
+	if !strings.Contains(body, `trace_id="feedfacefeedfacefeedfacefeedface"`) {
+		t.Errorf("OpenMetrics scrape lost the exemplar:\n%s", body)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Errorf("OpenMetrics scrape not terminated by # EOF:\n%s", body)
+	}
+}
+
+func TestAcceptsOpenMetrics(t *testing.T) {
+	for accept, want := range map[string]bool{
+		"":                             false,
+		"text/plain":                   false,
+		"application/openmetrics-text": true,
+		"APPLICATION/OpenMetrics-Text": true,
+		"application/openmetrics-text; version=1.0.0; q=0.9, text/plain": true,
+		"text/plain, application/openmetrics-text;q=0.2":                 true,
+		"application/openmetrics-text;q=0":                               false,
+		"application/openmetrics-text; q=0.0":                            false,
+		"*/*":                                                            false,
+	} {
+		if got := acceptsOpenMetrics(accept); got != want {
+			t.Errorf("acceptsOpenMetrics(%q) = %v, want %v", accept, got, want)
+		}
+	}
+}
+
 func TestServeBadAddr(t *testing.T) {
 	if _, err := Serve("256.0.0.1:bad"); err == nil {
 		t.Error("bad address accepted")

@@ -174,10 +174,10 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
-// TestWriteTextGolden pins the full Prometheus exposition byte-for-byte
-// for a registry exercising every instrument kind, including a labeled
-// histogram with an exemplar (given a fixed exemplar timestamp).
-func TestWriteTextGolden(t *testing.T) {
+// goldenRegistrySnapshot builds a snapshot exercising every instrument
+// kind — a labeled histogram with an exemplar included — with the
+// wall-clock exemplar timestamp pinned so golden text is deterministic.
+func goldenRegistrySnapshot() []MetricSnapshot {
 	r := NewRegistry()
 	r.Counter("g_events_total", "events seen").Add(3)
 	r.Gauge("g_depth", "queue depth").Set(2.5)
@@ -189,8 +189,6 @@ func TestWriteTextGolden(t *testing.T) {
 	hv.With("GET /x").Observe(0.5)
 
 	snap := r.Snapshot()
-	// The exemplar timestamp is wall-clock; pin it so the golden text is
-	// deterministic.
 	fixed := time.UnixMilli(1700000000500).UTC()
 	for i := range snap {
 		for j, b := range snap[i].Buckets {
@@ -201,11 +199,13 @@ func TestWriteTextGolden(t *testing.T) {
 			}
 		}
 	}
-	var sb strings.Builder
-	if err := WriteText(&sb, snap); err != nil {
-		t.Fatal(err)
-	}
-	want := `# HELP g_depth queue depth
+	return snap
+}
+
+// goldenBody is the shared family/sample portion of both exposition
+// formats; exemplarTail is spliced onto the traced bucket's line in the
+// OpenMetrics variant only.
+const goldenBody = `# HELP g_depth queue depth
 # TYPE g_depth gauge
 g_depth 2.5
 # HELP g_events_total events seen
@@ -213,7 +213,7 @@ g_depth 2.5
 g_events_total 3
 # HELP g_latency_seconds latency by route
 # TYPE g_latency_seconds histogram
-g_latency_seconds_bucket{route="GET /x",le="0.1"} 1 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.05 1700000000.500
+g_latency_seconds_bucket{route="GET /x",le="0.1"} 1%s
 g_latency_seconds_bucket{route="GET /x",le="1"} 2
 g_latency_seconds_bucket{route="GET /x",le="+Inf"} 2
 g_latency_seconds_sum{route="GET /x"} 0.55
@@ -223,19 +223,48 @@ g_latency_seconds_count{route="GET /x"} 2
 g_skips_total{cause="io"} 1
 g_skips_total{cause="parse"} 2
 `
+
+const goldenExemplarTail = ` # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.05 1700000000.500`
+
+// TestWriteTextGolden pins the classic Prometheus text exposition
+// byte-for-byte. The classic format never carries exemplars — the
+// text-format parser rejects a mid-line '#' after a sample value.
+func TestWriteTextGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteText(&sb, goldenRegistrySnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf(goldenBody, "")
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if strings.Contains(sb.String(), " # {") {
+		t.Fatal("classic text format leaked an OpenMetrics exemplar")
+	}
+}
+
+// TestWriteOpenMetricsGolden pins the OpenMetrics exposition: the same
+// samples plus the exemplar on the traced bucket and the mandatory
+// "# EOF" terminator.
+func TestWriteOpenMetricsGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteOpenMetrics(&sb, goldenRegistrySnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf(goldenBody, goldenExemplarTail) + "# EOF\n"
 	if got := sb.String(); got != want {
 		t.Fatalf("exposition drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }
 
-// TestWriteTextExemplarSyntax checks the live (non-pinned) exemplar
-// tail against the OpenMetrics grammar.
-func TestWriteTextExemplarSyntax(t *testing.T) {
+// TestWriteOpenMetricsExemplarSyntax checks the live (non-pinned)
+// exemplar tail against the OpenMetrics grammar.
+func TestWriteOpenMetricsExemplarSyntax(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("syn_seconds", "syntax", []float64{1})
 	h.ObserveTraced(0.5, "deadbeefdeadbeefdeadbeefdeadbeef")
 	var sb strings.Builder
-	if err := WriteText(&sb, r.Snapshot()); err != nil {
+	if err := WriteOpenMetrics(&sb, r.Snapshot()); err != nil {
 		t.Fatal(err)
 	}
 	re := regexp.MustCompile(`_bucket\{le="1"\} 1 # \{trace_id="deadbeefdeadbeefdeadbeefdeadbeef"\} 0\.5 \d+\.\d{3}\n`)

@@ -6,6 +6,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -149,9 +152,17 @@ func sanitizeReason(reason string) string {
 	return string(out)
 }
 
+// FlightDumpKeep bounds how many flight-*.json dumps DumpFlightTo
+// retains per directory: after each successful dump the oldest files
+// beyond this count are deleted, so repeated triggers (a client
+// hammering a failing promotion, a flapping autopilot) cannot fill the
+// disk the dumps share with durable state.
+const FlightDumpKeep = 32
+
 // DumpFlightTo writes a dump file named flight-<reason>-<nanos>.json
 // into dir (created if missing) and returns its path. The reason is
 // sanitized for the filename but recorded verbatim inside the dump.
+// Older dumps in dir beyond FlightDumpKeep are pruned, best-effort.
 func DumpFlightTo(dir, reason string) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("telemetry: flight dump dir: %w", err)
@@ -162,6 +173,64 @@ func DumpFlightTo(dir, reason string) (string, error) {
 		return "", err
 	}
 	err = WriteFlightDump(f, reason)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return "", err
+	}
+	pruneFlightDumps(dir)
+	return path, nil
+}
+
+// pruneFlightDumps deletes the oldest flight-*.json files in dir beyond
+// FlightDumpKeep. Dumps ride error paths, so pruning is best-effort:
+// list or remove failures are swallowed.
+func pruneFlightDumps(dir string) {
+	paths, err := filepath.Glob(filepath.Join(dir, "flight-*.json"))
+	if err != nil || len(paths) <= FlightDumpKeep {
+		return
+	}
+	type stamped struct {
+		path string
+		mod  time.Time
+	}
+	dumps := make([]stamped, 0, len(paths))
+	for _, p := range paths {
+		fi, err := os.Stat(p)
+		if err != nil {
+			continue
+		}
+		dumps = append(dumps, stamped{p, fi.ModTime()})
+	}
+	sort.Slice(dumps, func(i, j int) bool {
+		if !dumps[i].mod.Equal(dumps[j].mod) {
+			return dumps[i].mod.Before(dumps[j].mod)
+		}
+		return dumps[i].path < dumps[j].path
+	})
+	for i := 0; i < len(dumps)-FlightDumpKeep; i++ {
+		_ = os.Remove(dumps[i].path)
+	}
+}
+
+// DumpGoroutinesTo writes the runtime's full goroutine stack dump
+// (pprof "goroutine" profile, debug=2 — the same text SIGQUIT's default
+// handler would print before exiting) to goroutines-<reason>-<nanos>.txt
+// in dir and returns its path. Catching SIGQUIT for a flight dump
+// suppresses the runtime's dump-and-exit escape hatch; this preserves
+// the goroutine state alongside the flight recording.
+func DumpGoroutinesTo(dir, reason string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("telemetry: goroutine dump dir: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("goroutines-%s-%d.txt", sanitizeReason(reason), time.Now().UnixNano()))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	err = pprof.Lookup("goroutine").WriteTo(f, 2)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -189,12 +258,45 @@ func FlightDir() string {
 	return ""
 }
 
+// flightDumpMinGap is the minimum spacing between trigger-driven dumps
+// sharing a reason. Triggers can be client-driven (a gate rejection is
+// one failing POST away), so without a floor a hot retry loop would
+// churn a dump file per request; one dump per reason per gap loses
+// nothing — the ring holds recent history either way. A var so tests
+// can shrink it.
+var flightDumpMinGap = 30 * time.Second
+
+// flightDumpLast tracks the last trigger-driven dump time per reason.
+var (
+	flightDumpMu   sync.Mutex
+	flightDumpLast = map[string]time.Time{}
+)
+
+// flightDumpAllowed records a trigger firing for reason and reports
+// whether a dump is due (true at most once per flightDumpMinGap).
+func flightDumpAllowed(reason string) bool {
+	flightDumpMu.Lock()
+	defer flightDumpMu.Unlock()
+	now := time.Now()
+	if last, ok := flightDumpLast[reason]; ok && now.Sub(last) < flightDumpMinGap {
+		return false
+	}
+	flightDumpLast[reason] = now
+	return true
+}
+
 // DumpFlight writes a dump to the configured flight directory. With no
 // directory configured it is a silent no-op returning "" — triggers
-// fire from error paths that must not grow new failure modes.
+// fire from error paths that must not grow new failure modes. Dumps
+// sharing a reason are rate-limited to one per flightDumpMinGap, so a
+// client repeatedly tripping the same trigger cannot flood the state
+// dir; a suppressed dump also returns "".
 func DumpFlight(reason string) string {
 	dir := FlightDir()
 	if dir == "" {
+		return ""
+	}
+	if !flightDumpAllowed(reason) {
 		return ""
 	}
 	path, err := DumpFlightTo(dir, reason)

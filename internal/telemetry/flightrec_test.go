@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestFlightRecorderKeepsNewestEntries(t *testing.T) {
@@ -132,6 +133,66 @@ func TestDumpFlightToSanitizesReason(t *testing.T) {
 	// The reason inside the dump stays verbatim.
 	if dump.Reason != "crashpoint-serve/spool/checkpoint" {
 		t.Fatalf("dump reason %q not verbatim", dump.Reason)
+	}
+}
+
+// TestDumpFlightRateLimited checks that trigger-driven dumps sharing a
+// reason are spaced at least flightDumpMinGap apart, while distinct
+// reasons limit independently.
+func TestDumpFlightRateLimited(t *testing.T) {
+	old := FlightDir()
+	defer SetFlightDir(old)
+	SetFlightDir(t.TempDir())
+
+	if DumpFlight("ratelimit-a") == "" {
+		t.Fatal("first dump for a reason was suppressed")
+	}
+	if path := DumpFlight("ratelimit-a"); path != "" {
+		t.Fatalf("second dump within the gap wrote %q", path)
+	}
+	if DumpFlight("ratelimit-b") == "" {
+		t.Fatal("a different reason was limited by the first one")
+	}
+
+	oldGap := flightDumpMinGap
+	defer func() { flightDumpMinGap = oldGap }()
+	flightDumpMinGap = 0
+	if DumpFlight("ratelimit-a") == "" {
+		t.Fatal("dump still suppressed after the gap elapsed")
+	}
+}
+
+// TestPruneFlightDumps checks that DumpFlightTo retains only the newest
+// FlightDumpKeep dumps in its directory.
+func TestPruneFlightDumps(t *testing.T) {
+	dir := t.TempDir()
+	// Pre-seed clearly-older dumps so modtime ordering is unambiguous.
+	for i := 0; i < 5; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("flight-old-%d.json", i))
+		if err := os.WriteFile(path, []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		past := time.Now().Add(-time.Hour)
+		if err := os.Chtimes(path, past, past); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < FlightDumpKeep; i++ {
+		if _, err := DumpFlightTo(dir, fmt.Sprintf("new-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "flight-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != FlightDumpKeep {
+		t.Fatalf("%d dumps retained, want %d", len(paths), FlightDumpKeep)
+	}
+	for _, p := range paths {
+		if base := filepath.Base(p); len(base) > 10 && base[:10] == "flight-old" {
+			t.Fatalf("pruning kept old dump %s over a newer one", base)
+		}
 	}
 }
 

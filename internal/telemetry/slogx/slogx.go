@@ -44,44 +44,94 @@ func build(o Options) *slog.Logger {
 	} else {
 		h = slog.NewTextHandler(w, ho)
 	}
-	return slog.New(flightHandler{h})
+	return slog.New(flightHandler{next: h})
 }
 
 // flightHandler tees every emitted record into the telemetry flight
 // recorder (kind "log"), so recent log lines appear in flight dumps
 // next to the spans and verdicts they narrate. Level filtering has
 // already happened by the time Handle runs, so the ring sees exactly
-// what the operator's log stream sees.
+// what the operator's log stream sees. Attrs bound with Logger.With and
+// group prefixes opened with WithGroup are accumulated here so derived
+// loggers' flight entries carry the same context their log lines do.
 type flightHandler struct {
-	slog.Handler
+	next slog.Handler
+	// bound holds attrs from WithAttrs, already rendered and
+	// group-prefixed; never mutated after construction (WithAttrs copies).
+	bound map[string]string
+	// prefix is the dot-joined open group path applied to attr keys.
+	prefix string
 }
 
-// Handle records the entry in the flight recorder, then delegates.
+// Enabled delegates level filtering to the wrapped handler.
+func (h flightHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.next.Enabled(ctx, level)
+}
+
+// Handle records the entry in the flight recorder, then delegates. The
+// recorder map is only built when telemetry is on — the tee must cost
+// nothing beyond the wrapped handler when the ring is disabled.
 func (h flightHandler) Handle(ctx context.Context, r slog.Record) error {
-	attrs := make(map[string]string, r.NumAttrs()+1)
-	attrs["level"] = r.Level.String()
-	r.Attrs(func(a slog.Attr) bool {
-		attrs[a.Key] = fmt.Sprint(a.Value.Any())
-		return true
-	})
-	telemetry.RecordFlight(telemetry.FlightEntry{
-		Time:  r.Time,
-		Kind:  "log",
-		Name:  r.Message,
-		Trace: telemetry.TraceIDFrom(ctx),
-		Attrs: attrs,
-	})
-	return h.Handler.Handle(ctx, r)
+	if telemetry.Enabled() {
+		attrs := make(map[string]string, len(h.bound)+r.NumAttrs()+1)
+		for k, v := range h.bound {
+			attrs[k] = v
+		}
+		attrs["level"] = r.Level.String()
+		r.Attrs(func(a slog.Attr) bool {
+			flattenAttr(attrs, h.prefix, a)
+			return true
+		})
+		telemetry.RecordFlight(telemetry.FlightEntry{
+			Time:  r.Time,
+			Kind:  "log",
+			Name:  r.Message,
+			Trace: telemetry.TraceIDFrom(ctx),
+			Attrs: attrs,
+		})
+	}
+	return h.next.Handle(ctx, r)
 }
 
-// WithAttrs keeps the tee on derived handlers.
+// flattenAttr renders one attr into dst under the group prefix,
+// expanding slog.Group values the way the text handler does
+// (group.key=value).
+func flattenAttr(dst map[string]string, prefix string, a slog.Attr) {
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		p := prefix
+		if a.Key != "" {
+			p += a.Key + "."
+		}
+		for _, ga := range v.Group() {
+			flattenAttr(dst, p, ga)
+		}
+		return
+	}
+	dst[prefix+a.Key] = fmt.Sprint(v.Any())
+}
+
+// WithAttrs keeps the tee on derived handlers, folding the newly bound
+// attrs into the recorded context.
 func (h flightHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
-	return flightHandler{h.Handler.WithAttrs(attrs)}
+	bound := make(map[string]string, len(h.bound)+len(attrs))
+	for k, v := range h.bound {
+		bound[k] = v
+	}
+	for _, a := range attrs {
+		flattenAttr(bound, h.prefix, a)
+	}
+	return flightHandler{next: h.next.WithAttrs(attrs), bound: bound, prefix: h.prefix}
 }
 
-// WithGroup keeps the tee on derived handlers.
+// WithGroup keeps the tee on derived handlers, extending the prefix
+// later attrs are recorded under.
 func (h flightHandler) WithGroup(name string) slog.Handler {
-	return flightHandler{h.Handler.WithGroup(name)}
+	prefix := h.prefix
+	if name != "" {
+		prefix += name + "."
+	}
+	return flightHandler{next: h.next.WithGroup(name), bound: h.bound, prefix: prefix}
 }
 
 // Configure replaces the process logger and returns it.

@@ -6,7 +6,71 @@ import (
 	"log/slog"
 	"strings"
 	"testing"
+
+	"repro/internal/telemetry"
 )
+
+// lastFlightLog returns the newest "log" entry in the flight ring.
+func lastFlightLog(t *testing.T) telemetry.FlightEntry {
+	t.Helper()
+	entries := telemetry.Flight().Snapshot()
+	for i := len(entries) - 1; i >= 0; i-- {
+		if entries[i].Kind == "log" {
+			return entries[i]
+		}
+	}
+	t.Fatal("no log entry in the flight recorder")
+	return telemetry.FlightEntry{}
+}
+
+// TestFlightTeeCarriesBoundAttrsAndGroups checks that attrs bound with
+// Logger.With and group prefixes opened with WithGroup survive into the
+// flight-recorder entries, alongside the per-call attrs.
+func TestFlightTeeCarriesBoundAttrsAndGroups(t *testing.T) {
+	telemetry.Flight().Reset()
+	defer telemetry.Flight().Reset()
+	var buf bytes.Buffer
+	l := Configure(Options{Writer: &buf})
+
+	l.With("component", "autopilot").Info("cycle started", "cycle", 3)
+	e := lastFlightLog(t)
+	if e.Attrs["component"] != "autopilot" {
+		t.Errorf("bound attr lost: %v", e.Attrs)
+	}
+	if e.Attrs["cycle"] != "3" || e.Attrs["level"] != "INFO" {
+		t.Errorf("per-call attrs wrong: %v", e.Attrs)
+	}
+
+	l.WithGroup("gate").With("entry", "m1").Info("rejected", "reason", "fpr")
+	e = lastFlightLog(t)
+	if e.Attrs["gate.entry"] != "m1" || e.Attrs["gate.reason"] != "fpr" {
+		t.Errorf("group prefix lost: %v", e.Attrs)
+	}
+
+	l.Info("grouped value", slog.Group("cmp", slog.Int("events", 9)))
+	e = lastFlightLog(t)
+	if e.Attrs["cmp.events"] != "9" {
+		t.Errorf("inline group not flattened: %v", e.Attrs)
+	}
+}
+
+// TestFlightTeeDisabled checks the tee records nothing (and the log
+// line still flows) when telemetry is off.
+func TestFlightTeeDisabled(t *testing.T) {
+	telemetry.Flight().Reset()
+	defer telemetry.Flight().Reset()
+	telemetry.SetEnabled(false)
+	defer telemetry.SetEnabled(true)
+	var buf bytes.Buffer
+	Configure(Options{Writer: &buf})
+	Info("quiet tee")
+	if !strings.Contains(buf.String(), "quiet tee") {
+		t.Error("log line lost while telemetry disabled")
+	}
+	if n := len(telemetry.Flight().Snapshot()); n != 0 {
+		t.Errorf("disabled telemetry still recorded %d flight entries", n)
+	}
+}
 
 func TestConfigureTextAndLevels(t *testing.T) {
 	var buf bytes.Buffer

@@ -142,9 +142,29 @@ func WriteJSONFile(path string) (err error) {
 	return WriteJSON(f)
 }
 
-// WriteText renders the registry in the Prometheus text exposition style
-// (the /metrics default).
+// WriteText renders the registry in the classic Prometheus text
+// exposition format (the /metrics default). Exemplars are OpenMetrics
+// syntax — the classic text parser rejects a mid-line '#' after a
+// sample value — so this format never emits them; clients that want
+// exemplars negotiate WriteOpenMetrics via the Accept header.
 func WriteText(w io.Writer, metrics []MetricSnapshot) error {
+	return writeExposition(w, metrics, false)
+}
+
+// WriteOpenMetrics renders the registry in the OpenMetrics text format:
+// the same families and samples as WriteText plus exemplars on
+// histogram buckets, terminated by the mandatory "# EOF" marker.
+func WriteOpenMetrics(w io.Writer, metrics []MetricSnapshot) error {
+	if err := writeExposition(w, metrics, true); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+// writeExposition is the shared renderer behind both text formats;
+// exemplars selects the OpenMetrics extras.
+func writeExposition(w io.Writer, metrics []MetricSnapshot, exemplars bool) error {
 	var lastName string
 	for _, m := range metrics {
 		if m.Name != lastName {
@@ -175,7 +195,7 @@ func WriteText(w io.Writer, metrics []MetricSnapshot) error {
 					labels = family + "," + labels
 				}
 				ex := ""
-				if b.Exemplar != nil {
+				if exemplars && b.Exemplar != nil {
 					// OpenMetrics exemplar syntax: the trace that landed in
 					// this bucket, its value, and its unix timestamp.
 					ex = fmt.Sprintf(" # {trace_id=%q} %g %.3f",

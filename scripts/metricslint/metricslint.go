@@ -11,7 +11,9 @@
 //     equals the family's _count series, plus _sum and _count;
 //   - no series (name plus label set) appears twice;
 //   - OpenMetrics exemplars only follow _bucket samples and parse as
-//     `# {label="value",...} value [timestamp]`.
+//     `# {label="value",...} value [timestamp]`;
+//   - an OpenMetrics `# EOF` terminator, when present, is the last
+//     line (the classic text format omits it).
 //
 // It exits non-zero listing every violation. obs-smoke.sh pipes the
 // live /metrics output through it, so a malformed exposition fails
@@ -89,10 +91,20 @@ func main() {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	lineNo := 0
+	eofSeen := 0
 	for sc.Scan() {
 		lineNo++
 		line := sc.Text()
 		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if eofSeen > 0 {
+			fail(lineNo, "content after the # EOF terminator (at line %d)", eofSeen)
+			continue
+		}
+		// OpenMetrics terminator; the classic text format omits it.
+		if line == "# EOF" {
+			eofSeen = lineNo
 			continue
 		}
 		if strings.HasPrefix(line, "# HELP ") {

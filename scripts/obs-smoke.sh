@@ -5,16 +5,20 @@
 #
 #   - the response echoes a traceparent with the injected trace ID and
 #     a fresh (child) span ID,
-#   - /metrics carries the trace ID as an OpenMetrics exemplar on a
-#     latency histogram bucket, and the whole exposition passes the
-#     in-repo promtool-style linter (scripts/metricslint),
+#   - /metrics negotiates its format: the plain text scrape is
+#     exemplar-free (classic Prometheus parsers reject exemplars) while
+#     an Accept: application/openmetrics-text scrape carries the trace
+#     ID as an exemplar on a latency histogram bucket and ends in
+#     "# EOF"; both pass the in-repo promtool-style linter
+#     (scripts/metricslint),
 #   - /debug/pprof/ and /debug/flightrecorder respond, and the on-demand
 #     flight dump contains the traced request,
 #   - a forced autopilot circuit-breaker trip (retraining from a log
 #     that does not exist, retries off, breaker threshold 1) dumps the
 #     flight recorder to the state dir, and that dump still holds the
 #     injected trace ID,
-#   - SIGQUIT dumps the flight recorder without stopping the server.
+#   - SIGQUIT dumps the flight recorder and a goroutine stack dump
+#     without stopping the server.
 set -eu
 
 workdir=$(mktemp -d)
@@ -98,12 +102,26 @@ case "$echoed" in
 esac
 say "response header carries the trace in a child span: $echoed"
 
-say "checking /metrics: exemplar with the injected trace, lint-clean exposition"
+say "checking /metrics: plain text scrape stays exemplar-free and lints clean"
 curl -fsS "http://$addr/metrics" >"$workdir/metrics.txt"
-grep -q "trace_id=\"$trace\"" "$workdir/metrics.txt" ||
-	fail "no /metrics exemplar carries trace $trace"
-"$workdir/metricslint" "$workdir/metrics.txt" || fail "metricslint rejected the /metrics exposition"
-say "exemplar present and exposition lints clean"
+grep -q ' # {' "$workdir/metrics.txt" &&
+	fail "plain text /metrics carries OpenMetrics exemplars (classic parser would reject them)"
+grep -q '^# EOF' "$workdir/metrics.txt" &&
+	fail "plain text /metrics carries the OpenMetrics EOF marker"
+"$workdir/metricslint" "$workdir/metrics.txt" || fail "metricslint rejected the text /metrics exposition"
+
+say "checking /metrics: OpenMetrics scrape carries the exemplar, lints clean"
+curl -fsS -D "$workdir/om-headers.txt" \
+	-H 'Accept: application/openmetrics-text; version=1.0.0' \
+	"http://$addr/metrics" >"$workdir/metrics-om.txt"
+grep -qi '^content-type: *application/openmetrics-text' "$workdir/om-headers.txt" ||
+	fail "OpenMetrics scrape did not negotiate the openmetrics content type"
+grep -q "trace_id=\"$trace\"" "$workdir/metrics-om.txt" ||
+	fail "no OpenMetrics exemplar carries trace $trace"
+tail -n1 "$workdir/metrics-om.txt" | grep -q '^# EOF' ||
+	fail "OpenMetrics exposition not terminated by # EOF"
+"$workdir/metricslint" "$workdir/metrics-om.txt" || fail "metricslint rejected the OpenMetrics exposition"
+say "negotiation OK: exemplar only in the OpenMetrics scrape, both lint clean"
 
 say "checking debug surfaces"
 curl -fsS "http://$addr/debug/pprof/" >/dev/null || fail "/debug/pprof/ unreachable"
@@ -135,7 +153,10 @@ for _ in $(seq 1 50); do
 	sleep 0.1
 done
 [ -n "$sigquit_dump" ] || fail "SIGQUIT produced no dump in the spool dir"
+goroutine_dump=$(ls "$workdir"/spool/goroutines-sigquit-*.txt 2>/dev/null | head -n1)
+[ -n "$goroutine_dump" ] || fail "SIGQUIT produced no goroutine stack dump"
+grep -q '^goroutine ' "$goroutine_dump" || fail "goroutine dump $goroutine_dump holds no stacks"
 curl -fsS "http://$addr/healthz" >/dev/null || fail "server stopped serving after SIGQUIT"
-say "SIGQUIT dump written, server still up"
+say "SIGQUIT flight and goroutine dumps written, server still up"
 
 say "PASS"
