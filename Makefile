@@ -24,26 +24,41 @@ race:
 fuzz-smoke:
 	$(GO) test ./internal/etl -run='^$$' -fuzz=FuzzParseStrict -fuzztime=10s
 	$(GO) test ./internal/etl -run='^$$' -fuzz=FuzzParseLenient -fuzztime=10s
+	$(GO) test ./internal/etl -run='^$$' -fuzz=FuzzParseBytesCrossCheck -fuzztime=10s
 
 # Measures the pipeline hot paths (parse, featurize, artifacts,
 # select-train, train, gridsearch, detect) and writes
 # BENCH_baseline.json, then drives the in-process serving workload and
-# writes per-endpoint/per-stage p50/p95/p99 latency to BENCH_serve.json;
-# diff both against the committed baselines to spot regressions.
+# writes per-endpoint/per-stage p50/p95/p99 latency to BENCH_serve.json.
+# Regenerating the committed baselines resets the regression gates, so
+# it must be an explicit decision: the target refuses to run unless
+# BENCH_REBASELINE=1 is set. Use bench-compare to measure against the
+# committed numbers.
 bench:
+	@if [ "$(BENCH_REBASELINE)" != "1" ]; then \
+		echo "bench: refusing to overwrite the committed baselines."; \
+		echo "bench: rerun as 'make bench BENCH_REBASELINE=1' to rebaseline,"; \
+		echo "bench: or 'make bench-compare' to measure against them."; \
+		exit 1; \
+	fi
 	$(GO) run ./cmd/leaps-bench -perf-baseline BENCH_baseline.json -serve-baseline BENCH_serve.json
 
-# Reruns both benchmark suites and fails on >20% regressions (ns/op for
-# the pipeline, p95 latency for serving) against the committed
-# baselines. Warn-only in verify: absolute timings from the committed
-# baselines' machine don't transfer to arbitrary CI hosts.
+# Reruns both benchmark suites and fails on >20% regressions (ns/op and
+# allocs/op for the pipeline, p95 latency for serving) against the
+# committed baselines. Timings are warn-only in verify — absolute
+# numbers from the committed baselines' machine don't transfer to
+# arbitrary CI hosts — but the allocs/op gate stays hard everywhere:
+# allocation counts are deterministic.
 bench-compare:
 	./scripts/bench-compare.sh
 
 # Proves parallelism-invariance: EvaluateRuns and GridSearch produce
-# identical results for any worker count, under the race detector.
+# identical results for any worker count, under the race detector —
+# including the shared kernel-row cache and the pooled/batch hot paths,
+# which must match their allocating reference implementations bit for
+# bit.
 determinism:
-	$(GO) test -race -run 'TestEvaluateRunsParallelDeterminism|TestEvaluateRunsBuildsArtifactsOnce|TestGridSearchParallel' ./internal/core ./internal/svm
+	$(GO) test -race -run 'TestEvaluateRunsParallelDeterminism|TestEvaluateRunsBuildsArtifactsOnce|TestGridSearchParallel|TestSharedCrossValidateMatchesUncached|TestGridSearchMatchesUncachedSweep|TestRowCacheConcurrent' ./internal/core ./internal/svm
 
 # End-to-end smoke test of the -debug-addr introspection endpoints:
 # generates data, trains, then scrapes /metrics, /spans and pprof from a

@@ -318,6 +318,27 @@ func BenchmarkPreprocessFit(b *testing.B) {
 	}
 }
 
+// BenchmarkEncodeOne measures single-event featurization on the scratch
+// path the streaming detector rides: a fitted encoder discretising one
+// partitioned event into its 3-tuple with a warm per-caller Scratch.
+func BenchmarkEncodeOne(b *testing.B) {
+	logs := logsFor(b, "vim_reverse_tcp")
+	part, err := partition.Split(logs.Mixed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := preprocess.Fit(part.Events, preprocess.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var s preprocess.Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = enc.EncodeOne(&s, &part.Events[i%len(part.Events)])
+	}
+}
+
 // BenchmarkSMOTrain measures the weighted-SVM solver on a
 // representative training problem (360 samples, 30 dimensions).
 func BenchmarkSMOTrain(b *testing.B) {
@@ -431,10 +452,39 @@ func BenchmarkSMOWorkingSetSelection(b *testing.B) {
 	}
 }
 
+// serveIngestBatchEvents is the fixed batch size of the serving
+// benchmark: one op POSTs this many events.
+const serveIngestBatchEvents = 200
+
 // BenchmarkServeIngest measures end-to-end serving throughput: events
 // POSTed to a live leaps-serve HTTP API through ingestion, scheduling,
 // scoring and verdict serialisation. Reports events and verdicts per op.
 func BenchmarkServeIngest(b *testing.B) {
+	b.ReportAllocs()
+	benchmarkServeIngest(b)
+}
+
+// TestServeIngestAllocs pins the serving turn's allocation budget. One
+// POSTed event may cost at most serveIngestAllocBudget allocations end
+// to end — HTTP transport and JSON wire handling included. The bound
+// holds only because the detector side of the turn (partition, encode,
+// window flatten, scale, score) runs on recycled per-session scratch;
+// the allocating featurization path costs several times more and fails
+// it.
+func TestServeIngestAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement under -short")
+	}
+	const serveIngestAllocBudget = 40 // allocs per event
+	r := testing.Benchmark(benchmarkServeIngest)
+	perEvent := float64(r.AllocsPerOp()) / serveIngestBatchEvents
+	if perEvent > serveIngestAllocBudget {
+		t.Errorf("serve ingest allocated %.1f allocs/event (%d per %d-event batch), budget %d",
+			perEvent, r.AllocsPerOp(), serveIngestBatchEvents, serveIngestAllocBudget)
+	}
+}
+
+func benchmarkServeIngest(b *testing.B) {
 	logs := logsFor(b, "vim_reverse_tcp")
 	td, err := core.BuildTrainingData(logs.Benign, logs.Mixed, benchConfig())
 	if err != nil {
@@ -484,7 +534,7 @@ func BenchmarkServeIngest(b *testing.B) {
 
 	// Pre-encode fixed-size batches so the loop measures the server, not
 	// the client-side JSON encoding.
-	const batchEvents = 200
+	const batchEvents = serveIngestBatchEvents
 	wire := serve.EventSpecsOf(mal.Events)
 	var batches [][]byte
 	for i := 0; i+batchEvents <= len(wire); i += batchEvents {

@@ -3,8 +3,10 @@ package main
 // Performance baseline: measures the pipeline's hot paths with
 // testing.Benchmark and writes the results as JSON, so perf regressions
 // show up as diffs against a committed BENCH_baseline.json.
-// -perf-compare re-runs the same suite and fails on >20% ns/op
-// regressions against the committed baseline.
+// -perf-compare re-runs the same suite and fails on >20% ns/op or
+// allocs/op regressions against the committed baseline. The allocation
+// gate stays hard even under -perf-warn: alloc counts are deterministic
+// and transfer across machines, unlike wall-clock timings.
 
 import (
 	"bytes"
@@ -33,7 +35,9 @@ type perfResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"alloc_bytes_per_op"`
 	// MBPerSec is the processed-byte throughput, present only for
-	// benchmarks with a defined byte volume (parse).
+	// benchmarks with a defined byte volume (parse, featurize, detect,
+	// select-train), measured as serialized .letl bytes of the logs the
+	// operation consumes.
 	MBPerSec float64 `json:"mb_per_s,omitempty"`
 }
 
@@ -100,7 +104,17 @@ func runPerfSuite() (*perfBaseline, error) {
 	if err := etl.WriteLogs(&buf, logs.Benign); err != nil {
 		return nil, err
 	}
-	rawBenign := buf.Bytes()
+	rawBenign := append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := etl.WriteLogs(&buf, logs.Mixed); err != nil {
+		return nil, err
+	}
+	rawMixed := append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := etl.WriteLogs(&buf, logs.Malicious); err != nil {
+		return nil, err
+	}
+	rawMalicious := append([]byte(nil), buf.Bytes()...)
 
 	ctx := context.Background()
 	cfg := core.Config{
@@ -134,7 +148,22 @@ func runPerfSuite() (*perfBaseline, error) {
 		Dataset:     fmt.Sprintf("%s (%d/%d/%d events)", name, spec.BenignEvents, spec.MixedEvents, spec.MaliciousEvents),
 	}
 
+	// parse is the zero-copy hot path with a reused frame slab; the
+	// streaming io.Reader path stays measured as parse-stream so the two
+	// never drift apart unnoticed.
 	base.Results = append(base.Results, toPerfResult("parse", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(rawBenign)))
+		var slab etl.Slab
+		for i := 0; i < b.N; i++ {
+			slab.Reset()
+			if _, err := etl.ParseBytesSlab(rawBenign, etl.ParseOpts{}, &slab); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})))
+
+	base.Results = append(base.Results, toPerfResult("parse-stream", testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		b.SetBytes(int64(len(rawBenign)))
 		for i := 0; i < b.N; i++ {
@@ -146,9 +175,13 @@ func runPerfSuite() (*perfBaseline, error) {
 
 	base.Results = append(base.Results, toPerfResult("featurize", testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
+		b.SetBytes(int64(len(rawBenign)))
+		var scratch preprocess.Scratch
+		var tuples []preprocess.Tuple
+		var wins preprocess.WindowBuf
 		for i := 0; i < b.N; i++ {
-			tuples := enc.EncodeAll(part)
-			if _, _, err := preprocess.Coalesce(tuples, 10); err != nil {
+			tuples = enc.EncodeInto(tuples[:0], part, &scratch)
+			if err := preprocess.CoalesceInto(&wins, tuples, 10); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -165,6 +198,7 @@ func runPerfSuite() (*perfBaseline, error) {
 
 	base.Results = append(base.Results, toPerfResult("select-train", testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
+		b.SetBytes(int64(len(rawBenign) + len(rawMixed)))
 		for i := 0; i < b.N; i++ {
 			// Vary the seed as EvaluateRuns does: this is the per-run
 			// marginal cost once artifacts exist.
@@ -198,6 +232,7 @@ func runPerfSuite() (*perfBaseline, error) {
 
 	base.Results = append(base.Results, toPerfResult("detect", testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
+		b.SetBytes(int64(len(rawMalicious)))
 		for i := 0; i < b.N; i++ {
 			if _, err := clf.DetectLog(logs.Malicious); err != nil {
 				b.Fatal(err)
@@ -244,14 +279,22 @@ func runPerfBaseline(path string) error {
 }
 
 // perfRegressionThreshold flags fresh runs slower than baseline by more
-// than this ratio (>20% ns/op).
-const perfRegressionThreshold = 1.20
+// than this ratio (>20% ns/op); allocRegressionThreshold does the same
+// for allocs/op, with allocRegressionSlack absolute allocations of
+// headroom so near-zero baselines don't flag on measurement jitter.
+const (
+	perfRegressionThreshold  = 1.20
+	allocRegressionThreshold = 1.20
+	allocRegressionSlack     = 16
+)
 
 // runPerfCompare re-runs the benchmark suite and diffs it against the
-// committed baseline at path. Regressions beyond the threshold fail the
-// run unless warnOnly is set. Benchmarks present on only one side are
-// reported but never fail the comparison (new entries appear when the
-// suite grows).
+// committed baseline at path. ns/op regressions beyond the threshold
+// fail the run unless warnOnly is set; allocs/op regressions always
+// fail — allocation counts are deterministic, so they transfer across
+// machines and warrant a hard gate even where timings only warrant a
+// warning. Benchmarks present on only one side are reported but never
+// fail the comparison (new entries appear when the suite grows).
 func runPerfCompare(path string, warnOnly bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -272,10 +315,11 @@ func runPerfCompare(path string, warnOnly bool) error {
 	}
 
 	var regressions []string
+	var allocRegressions []string
 	for _, r := range fresh.Results {
 		o, ok := old[r.Name]
 		if !ok {
-			fmt.Printf("%-12s %12.0f ns/op   (new, not in baseline)\n", r.Name, r.NsPerOp)
+			fmt.Printf("%-12s %12.0f ns/op %8d allocs/op   (new, not in baseline)\n", r.Name, r.NsPerOp, r.AllocsPerOp)
 			continue
 		}
 		ratio := r.NsPerOp / o.NsPerOp
@@ -285,7 +329,13 @@ func runPerfCompare(path string, warnOnly bool) error {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx)", r.Name, o.NsPerOp, r.NsPerOp, ratio))
 		}
-		fmt.Printf("%-12s %12.0f ns/op  baseline %12.0f  %5.2fx  %s\n", r.Name, r.NsPerOp, o.NsPerOp, ratio, status)
+		if float64(r.AllocsPerOp) > float64(o.AllocsPerOp)*allocRegressionThreshold+allocRegressionSlack {
+			status = "ALLOC REGRESSION"
+			allocRegressions = append(allocRegressions,
+				fmt.Sprintf("%s: %d -> %d allocs/op", r.Name, o.AllocsPerOp, r.AllocsPerOp))
+		}
+		fmt.Printf("%-12s %12.0f ns/op  baseline %12.0f  %5.2fx  %8d allocs/op  baseline %8d  %s\n",
+			r.Name, r.NsPerOp, o.NsPerOp, ratio, r.AllocsPerOp, o.AllocsPerOp, status)
 	}
 	for _, o := range committed.Results {
 		found := false
@@ -306,10 +356,22 @@ func runPerfCompare(path string, warnOnly bool) error {
 		}
 		if warnOnly {
 			fmt.Fprintln(os.Stderr, "warning:", msg)
-			return nil
+		} else {
+			return fmt.Errorf("%s", msg)
+		}
+	}
+	// The allocation gate ignores warnOnly: allocs/op is deterministic,
+	// so a regression here is a code change, not host noise.
+	if len(allocRegressions) > 0 {
+		msg := fmt.Sprintf("%d allocation regression(s) vs %s (threshold %.0f%% + %d):",
+			len(allocRegressions), path, (allocRegressionThreshold-1)*100, allocRegressionSlack)
+		for _, r := range allocRegressions {
+			msg += "\n  " + r
 		}
 		return fmt.Errorf("%s", msg)
 	}
-	fmt.Printf("no perf regressions vs %s\n", path)
+	if len(regressions) == 0 {
+		fmt.Printf("no perf regressions vs %s\n", path)
+	}
 	return nil
 }

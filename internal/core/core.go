@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/callgraph"
 	"repro/internal/metrics"
@@ -396,36 +397,56 @@ func (c *Classifier) DetectLog(log *trace.Log) ([]Detection, error) {
 	return c.DetectLogContext(context.Background(), log)
 }
 
+// detectScratch is the pooled working memory of one DetectLog pass:
+// partition arenas, encoder scratch, the tuple and window buffers and
+// the scaled-vector buffer. Everything it backs is consumed before
+// DetectLogContext returns — only the fresh Detection slice escapes —
+// so recycling through a pool keeps concurrent detections (serve
+// workers, shadow canary) safe while making the steady state nearly
+// allocation-free.
+type detectScratch struct {
+	part   partition.Scratch
+	enc    preprocess.Scratch
+	tuples []preprocess.Tuple
+	wins   preprocess.WindowBuf
+	vec    []float64
+}
+
+var detectScratchPool = sync.Pool{New: func() any { return new(detectScratch) }}
+
 // DetectLogContext is DetectLog with telemetry spans nested under ctx.
 func (c *Classifier) DetectLogContext(ctx context.Context, log *trace.Log) ([]Detection, error) {
 	ctx, sp := telemetry.StartSpan(ctx, "detect")
 	defer sp.End()
+	ds := detectScratchPool.Get().(*detectScratch)
+	defer detectScratchPool.Put(ds)
 	_, spPart := telemetry.StartSpan(ctx, "partition")
-	part, err := partition.Split(log)
+	part, err := partition.SplitInto(log, &ds.part)
 	spPart.End()
 	if err != nil {
 		return nil, err
 	}
 	_, spEnc := telemetry.StartSpan(ctx, "encode")
-	tuples := c.enc.EncodeAll(part)
-	vecs, starts, err := preprocess.Coalesce(tuples, c.window)
+	ds.tuples = c.enc.EncodeInto(ds.tuples[:0], part, &ds.enc)
+	err = preprocess.CoalesceInto(&ds.wins, ds.tuples, c.window)
 	spEnc.End()
 	if err != nil {
 		return nil, err
 	}
 	_, spScore := telemetry.StartSpan(ctx, "score")
 	defer spScore.End()
-	out := make([]Detection, len(vecs))
+	out := make([]Detection, len(ds.wins.Vecs))
 	var malicious uint64
-	for i, v := range vecs {
-		score := c.model.Decision(c.scaler.Apply(v))
+	for i, v := range ds.wins.Vecs {
+		ds.vec = c.scaler.ApplyInto(ds.vec[:0], v)
+		score := c.model.Decision(ds.vec)
 		pMal := 0.5
 		if c.platt != nil {
 			pMal = 1 - c.platt.Probability(score)
 		}
 		out[i] = Detection{
-			FirstEvent:  starts[i],
-			LastEvent:   starts[i] + c.window - 1,
+			FirstEvent:  ds.wins.Starts[i],
+			LastEvent:   ds.wins.Starts[i] + c.window - 1,
 			Score:       score,
 			Probability: pMal,
 			Malicious:   score < 0,
@@ -442,8 +463,10 @@ func (c *Classifier) DetectLogContext(ctx context.Context, log *trace.Log) ([]De
 // classifyWindows runs the model over pre-built windows and fills the
 // confusion matrix.
 func (c *Classifier) classifyWindows(wins []window, actualBenign bool, conf *metrics.Confusion) {
+	var buf []float64
 	for _, w := range wins {
-		pred := c.model.Decision(c.scaler.Apply(w.vec)) >= 0
+		buf = c.scaler.ApplyInto(buf[:0], w.vec)
+		pred := c.model.Decision(buf) >= 0
 		conf.Add(actualBenign, pred)
 	}
 }

@@ -275,12 +275,15 @@ func meanSkipNaN(xs []float64) float64 {
 func testAUC(c *Classifier, testBenign, testMal []window) float64 {
 	scores := make([]float64, 0, len(testBenign)+len(testMal))
 	labels := make([]bool, 0, len(testBenign)+len(testMal))
+	var buf []float64
 	for _, w := range testBenign {
-		scores = append(scores, c.model.Decision(c.scaler.Apply(w.vec)))
+		buf = c.scaler.ApplyInto(buf[:0], w.vec)
+		scores = append(scores, c.model.Decision(buf))
 		labels = append(labels, true)
 	}
 	for _, w := range testMal {
-		scores = append(scores, c.model.Decision(c.scaler.Apply(w.vec)))
+		buf = c.scaler.ApplyInto(buf[:0], w.vec)
+		scores = append(scores, c.model.Decision(buf))
 		labels = append(labels, false)
 	}
 	_, auc, err := metrics.ROC(scores, labels)

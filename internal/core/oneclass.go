@@ -121,11 +121,14 @@ func EvaluateOneClass(ctx context.Context, benign, malicious *trace.Log, config 
 	}
 
 	var conf metrics.Confusion
+	var buf []float64
 	for _, w := range testBenign {
-		conf.Add(true, model.PredictInlier(scaler.Apply(w.vec)))
+		buf = scaler.ApplyInto(buf[:0], w.vec)
+		conf.Add(true, model.PredictInlier(buf))
 	}
 	for _, w := range testMal {
-		conf.Add(false, model.PredictInlier(scaler.Apply(w.vec)))
+		buf = scaler.ApplyInto(buf[:0], w.vec)
+		conf.Add(false, model.PredictInlier(buf))
 	}
 	return conf.Summary(), nil
 }

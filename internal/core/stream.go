@@ -25,9 +25,10 @@ var (
 	mCheckpointSecs  = telemetry.NewHistogram("core_checkpoint_seconds", "streaming checkpoint write latency", telemetry.DurationBuckets())
 )
 
-// splitOne partitions a single-event log; a variable so tests can inject
-// partition failures into the streaming path.
-var splitOne = partition.Split
+// splitOne partitions a single-event log into the caller's scratch
+// arena; a variable so tests can inject partition failures into the
+// streaming path.
+var splitOne = partition.SplitInto
 
 // EventError reports one event the streaming detector had to skip: its
 // stack walk could not be partitioned or encoded. The detector stays
@@ -79,6 +80,16 @@ type StreamDetector struct {
 	consumed int
 	skipped  int
 	winStart int
+	// Ingest scratch, recycled every Feed call: the one-event log handed
+	// to the splitter, its partition arena, the encoder scratch and the
+	// flattened/scaled window vectors. Anything retained across calls
+	// (evbuf, checkpoints) must be deep-copied out of these buffers.
+	oneEv  [1]trace.Event
+	oneLog trace.Log
+	ps     partition.Scratch
+	es     preprocess.Scratch
+	winVec []float64
+	svec   []float64
 }
 
 // Stream starts a streaming session for one process, identified by its
@@ -113,9 +124,12 @@ func (s *StreamDetector) Feed(e trace.Event) (*Detection, error) {
 	s.consumed++
 	mStreamEvents.Inc()
 	// Partition this single event: reuse the batch splitter on a
-	// one-event log to keep the classification path identical.
-	log := &trace.Log{App: s.modules.AppName(), Modules: s.modules, Events: []trace.Event{e}}
-	part, err := splitOne(log)
+	// one-event log to keep the classification path identical. The log
+	// header and event slot live on the detector so steady-state ingest
+	// allocates nothing.
+	s.oneEv[0] = e
+	s.oneLog = trace.Log{App: s.modules.AppName(), Modules: s.modules, Events: s.oneEv[:]}
+	part, err := splitOne(&s.oneLog, &s.ps)
 	if err != nil {
 		s.skipped++
 		mStreamSkipped.Inc()
@@ -132,16 +146,15 @@ func (s *StreamDetector) Feed(e trace.Event) (*Detection, error) {
 	if s.clf == nil {
 		return s.feedDegraded(&part.Events[0], ord)
 	}
-	s.buf = append(s.buf, s.clf.enc.Encode(&part.Events[0]))
+	s.buf = append(s.buf, s.clf.enc.EncodeOne(&s.es, &part.Events[0]))
 	if len(s.buf) < s.window {
 		return nil, nil
 	}
-	vecs, _, err := preprocess.Coalesce(s.buf, s.window)
-	if err != nil {
-		return nil, err
-	}
+	// The buffer holds exactly one window; flatten and scale it in place.
+	s.winVec = preprocess.FlattenWindow(s.winVec[:0], s.buf)
 	s.buf = s.buf[:0]
-	score := s.clf.model.Decision(s.clf.scaler.Apply(vecs[0]))
+	s.svec = s.clf.scaler.ApplyInto(s.svec[:0], s.winVec)
+	score := s.clf.model.Decision(s.svec)
 	pMal := 0.5
 	if s.clf.platt != nil {
 		pMal = 1 - s.clf.platt.Probability(score)
@@ -162,7 +175,13 @@ func (s *StreamDetector) Feed(e trace.Event) (*Detection, error) {
 // feedDegraded buffers the partitioned event and scores completed windows
 // with the call-graph baseline.
 func (s *StreamDetector) feedDegraded(pe *partition.Event, ord int) (*Detection, error) {
-	s.evbuf = append(s.evbuf, *pe)
+	// pe points into the Feed scratch arena, which the next Feed call
+	// recycles — but evbuf outlives this call (and is gob-encoded by
+	// Checkpoint), so the stack walks must be deep-copied out.
+	pc := *pe
+	pc.AppTrace = pe.AppTrace.Clone()
+	pc.SysTrace = pe.SysTrace.Clone()
+	s.evbuf = append(s.evbuf, pc)
 	if len(s.evbuf) < s.window {
 		return nil, nil
 	}

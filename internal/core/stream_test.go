@@ -77,14 +77,14 @@ func TestStreamFeedRecoversFromEventError(t *testing.T) {
 	failAt := 3
 	calls := 0
 	injected := errors.New("boom")
-	splitOne = func(log *trace.Log) (*partition.Log, error) {
+	splitOne = func(log *trace.Log, s *partition.Scratch) (*partition.Log, error) {
 		calls++
 		if calls == failAt+1 {
 			return nil, injected
 		}
-		return partition.Split(log)
+		return partition.SplitInto(log, s)
 	}
-	defer func() { splitOne = partition.Split }()
+	defer func() { splitOne = partition.SplitInto }()
 
 	var dets int
 	for i, e := range mal.Events[:3*clf.window] {
@@ -127,14 +127,14 @@ func TestStreamWindowAlignmentWithSkips(t *testing.T) {
 	// The 4th event fed is skipped: the first window then spans
 	// window+1 stream ordinals.
 	calls := 0
-	splitOne = func(log *trace.Log) (*partition.Log, error) {
+	splitOne = func(log *trace.Log, s *partition.Scratch) (*partition.Log, error) {
 		calls++
 		if calls == 4 {
 			return nil, errors.New("skip me")
 		}
-		return partition.Split(log)
+		return partition.SplitInto(log, s)
 	}
-	defer func() { splitOne = partition.Split }()
+	defer func() { splitOne = partition.SplitInto }()
 
 	var det *Detection
 	for _, e := range mal.Events[:clf.window+1] {
@@ -269,5 +269,35 @@ func TestStreamValidation(t *testing.T) {
 	}
 	if _, err := clf.Stream(nil); err == nil {
 		t.Error("nil module map accepted")
+	}
+}
+
+// TestStreamFeedSteadyStateAllocs pins the ingest hot path: once the
+// detector's scratch arenas and interning maps are warm, feeding events
+// allocates nothing except the Detection returned per completed window.
+func TestStreamFeedSteadyStateAllocs(t *testing.T) {
+	clf, mal := trainStream(t, 29)
+	stream, err := clf.Stream(mal.Modules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up on the full stream so every module and function name the
+	// log can produce is already interned.
+	for _, e := range mal.Events {
+		if _, err := stream.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	windows := float64(len(mal.Events)/clf.window + 2)
+	allocs := testing.AllocsPerRun(5, func() {
+		for _, e := range mal.Events {
+			if _, err := stream.Feed(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs > windows {
+		t.Errorf("Feed of %d warm events allocated %.0f times, want <= %.0f (one Detection per window)",
+			len(mal.Events), allocs, windows)
 	}
 }

@@ -81,6 +81,32 @@ func writeString(w io.Writer, s string) error {
 	return err
 }
 
+// recordSource abstracts the byte source a parse consumes so the record
+// loop, lenient recovery and resynchronization logic are written once
+// and run unchanged over the buffered streaming reader and the
+// in-memory zero-copy reader. All implementations share the streaming
+// reader's error and offset semantics: primitives fail with a
+// corrupt-wrapped io.EOF (nothing available) or io.ErrUnexpectedEOF
+// (partial record), consuming whatever was available so the offset
+// lands on the truncation point.
+type recordSource interface {
+	// offset is the number of bytes consumed so far.
+	offset() int64
+	full(b []byte) error
+	// discard skips n bytes (used by resynchronization scans),
+	// returning an error when fewer than n were available.
+	discard(n int) error
+	u8() (uint8, error)
+	u16() (uint16, error)
+	u32() (uint32, error)
+	u64() (uint64, error)
+	i64() (int64, error)
+	str() (string, error)
+	// peek returns up to n upcoming bytes without consuming them; an
+	// empty slice means end of input.
+	peek(n int) []byte
+}
+
 // reader decodes little-endian primitives while tracking the byte
 // offset in the stream, so lenient parsing can report where a record
 // failed and resynchronize from there.
@@ -88,6 +114,13 @@ type reader struct {
 	r   *bufio.Reader
 	off int64
 	buf [8]byte
+}
+
+func (rd *reader) offset() int64 { return rd.off }
+
+func (rd *reader) peek(n int) []byte {
+	b, _ := rd.r.Peek(n)
+	return b
 }
 
 // full reads exactly len(b) bytes, accounting for partial reads in the

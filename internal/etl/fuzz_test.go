@@ -48,6 +48,84 @@ func seedCorpus(f *testing.F) {
 	f.Add(data[:len(data)/3])
 }
 
+// sameRawFile fails t unless the two parses recovered identical content:
+// same processes, events, resolved stacks (element-wise, so slab-backed
+// and individually allocated walks compare equal), drop accounting and
+// error logs (offsets, tags, cause text and resync distances).
+func sameRawFile(t *testing.T, want, got *etl.RawFile) {
+	t.Helper()
+	if (want == nil) != (got == nil) {
+		t.Fatalf("one parse returned a file, the other nil (want=%v got=%v)", want != nil, got != nil)
+	}
+	if want == nil {
+		return
+	}
+	if want.Dropped != got.Dropped {
+		t.Fatalf("dropped: want %d, got %d", want.Dropped, got.Dropped)
+	}
+	if len(want.ErrorLog) != len(got.ErrorLog) {
+		t.Fatalf("error log length: want %d, got %d", len(want.ErrorLog), len(got.ErrorLog))
+	}
+	for i := range want.ErrorLog {
+		w, g := want.ErrorLog[i], got.ErrorLog[i]
+		if w.Offset != g.Offset || w.Tag != g.Tag || w.ResyncBytes != g.ResyncBytes || w.Cause.Error() != g.Cause.Error() {
+			t.Fatalf("error log [%d]: want %+v (%v), got %+v (%v)", i, w, w.Cause, g, g.Cause)
+		}
+	}
+	wPIDs, gPIDs := want.PIDs(), got.PIDs()
+	if len(wPIDs) != len(gPIDs) {
+		t.Fatalf("pids: want %v, got %v", wPIDs, gPIDs)
+	}
+	for i := range wPIDs {
+		if wPIDs[i] != gPIDs[i] {
+			t.Fatalf("pids: want %v, got %v", wPIDs, gPIDs)
+		}
+		wl, _ := want.Slice(wPIDs[i])
+		gl, _ := got.Slice(wPIDs[i])
+		if wl.App != gl.App || wl.PID != gl.PID || len(wl.Events) != len(gl.Events) {
+			t.Fatalf("pid %d: want (%q, %d events), got (%q, %d events)",
+				wPIDs[i], wl.App, len(wl.Events), gl.App, len(gl.Events))
+		}
+		for j := range wl.Events {
+			we, ge := &wl.Events[j], &gl.Events[j]
+			if we.Seq != ge.Seq || we.Type != ge.Type || !we.Time.Equal(ge.Time) ||
+				we.PID != ge.PID || we.TID != ge.TID || len(we.Stack) != len(ge.Stack) {
+				t.Fatalf("pid %d event %d: want %+v, got %+v", wPIDs[i], j, we, ge)
+			}
+			for k := range we.Stack {
+				if we.Stack[k] != ge.Stack[k] {
+					t.Fatalf("pid %d event %d frame %d: want %+v, got %+v",
+						wPIDs[i], j, k, we.Stack[k], ge.Stack[k])
+				}
+			}
+		}
+	}
+}
+
+// FuzzParseBytesCrossCheck holds the zero-copy parser to the streaming
+// parser's contract on arbitrary input, in both strictness modes:
+// identical recovered records, identical drop accounting and identical
+// resynchronization behaviour (error offsets, causes, resync bytes).
+func FuzzParseBytesCrossCheck(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		for _, opts := range []etl.ParseOpts{{}, {Lenient: true}} {
+			ref, refErr := etl.ParseWith(bytes.NewReader(in), opts)
+			zc, zcErr := etl.ParseBytes(in, opts)
+			if (refErr == nil) != (zcErr == nil) {
+				t.Fatalf("lenient=%v: streaming err=%v, zero-copy err=%v", opts.Lenient, refErr, zcErr)
+			}
+			if refErr != nil {
+				if refErr.Error() != zcErr.Error() {
+					t.Fatalf("lenient=%v: error text diverged:\n  streaming: %v\n  zero-copy: %v", opts.Lenient, refErr, zcErr)
+				}
+				continue
+			}
+			sameRawFile(t, ref, zc)
+		}
+	})
+}
+
 func FuzzParseStrict(f *testing.F) {
 	seedCorpus(f)
 	f.Fuzz(func(t *testing.T, in []byte) {

@@ -145,15 +145,101 @@ func (e *semanticError) Unwrap() error { return e.err }
 func semantic(err error) error { return &semanticError{err: err} }
 
 type parser struct {
-	rd   *reader
+	rd   recordSource
 	opts ParseOpts
 	f    *RawFile
-	// pending[pid<<32|tid] holds the index of the event awaiting its
-	// stack record.
-	pending map[uint64]int
+	// pending holds, per pid<<32|tid, the index of the event awaiting
+	// its stack record.
+	pending pendingSet
+	// records counts decoded records locally; the parse wrappers flush
+	// it to mParseRecords once instead of bumping the shared atomic on
+	// every record.
+	records uint64
+	// slab, when non-nil, backs stack walks with arena-carved frame
+	// slices instead of one allocation per stack record (the zero-copy
+	// ParseBytes path).
+	slab *Slab
+	// stackCache memoises resolved stack walks by (pid, raw frame bytes)
+	// on the zero-copy path, where the raw bytes can be peeked without
+	// copying. Live traces repeat call sites constantly, so most stack
+	// records skip symbol resolution entirely. Cached walks are shared
+	// between the events that produced identical raw stacks — parse
+	// output is read-only by contract.
+	stackCache map[string]trace.StackWalk
+	keyBuf     []byte
 }
 
 func pendingKey(pid, tid int) uint64 { return uint64(pid)<<32 | uint64(uint32(tid)) }
+
+// pendingSet maps pending keys to event indices. Real traces have a
+// handful of live threads at a time, so a linear-scanned array beats a
+// map on the hot path; pathological streams (every event on a new
+// thread) spill to a map rather than degrading quadratically.
+type pendingSet struct {
+	keys [pendingSpill]uint64
+	idxs [pendingSpill]int
+	n    int
+	m    map[uint64]int // non-nil once the array spilled
+}
+
+// pendingSpill is the array capacity beyond which pendingSet spills to
+// a map.
+const pendingSpill = 32
+
+func (s *pendingSet) get(k uint64) (int, bool) {
+	for i := 0; i < s.n; i++ {
+		if s.keys[i] == k {
+			return s.idxs[i], true
+		}
+	}
+	if s.m != nil {
+		idx, ok := s.m[k]
+		return idx, ok
+	}
+	return 0, false
+}
+
+// put inserts or replaces the entry for k and reports whether k was
+// already present (a dangling stack request).
+func (s *pendingSet) put(k uint64, idx int) bool {
+	for i := 0; i < s.n; i++ {
+		if s.keys[i] == k {
+			s.idxs[i] = idx
+			return true
+		}
+	}
+	if s.m != nil {
+		if _, ok := s.m[k]; ok {
+			s.m[k] = idx
+			return true
+		}
+	}
+	if s.n < pendingSpill {
+		s.keys[s.n], s.idxs[s.n] = k, idx
+		s.n++
+		return false
+	}
+	if s.m == nil {
+		s.m = make(map[uint64]int)
+	}
+	s.m[k] = idx
+	return false
+}
+
+func (s *pendingSet) del(k uint64) {
+	for i := 0; i < s.n; i++ {
+		if s.keys[i] == k {
+			s.n--
+			s.keys[i], s.idxs[i] = s.keys[s.n], s.idxs[s.n]
+			return
+		}
+	}
+	if s.m != nil {
+		delete(s.m, k)
+	}
+}
+
+func (s *pendingSet) len() int { return s.n + len(s.m) }
 
 // errTruncatedStream marks a lenient parse that ran out of input before
 // the end record.
@@ -196,13 +282,13 @@ func ParseWith(r io.Reader, opts ParseOpts) (*RawFile, error) {
 		opts.MaxErrors = DefaultMaxErrors
 	}
 	p := &parser{
-		rd:      &reader{r: bufio.NewReader(r)},
-		opts:    opts,
-		f:       &RawFile{byPID: make(map[int]*trace.Log)},
-		pending: make(map[uint64]int),
+		rd:   &reader{r: bufio.NewReader(r)},
+		opts: opts,
+		f:    &RawFile{byPID: make(map[int]*trace.Log)},
 	}
 	f, err := p.parse()
-	mParseBytes.Add(uint64(p.rd.off))
+	mParseBytes.Add(uint64(p.rd.offset()))
+	mParseRecords.Add(p.records)
 	if err != nil {
 		mParseFailures.Inc()
 		return nil, err
@@ -236,7 +322,7 @@ func (p *parser) parse() (*RawFile, error) {
 	}
 
 	for {
-		tagOff := p.rd.off
+		tagOff := p.rd.offset()
 		tag, err := p.rd.u8()
 		if err != nil {
 			if !opts.Lenient {
@@ -247,7 +333,7 @@ func (p *parser) parse() (*RawFile, error) {
 			if nerr := p.note(tagOff, 0, errTruncatedStream); nerr != nil {
 				return nil, nerr
 			}
-			p.f.Dropped += len(p.pending)
+			p.f.Dropped += p.pending.len()
 			return p.f, nil
 		}
 		if tag == recEnd {
@@ -255,18 +341,18 @@ func (p *parser) parse() (*RawFile, error) {
 				// An end record is only trustworthy at end of input: a
 				// corrupted byte that happens to read 0xFF mid-stream must
 				// not silently discard everything after it.
-				if b, _ := p.rd.r.Peek(1); len(b) > 0 {
+				if len(p.rd.peek(1)) > 0 {
 					if nerr := p.note(tagOff, tag, corrupt(errEarlyEnd)); nerr != nil {
 						return nil, nerr
 					}
-					before := p.rd.off
+					before := p.rd.offset()
 					p.resync()
-					p.f.ErrorLog[len(p.f.ErrorLog)-1].ResyncBytes = p.rd.off - before
-					mResyncBytes.Add(uint64(p.rd.off - before))
+					p.f.ErrorLog[len(p.f.ErrorLog)-1].ResyncBytes = p.rd.offset() - before
+					mResyncBytes.Add(uint64(p.rd.offset() - before))
 					continue
 				}
 			}
-			p.f.Dropped += len(p.pending)
+			p.f.Dropped += p.pending.len()
 			return p.f, nil
 		}
 		if err := p.record(tag); err != nil {
@@ -282,14 +368,14 @@ func (p *parser) parse() (*RawFile, error) {
 				return nil, nerr
 			}
 			if !isSem {
-				before := p.rd.off
+				before := p.rd.offset()
 				p.resync()
-				p.f.ErrorLog[len(p.f.ErrorLog)-1].ResyncBytes = p.rd.off - before
-				mResyncBytes.Add(uint64(p.rd.off - before))
+				p.f.ErrorLog[len(p.f.ErrorLog)-1].ResyncBytes = p.rd.offset() - before
+				mResyncBytes.Add(uint64(p.rd.offset() - before))
 			}
 			continue
 		}
-		mParseRecords.Inc()
+		p.records++
 	}
 }
 
@@ -334,6 +420,20 @@ func (p *parser) record(tag byte) error {
 }
 
 func (p *parser) event() error {
+	// Fast path: the 19-byte fixed body decoded from one bounds check on
+	// the in-memory stream. A short remainder falls through to the
+	// field-by-field loop so truncation errors keep the reference
+	// offsets.
+	if br, ok := p.rd.(*byteReader); ok && br.pos+19 <= len(br.data) {
+		b := br.data[br.pos : br.pos+19 : br.pos+19]
+		br.pos += 19
+		return p.eventDecoded(
+			binary.LittleEndian.Uint16(b),
+			int64(binary.LittleEndian.Uint64(b[2:])),
+			binary.LittleEndian.Uint32(b[10:]),
+			binary.LittleEndian.Uint32(b[14:]),
+			b[18])
+	}
 	rd := p.rd
 	typ, err := rd.u16()
 	if err != nil {
@@ -355,6 +455,11 @@ func (p *parser) event() error {
 	if err != nil {
 		return err
 	}
+	return p.eventDecoded(typ, ns, pid, tid, flags)
+}
+
+// eventDecoded applies one decoded event record to the parse state.
+func (p *parser) eventDecoded(typ uint16, ns int64, pid, tid uint32, flags uint8) error {
 	l, ok := p.f.byPID[int(pid)]
 	if !ok {
 		return semantic(corrupt(fmt.Errorf("event for undeclared pid %d", pid)))
@@ -368,33 +473,59 @@ func (p *parser) event() error {
 	}
 	l.Events = append(l.Events, e)
 	if flags&flagHasStack != 0 {
-		k := pendingKey(int(pid), int(tid))
-		if _, dangling := p.pending[k]; dangling {
+		if p.pending.put(pendingKey(int(pid), int(tid)), l.Len()-1) {
 			p.f.Dropped++
 		}
-		p.pending[k] = l.Len() - 1
 	}
 	return nil
 }
 
 func (p *parser) stack() error {
 	rd := p.rd
-	pid, err := rd.u32()
-	if err != nil {
-		return err
-	}
-	tid, err := rd.u32()
-	if err != nil {
-		return err
-	}
-	n, err := rd.u16()
-	if err != nil {
-		return err
+	var pid, tid uint32
+	var n uint16
+	if br, ok := rd.(*byteReader); ok && br.pos+10 <= len(br.data) {
+		b := br.data[br.pos : br.pos+10 : br.pos+10]
+		br.pos += 10
+		pid = binary.LittleEndian.Uint32(b)
+		tid = binary.LittleEndian.Uint32(b[4:])
+		n = binary.LittleEndian.Uint16(b[8:])
+	} else {
+		var err error
+		if pid, err = rd.u32(); err != nil {
+			return err
+		}
+		if tid, err = rd.u32(); err != nil {
+			return err
+		}
+		if n, err = rd.u16(); err != nil {
+			return err
+		}
 	}
 	if int(n) > maxFrames {
 		return corrupt(fmt.Errorf("stack of %d frames exceeds limit", n))
 	}
-	stack := make(trace.StackWalk, n)
+	// Zero-copy fast path: when the whole frame array is available to
+	// peek, look the raw bytes up in the per-parse cache and reuse the
+	// already-resolved walk. Short peeks (truncation) and the streaming
+	// reader fall through to the byte-by-byte loop, whose error
+	// positions and semantics stay the reference behaviour.
+	var cacheable bool
+	if p.slab != nil {
+		raw := rd.peek(8 * int(n))
+		if len(raw) == 8*int(n) {
+			cacheable = true
+			p.keyBuf = append(p.keyBuf[:0], byte(pid), byte(pid>>8), byte(pid>>16), byte(pid>>24))
+			p.keyBuf = append(p.keyBuf, raw...)
+			if cached, ok := p.stackCache[string(p.keyBuf)]; ok {
+				if err := rd.discard(8 * int(n)); err != nil {
+					return err
+				}
+				return p.correlateStack(int(pid), int(tid), cached, true, false)
+			}
+		}
+	}
+	stack := p.allocStack(int(n))
 	for i := range stack {
 		addr, err := rd.u64()
 		if err != nil {
@@ -402,21 +533,49 @@ func (p *parser) stack() error {
 		}
 		stack[i].Addr = addr
 	}
-	l, ok := p.f.byPID[int(pid)]
+	return p.correlateStack(int(pid), int(tid), stack, false, cacheable)
+}
+
+// correlateStack attaches a stack walk to the event awaiting it. A
+// resolved=false walk still holds raw addresses and is resolved here;
+// when remember is set the resolved walk is memoised under the key left
+// in p.keyBuf by the caller.
+func (p *parser) correlateStack(pid, tid int, stack trace.StackWalk, resolved, remember bool) error {
+	l, ok := p.f.byPID[pid]
 	if !ok {
 		return semantic(corrupt(fmt.Errorf("stack for undeclared pid %d", pid)))
 	}
-	k := pendingKey(int(pid), int(tid))
-	idx, ok := p.pending[k]
+	k := pendingKey(pid, tid)
+	idx, ok := p.pending.get(k)
 	if !ok {
 		// Orphan stack walk: no event awaits it. Real parsers
 		// tolerate these (lost events under load); drop it.
 		p.f.Dropped++
 		return nil
 	}
-	delete(p.pending, k)
-	l.Events[idx].Stack = l.Modules.ResolveStack(stack)
+	p.pending.del(k)
+	if !resolved {
+		stack = l.Modules.ResolveStack(stack)
+	}
+	if remember {
+		if p.stackCache == nil {
+			p.stackCache = make(map[string]trace.StackWalk)
+		}
+		p.stackCache[string(p.keyBuf)] = stack
+	}
+	l.Events[idx].Stack = stack
 	return nil
+}
+
+// allocStack returns a stack-walk buffer of n frames: carved from the
+// parse's frame slab when one is attached, otherwise allocated. Every
+// frame is fully overwritten before use (Addr here, Module/Function by
+// ResolveStack), so slab reuse needs no zeroing.
+func (p *parser) allocStack(n int) trace.StackWalk {
+	if p.slab == nil {
+		return make(trace.StackWalk, n)
+	}
+	return p.slab.alloc(n)
 }
 
 // resync advances the stream to the next plausible record boundary
@@ -424,9 +583,8 @@ func (p *parser) stack() error {
 // the main loop then records the truncation.
 func (p *parser) resync() {
 	for {
-		b, err := p.rd.r.Peek(resyncPeek)
+		b := p.rd.peek(resyncPeek)
 		if len(b) == 0 {
-			_ = err
 			return
 		}
 		if p.plausibleBoundary(b) {
@@ -514,7 +672,7 @@ func (p *parser) plausibleBoundary(b []byte) bool {
 const plausibleMaxEventType = 1024
 
 // parseProcess reads the body of a recProcess record.
-func parseProcess(rd *reader) (int, string, *trace.ModuleMap, error) {
+func parseProcess(rd recordSource) (int, string, *trace.ModuleMap, error) {
 	pid, err := rd.u32()
 	if err != nil {
 		return 0, "", nil, err

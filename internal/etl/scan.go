@@ -33,13 +33,20 @@ type RecordSpan struct {
 // writer could have produced. The end record, when present, is the last
 // span returned.
 func ScanRecords(data []byte) ([]RecordSpan, error) {
+	return ScanRecordsInto(nil, data)
+}
+
+// ScanRecordsInto is ScanRecords appending into dst (reusing its
+// capacity), so repeated scans over a stream reuse one span buffer.
+// Pass dst[:0] to recycle a previous result.
+func ScanRecordsInto(dst []RecordSpan, data []byte) ([]RecordSpan, error) {
 	if len(data) < HeaderLen || string(data[:len(magic)]) != magic {
 		return nil, corrupt(fmt.Errorf("bad or short header"))
 	}
 	if v := binary.LittleEndian.Uint16(data[len(magic):HeaderLen]); v != version {
 		return nil, corrupt(fmt.Errorf("unsupported version %d", v))
 	}
-	var spans []RecordSpan
+	spans := dst
 	pos := HeaderLen
 	for pos < len(data) {
 		start := pos

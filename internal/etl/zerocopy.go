@@ -1,0 +1,202 @@
+package etl
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// byteReader is the zero-copy recordSource over an in-memory stream: no
+// buffered reads, no per-primitive copies, just bounds-checked slicing.
+// Its error and offset semantics match the streaming reader exactly (see
+// recordSource), which the cross-check fuzz target enforces.
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (rd *byteReader) offset() int64 { return int64(rd.pos) }
+
+// fail consumes the remainder of the input and returns the truncation
+// error the streaming reader would have produced for a short read: EOF
+// when nothing was available, ErrUnexpectedEOF when a record was cut.
+func (rd *byteReader) fail() error {
+	atEOF := rd.pos >= len(rd.data)
+	rd.pos = len(rd.data)
+	if atEOF {
+		return corrupt(io.EOF)
+	}
+	return corrupt(io.ErrUnexpectedEOF)
+}
+
+func (rd *byteReader) full(b []byte) error {
+	if rd.pos+len(b) > len(rd.data) {
+		copy(b, rd.data[rd.pos:])
+		return rd.fail()
+	}
+	copy(b, rd.data[rd.pos:rd.pos+len(b)])
+	rd.pos += len(b)
+	return nil
+}
+
+func (rd *byteReader) discard(n int) error {
+	if rd.pos+n > len(rd.data) {
+		rd.pos = len(rd.data)
+		return io.EOF
+	}
+	rd.pos += n
+	return nil
+}
+
+func (rd *byteReader) u8() (uint8, error) {
+	if rd.pos >= len(rd.data) {
+		return 0, corrupt(io.EOF)
+	}
+	b := rd.data[rd.pos]
+	rd.pos++
+	return b, nil
+}
+
+func (rd *byteReader) u16() (uint16, error) {
+	if rd.pos+2 > len(rd.data) {
+		return 0, rd.fail()
+	}
+	v := binary.LittleEndian.Uint16(rd.data[rd.pos:])
+	rd.pos += 2
+	return v, nil
+}
+
+func (rd *byteReader) u32() (uint32, error) {
+	if rd.pos+4 > len(rd.data) {
+		return 0, rd.fail()
+	}
+	v := binary.LittleEndian.Uint32(rd.data[rd.pos:])
+	rd.pos += 4
+	return v, nil
+}
+
+func (rd *byteReader) u64() (uint64, error) {
+	if rd.pos+8 > len(rd.data) {
+		return 0, rd.fail()
+	}
+	v := binary.LittleEndian.Uint64(rd.data[rd.pos:])
+	rd.pos += 8
+	return v, nil
+}
+
+func (rd *byteReader) i64() (int64, error) {
+	u, err := rd.u64()
+	return int64(u), err
+}
+
+func (rd *byteReader) str() (string, error) {
+	n, err := rd.u16()
+	if err != nil {
+		return "", err
+	}
+	if int(n) > maxString {
+		return "", corrupt(fmt.Errorf("string length %d exceeds limit", n))
+	}
+	if rd.pos+int(n) > len(rd.data) {
+		return "", rd.fail()
+	}
+	s := string(rd.data[rd.pos : rd.pos+int(n)])
+	rd.pos += int(n)
+	return s, nil
+}
+
+func (rd *byteReader) peek(n int) []byte {
+	end := rd.pos + n
+	if end > len(rd.data) {
+		end = len(rd.data)
+	}
+	return rd.data[rd.pos:end]
+}
+
+// slabChunk is the minimum backing-array capacity a slab grows by, in
+// frames. Large enough that a typical parse settles into one or two
+// chunks, small enough not to waste memory on tiny logs.
+const slabChunk = 4096
+
+// Slab is a reusable arena for stack-walk frames. A parse carves every
+// stack walk out of contiguous chunks instead of allocating one slice
+// per stack record; reusing the slab across parses makes the steady
+// state allocation-free.
+//
+// Ownership: every trace.StackWalk in a RawFile produced by
+// ParseBytesSlab aliases the slab. The RawFile (and anything retaining
+// its stacks) is valid only until the next Reset; callers that outlive
+// the slab must Clone the walks they keep.
+type Slab struct {
+	frames []trace.Frame
+}
+
+// Reset recycles the slab's current chunk for the next parse. The
+// caller asserts that no stack walk carved from the slab is still live.
+func (s *Slab) Reset() { s.frames = s.frames[:0] }
+
+// alloc carves n frames off the slab, growing the backing chunk when
+// exhausted. Earlier walks keep aliasing the old chunk, so growth never
+// invalidates them. Frames are returned un-zeroed: every caller
+// overwrites all fields before the walk escapes.
+func (s *Slab) alloc(n int) trace.StackWalk {
+	if cap(s.frames)-len(s.frames) < n {
+		c := 2 * cap(s.frames)
+		if c < slabChunk {
+			c = slabChunk
+		}
+		if c < n {
+			c = n
+		}
+		s.frames = make([]trace.Frame, 0, c)
+	}
+	i := len(s.frames)
+	s.frames = s.frames[:i+n]
+	return trace.StackWalk(s.frames[i : i+n : i+n])
+}
+
+// ParseBytes is Parse/ParseWith over an in-memory stream on the
+// zero-copy path: primitives are sliced straight out of data and stack
+// walks are carved from a per-call frame slab, so the only steady
+// allocations left are the recovered logs themselves. Behaviour —
+// events, drop accounting, ErrorLog offsets and resynchronization — is
+// byte-identical to ParseWith(bytes.NewReader(data), opts); the
+// cross-check fuzz target holds the two to that contract.
+func ParseBytes(data []byte, opts ParseOpts) (*RawFile, error) {
+	return ParseBytesSlab(data, opts, nil)
+}
+
+// ParseBytesSlab is ParseBytes with a caller-owned frame slab, for
+// ingest loops that parse many streams and want zero steady-state
+// allocation from stack records. See Slab for the aliasing rules; a nil
+// slab gets a private one whose lifetime is the returned RawFile's.
+func ParseBytesSlab(data []byte, opts ParseOpts, slab *Slab) (*RawFile, error) {
+	_, sp := telemetry.StartSpan(context.Background(), "etl/parse_bytes")
+	defer sp.End()
+	if opts.MaxErrors == 0 {
+		opts.MaxErrors = DefaultMaxErrors
+	}
+	if slab == nil {
+		slab = &Slab{}
+	}
+	p := &parser{
+		rd:   &byteReader{data: data},
+		opts: opts,
+		f:    &RawFile{byPID: make(map[int]*trace.Log)},
+		slab: slab,
+	}
+	f, err := p.parse()
+	mParseBytes.Add(uint64(p.rd.offset()))
+	mParseRecords.Add(p.records)
+	if err != nil {
+		mParseFailures.Inc()
+		return nil, err
+	}
+	mParseEvents.Add(uint64(f.TotalEvents()))
+	mParseDropped.Add(uint64(f.Dropped))
+	return f, nil
+}

@@ -1,0 +1,54 @@
+package etl_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/etl"
+)
+
+// BenchmarkParseBytes measures the zero-copy parse path on a generated
+// benign log; BenchmarkParseStream is the io.Reader reference path on
+// the same bytes.
+func BenchmarkParseBytes(b *testing.B) {
+	raw := benchRaw(b)
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	var slab etl.Slab
+	for i := 0; i < b.N; i++ {
+		slab.Reset()
+		if _, err := etl.ParseBytesSlab(raw, etl.ParseOpts{}, &slab); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseStream(b *testing.B) {
+	raw := benchRaw(b)
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := etl.Parse(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRaw(b *testing.B) []byte {
+	b.Helper()
+	spec, err := dataset.ByName("vim_reverse_tcp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.BenignEvents, spec.MixedEvents, spec.MaliciousEvents = 2000, 10, 10
+	logs, err := spec.Generate(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := etl.WriteLogs(&buf, logs.Benign); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,94 @@
+// Deterministic cross-checks of the zero-copy parse path — the fuzz
+// target's contract, held on the generated corpus in every plain test
+// run.
+package etl_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/etl"
+	"repro/internal/faultinject"
+)
+
+// TestParseBytesMatchesStreaming runs the clean stream and every
+// deterministic single-fault mutant through both parsers, in both
+// strictness modes, and requires identical results.
+func TestParseBytesMatchesStreaming(t *testing.T) {
+	data := fuzzStream(t)
+	inputs := [][]byte{data, {}, []byte("LETL"), data[: len(data)/3 : len(data)/3]}
+	mutants, err := faultinject.Corpus(data, 7, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs = append(inputs, mutants...)
+
+	for i, in := range inputs {
+		for _, opts := range []etl.ParseOpts{{}, {Lenient: true}} {
+			ref, refErr := etl.ParseWith(bytes.NewReader(in), opts)
+			zc, zcErr := etl.ParseBytes(in, opts)
+			if (refErr == nil) != (zcErr == nil) {
+				t.Fatalf("input %d lenient=%v: streaming err=%v, zero-copy err=%v", i, opts.Lenient, refErr, zcErr)
+			}
+			if refErr != nil {
+				if refErr.Error() != zcErr.Error() {
+					t.Fatalf("input %d lenient=%v: error text diverged:\n  streaming: %v\n  zero-copy: %v",
+						i, opts.Lenient, refErr, zcErr)
+				}
+				continue
+			}
+			sameRawFile(t, ref, zc)
+		}
+	}
+}
+
+// TestParseBytesSlabReuse proves a shared slab is safe to recycle: a
+// Reset between parses yields files identical to fresh parses, and the
+// second parse reuses the first one's chunk instead of growing.
+func TestParseBytesSlabReuse(t *testing.T) {
+	data := fuzzStream(t)
+	ref, err := etl.ParseBytes(data, etl.ParseOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var slab etl.Slab
+	for round := 0; round < 3; round++ {
+		slab.Reset()
+		got, err := etl.ParseBytesSlab(data, etl.ParseOpts{}, &slab)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		sameRawFile(t, ref, got)
+	}
+}
+
+// TestScanRecordsInto proves the span buffer is reused: scanning into a
+// recycled slice appends into the same backing array and returns the
+// same spans as a fresh scan.
+func TestScanRecordsInto(t *testing.T) {
+	data := fuzzStream(t)
+	ref, err := etl.ScanRecords(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := etl.ScanRecordsInto(nil, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := etl.ScanRecordsInto(spans[:0], data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &reused[0] != &spans[0] {
+		t.Fatal("ScanRecordsInto reallocated despite sufficient capacity")
+	}
+	if len(reused) != len(ref) {
+		t.Fatalf("span count: want %d, got %d", len(ref), len(reused))
+	}
+	for i := range ref {
+		if reused[i] != ref[i] {
+			t.Fatalf("span %d: want %+v, got %+v", i, ref[i], reused[i])
+		}
+	}
+}

@@ -57,35 +57,73 @@ func (l *Log) Len() int { return len(l.Events) }
 // kept with empty traces so event ordinals remain aligned with the source
 // log.
 func Split(log *trace.Log) (*Log, error) {
+	return SplitInto(log, &Scratch{})
+}
+
+// Scratch is the reusable working memory of SplitInto: the partitioned
+// event slice plus one frame arena per trace side. After a warm-up call
+// its capacities have converged and further splits of similar logs
+// allocate nothing.
+//
+// Ownership: the Log returned by SplitInto, its events and their
+// app/system traces all alias the scratch; they are valid only until
+// the next SplitInto on the same scratch. Callers that retain events
+// past that point must deep-copy the traces (trace.StackWalk.Clone).
+type Scratch struct {
+	log    Log
+	events []Event
+	app    trace.StackWalk
+	sys    trace.StackWalk
+}
+
+// SplitInto is Split backed by caller-owned scratch memory, for ingest
+// loops that partition one log (often a single event) per iteration.
+// Results are byte-identical to Split's; see Scratch for aliasing
+// rules.
+func SplitInto(log *trace.Log, s *Scratch) (*Log, error) {
 	if log == nil {
 		return nil, errors.New("partition: nil log")
 	}
 	if log.Modules == nil {
 		return nil, errors.New("partition: log has no module map")
 	}
-	out := &Log{App: log.App, PID: log.PID, Events: make([]Event, 0, log.Len())}
+	s.events = s.events[:0]
+	s.app = s.app[:0]
+	s.sys = s.sys[:0]
 	var stackless, appFrames, sysFrames int
-	for _, e := range log.Events {
+	for i := range log.Events {
+		e := &log.Events[i]
 		pe := Event{Seq: e.Seq, Type: e.Type, TID: e.TID}
 		if len(e.Stack) == 0 {
 			stackless++
 		}
+		appStart, sysStart := len(s.app), len(s.sys)
 		for _, fr := range e.Stack {
 			if isSystemFrame(log.Modules, fr) {
-				pe.SysTrace = append(pe.SysTrace, fr)
+				s.sys = append(s.sys, fr)
 			} else {
-				pe.AppTrace = append(pe.AppTrace, fr)
+				s.app = append(s.app, fr)
 			}
+		}
+		// Arena growth copies the in-flight frames to the new backing,
+		// so index-based subslicing stays correct; earlier events keep
+		// aliasing the old backing, which append never mutates.
+		if len(s.app) > appStart {
+			pe.AppTrace = s.app[appStart:len(s.app):len(s.app)]
+		}
+		if len(s.sys) > sysStart {
+			pe.SysTrace = s.sys[sysStart:len(s.sys):len(s.sys)]
 		}
 		appFrames += len(pe.AppTrace)
 		sysFrames += len(pe.SysTrace)
-		out.Events = append(out.Events, pe)
+		s.events = append(s.events, pe)
 	}
 	mSplitEvents.Add(uint64(log.Len()))
 	mSplitStackless.Add(uint64(stackless))
 	mSplitAppFrames.Add(uint64(appFrames))
 	mSplitSysFrames.Add(uint64(sysFrames))
-	return out, nil
+	s.log = Log{App: log.App, PID: log.PID, Events: s.events}
+	return &s.log, nil
 }
 
 // isSystemFrame reports whether a frame belongs to the system stack trace:

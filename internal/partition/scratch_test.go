@@ -1,0 +1,79 @@
+// Equivalence and allocation tests for the scratch split path.
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/appsim"
+	"repro/internal/trace"
+)
+
+func generatedLog(t *testing.T, seed int64, events int) *trace.Log {
+	t.Helper()
+	payload := appsim.ReverseTCPProfile()
+	p, err := appsim.NewProcess(appsim.VimProfile(), &payload, appsim.MethodOfflineInfection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := p.GenerateLog(appsim.GenConfig{Seed: seed, Events: events, PayloadFraction: 0.3, PID: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// TestSplitIntoMatchesSplit requires the scratch split to produce the
+// same partitioned events as Split, across repeated reuses of one
+// scratch over different logs.
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	var s Scratch
+	for _, seed := range []int64{1, 2, 3} {
+		log := generatedLog(t, seed, 400)
+		want, err := Split(log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SplitInto(log, &s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.App != want.App || got.PID != want.PID || len(got.Events) != len(want.Events) {
+			t.Fatalf("seed %d: got (%q, %d, %d events), want (%q, %d, %d events)",
+				seed, got.App, got.PID, len(got.Events), want.App, want.PID, len(want.Events))
+		}
+		for i := range want.Events {
+			w, g := &want.Events[i], &got.Events[i]
+			if w.Seq != g.Seq || w.Type != g.Type || w.TID != g.TID ||
+				len(w.AppTrace) != len(g.AppTrace) || len(w.SysTrace) != len(g.SysTrace) {
+				t.Fatalf("seed %d event %d: want %+v, got %+v", seed, i, w, g)
+			}
+			for j := range w.AppTrace {
+				if w.AppTrace[j] != g.AppTrace[j] {
+					t.Fatalf("seed %d event %d app frame %d differs", seed, i, j)
+				}
+			}
+			for j := range w.SysTrace {
+				if w.SysTrace[j] != g.SysTrace[j] {
+					t.Fatalf("seed %d event %d sys frame %d differs", seed, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestSplitIntoSteadyStateAllocs requires a warm scratch split to be
+// allocation-free.
+func TestSplitIntoSteadyStateAllocs(t *testing.T) {
+	log := generatedLog(t, 7, 400)
+	var s Scratch
+	if _, err := SplitInto(log, &s); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		if _, err := SplitInto(log, &s); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("warm SplitInto allocates %.2f per call, want 0", avg)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -120,6 +121,10 @@ func (enc *Encoder) NumFuncClusters() int { return enc.fns.numClusters }
 
 // Encode discretises one event. Unseen library/function sets are assigned
 // to the nearest learned cluster by Jaccard distance to cluster medoids.
+//
+// This is the allocating reference implementation (set maps, sorted key
+// slices); hot paths use EncodeOne/EncodeBatch, which are tested to
+// produce identical tuples without the per-event garbage.
 func (enc *Encoder) Encode(e *partition.Event) Tuple {
 	return Tuple{
 		EventType: int(e.Type),
@@ -128,14 +133,94 @@ func (enc *Encoder) Encode(e *partition.Event) Tuple {
 	}
 }
 
-// EncodeAll discretises every event of a partitioned log, in order.
-func (enc *Encoder) EncodeAll(log *partition.Log) []Tuple {
-	out := make([]Tuple, log.Len())
-	for i := range log.Events {
-		out[i] = enc.Encode(&log.Events[i])
+// Scratch is the reusable working memory of the scratch encode path:
+// the distinct-name buffer, the set-key buffer and the interned
+// module-qualified function names. The zero value is ready to use. A
+// Scratch belongs to one goroutine at a time; the Encoder itself stays
+// immutable and safe for concurrent use.
+type Scratch struct {
+	names []string
+	key   []byte
+	qual  map[qualName]string
+}
+
+type qualName struct{ module, function string }
+
+// qualified returns the interned "module!function" string for a frame,
+// concatenating only the first time a pair is seen.
+func (s *Scratch) qualified(module, function string) string {
+	if s.qual == nil {
+		s.qual = make(map[qualName]string)
 	}
-	mEncodedEvents.Add(uint64(len(out)))
-	return out
+	k := qualName{module, function}
+	if q, ok := s.qual[k]; ok {
+		return q
+	}
+	q := module + "!" + function
+	s.qual[k] = q
+	return q
+}
+
+// appendDistinct appends name unless present. Linear scan: stack-walk
+// name sets are tiny (bounded by stack depth, typically a handful).
+func appendDistinct(names []string, name string) []string {
+	for _, n := range names {
+		if n == name {
+			return names
+		}
+	}
+	return append(names, name)
+}
+
+// EncodeOne discretises one event on the scratch path: the sorted
+// library and function sets are built in scratch buffers and matched
+// against the fitted clusters without allocating. Tuples are identical
+// to Encode's.
+func (enc *Encoder) EncodeOne(s *Scratch, e *partition.Event) Tuple {
+	t := Tuple{EventType: int(e.Type)}
+	s.names = s.names[:0]
+	for _, fr := range e.SysTrace {
+		if fr.Module != "" {
+			s.names = appendDistinct(s.names, fr.Module)
+		}
+	}
+	slices.Sort(s.names)
+	t.Lib = enc.libs.assignScratch(s)
+	s.names = s.names[:0]
+	for _, fr := range e.SysTrace {
+		if fr.Function != "" {
+			s.names = appendDistinct(s.names, s.qualified(fr.Module, fr.Function))
+		}
+	}
+	slices.Sort(s.names)
+	t.Func = enc.fns.assignScratch(s)
+	return t
+}
+
+// EncodeBatch discretises events in order, appending the tuples to dst
+// (pass dst[:0] to recycle a previous batch). A nil scratch gets a
+// private one for the call; passing one in makes repeated batches
+// allocation-free.
+func (enc *Encoder) EncodeBatch(dst []Tuple, events []partition.Event, s *Scratch) []Tuple {
+	if s == nil {
+		s = &Scratch{}
+	}
+	for i := range events {
+		dst = append(dst, enc.EncodeOne(s, &events[i]))
+	}
+	mEncodedEvents.Add(uint64(len(events)))
+	return dst
+}
+
+// EncodeInto is EncodeBatch over a partitioned log.
+func (enc *Encoder) EncodeInto(dst []Tuple, log *partition.Log, s *Scratch) []Tuple {
+	return enc.EncodeBatch(dst, log.Events, s)
+}
+
+// EncodeAll discretises every event of a partitioned log, in order. It
+// is the allocating convenience wrapper over EncodeInto.
+func (enc *Encoder) EncodeAll(log *partition.Log) []Tuple {
+	return enc.EncodeInto(make([]Tuple, 0, log.Len()), log, nil)
 }
 
 // Coalesce groups consecutive tuples into windows of the given size and
@@ -145,23 +230,63 @@ func (enc *Encoder) EncodeAll(log *partition.Log) []Tuple {
 // partial window is dropped. It returns, alongside the vectors, the index
 // of the first event of each window.
 func Coalesce(tuples []Tuple, window int) (vecs [][]float64, starts []int, err error) {
+	var wb WindowBuf
+	if err := CoalesceInto(&wb, tuples, window); err != nil {
+		return nil, nil, err
+	}
+	return wb.Vecs, wb.Starts, nil
+}
+
+// WindowBuf is a reusable coalescing buffer. After CoalesceInto, Vecs
+// and Starts hold the same windows Coalesce would have returned, with
+// every vector sliced out of one shared slab.
+//
+// Ownership: Vecs and their backing slab are valid until the next
+// CoalesceInto on the same buffer; retain windows past that only by
+// copying. The vectors are capacity-clipped, so an append by a retainer
+// copies out instead of clobbering the slab.
+type WindowBuf struct {
+	Vecs   [][]float64
+	Starts []int
+	slab   []float64
+}
+
+// CoalesceInto is Coalesce writing into a reusable buffer: one slab
+// holds every window vector, so a warm buffer coalesces without
+// allocating.
+func CoalesceInto(wb *WindowBuf, tuples []Tuple, window int) error {
 	if window < 1 {
-		return nil, nil, fmt.Errorf("preprocess: window %d must be positive", window)
+		return fmt.Errorf("preprocess: window %d must be positive", window)
 	}
 	n := len(tuples) / window
-	vecs = make([][]float64, 0, n)
-	starts = make([]int, 0, n)
+	wb.Vecs = wb.Vecs[:0]
+	wb.Starts = wb.Starts[:0]
+	if need := 3 * window * n; cap(wb.slab) < need {
+		wb.slab = make([]float64, 0, need)
+	}
+	wb.slab = wb.slab[:0]
 	for w := 0; w < n; w++ {
-		vec := make([]float64, 0, 3*window)
+		start := len(wb.slab)
 		for i := w * window; i < (w+1)*window; i++ {
-			vec = append(vec, float64(tuples[i].EventType), float64(tuples[i].Lib), float64(tuples[i].Func))
+			wb.slab = append(wb.slab, float64(tuples[i].EventType), float64(tuples[i].Lib), float64(tuples[i].Func))
 		}
-		vecs = append(vecs, vec)
-		starts = append(starts, w*window)
+		wb.Vecs = append(wb.Vecs, wb.slab[start:len(wb.slab):len(wb.slab)])
+		wb.Starts = append(wb.Starts, w*window)
 	}
 	mWindows.Add(uint64(n))
 	mTailDropped.Add(uint64(len(tuples) - n*window))
-	return vecs, starts, nil
+	return nil
+}
+
+// FlattenWindow flattens exactly one window of tuples into dst (pass
+// dst[:0] to reuse it) — the streaming detector's single-window
+// counterpart of Coalesce, counted as one coalesced window.
+func FlattenWindow(dst []float64, tuples []Tuple) []float64 {
+	for i := range tuples {
+		dst = append(dst, float64(tuples[i].EventType), float64(tuples[i].Lib), float64(tuples[i].Func))
+	}
+	mWindows.Inc()
+	return dst
 }
 
 // Jaccard returns the Jaccard set dissimilarity of two sorted string
@@ -265,6 +390,29 @@ func (sc *setClusters) assign(s []string) int {
 	if l, ok := sc.keyToLabel[setKey(s)]; ok {
 		return l
 	}
+	return sc.nearestMedoid(s)
+}
+
+// assignScratch is assign over the sorted distinct names sitting in the
+// scratch: the set key is built in the scratch's byte buffer, and the
+// map probe compiles to an allocation-free string-keyed lookup.
+func (sc *setClusters) assignScratch(s *Scratch) int {
+	s.key = s.key[:0]
+	for i, n := range s.names {
+		if i > 0 {
+			s.key = append(s.key, 0)
+		}
+		s.key = append(s.key, n...)
+	}
+	if l, ok := sc.keyToLabel[string(s.key)]; ok {
+		return l
+	}
+	return sc.nearestMedoid(s.names)
+}
+
+// nearestMedoid maps an unseen sorted set to the cluster whose medoid
+// it is least dissimilar to.
+func (sc *setClusters) nearestMedoid(s []string) int {
 	best, bestD := 0, 2.0
 	for c, mi := range sc.medoids {
 		if d := Jaccard(s, sc.uniq[mi]); d < bestD {

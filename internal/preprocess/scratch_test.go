@@ -1,0 +1,151 @@
+// Equivalence and allocation tests for the scratch encode path: the
+// hot-path APIs must produce tuples byte-identical to the allocating
+// reference implementation, and must stop allocating once warm.
+package preprocess
+
+import (
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// TestEncodeOneMatchesEncode holds EncodeOne to Encode's output on
+// every event of a fitted log plus a log the encoder never saw (so both
+// the key-hit and the nearest-medoid fallback paths are exercised).
+func TestEncodeOneMatchesEncode(t *testing.T) {
+	seen := partitionedLog(t, 3)
+	unseen := partitionedLog(t, 77)
+	enc, err := Fit(seen.Events, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Scratch
+	for _, part := range []*partition.Log{seen, unseen} {
+		for i := range part.Events {
+			e := &part.Events[i]
+			want := enc.Encode(e)
+			if got := enc.EncodeOne(&s, e); got != want {
+				t.Fatalf("event %d: Encode=%+v EncodeOne=%+v", i, want, got)
+			}
+		}
+	}
+}
+
+// TestEncodeBatchMatchesEncodeAll checks the batch wrappers: EncodeAll,
+// EncodeInto and EncodeBatch must agree, and a recycled dst must be
+// reused in place.
+func TestEncodeBatchMatchesEncodeAll(t *testing.T) {
+	part := partitionedLog(t, 5)
+	enc, err := Fit(part.Events, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := enc.EncodeAll(part)
+	var s Scratch
+	got := enc.EncodeInto(nil, part, &s)
+	if len(got) != len(want) {
+		t.Fatalf("EncodeInto returned %d tuples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tuple %d: want %+v, got %+v", i, want[i], got[i])
+		}
+	}
+	reused := enc.EncodeBatch(got[:0], part.Events, &s)
+	if &reused[0] != &got[0] {
+		t.Fatal("EncodeBatch reallocated despite sufficient capacity")
+	}
+}
+
+// TestEncodeOneSteadyStateAllocs requires the warm scratch path to be
+// allocation-free per event.
+func TestEncodeOneSteadyStateAllocs(t *testing.T) {
+	part := partitionedLog(t, 9)
+	enc, err := Fit(part.Events, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Scratch
+	for i := range part.Events {
+		enc.EncodeOne(&s, &part.Events[i])
+	}
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		enc.EncodeOne(&s, &part.Events[i%len(part.Events)])
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("warm EncodeOne allocates %.2f per event, want 0", avg)
+	}
+}
+
+// TestCoalesceIntoMatchesCoalesce checks the slab-backed coalescer
+// against the allocating wrapper, including the degenerate window.
+func TestCoalesceIntoMatchesCoalesce(t *testing.T) {
+	part := partitionedLog(t, 11)
+	enc, err := Fit(part.Events, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := enc.EncodeAll(part)
+	var wb WindowBuf
+	if err := CoalesceInto(&wb, tuples, 0); err == nil {
+		t.Fatal("CoalesceInto(window 0) succeeded")
+	}
+	for _, window := range []int{1, 7, 10} {
+		vecs, starts, err := Coalesce(tuples, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CoalesceInto(&wb, tuples, window); err != nil {
+			t.Fatal(err)
+		}
+		if len(wb.Vecs) != len(vecs) || len(wb.Starts) != len(starts) {
+			t.Fatalf("window %d: got %d/%d windows, want %d/%d",
+				window, len(wb.Vecs), len(wb.Starts), len(vecs), len(starts))
+		}
+		for i := range vecs {
+			if wb.Starts[i] != starts[i] {
+				t.Fatalf("window %d start %d: want %d, got %d", window, i, starts[i], wb.Starts[i])
+			}
+			for j := range vecs[i] {
+				if wb.Vecs[i][j] != vecs[i][j] {
+					t.Fatalf("window %d vec %d[%d]: want %v, got %v",
+						window, i, j, vecs[i][j], wb.Vecs[i][j])
+				}
+			}
+		}
+	}
+	// A warm buffer must coalesce without allocating.
+	if avg := testing.AllocsPerRun(50, func() {
+		if err := CoalesceInto(&wb, tuples, 10); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("warm CoalesceInto allocates %.2f per call, want 0", avg)
+	}
+}
+
+// TestFlattenWindowMatchesCoalesce pins the streaming single-window
+// flattener to Coalesce's vector layout.
+func TestFlattenWindowMatchesCoalesce(t *testing.T) {
+	part := partitionedLog(t, 13)
+	enc, err := Fit(part.Events, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := enc.EncodeAll(part)[:10]
+	vecs, _, err := Coalesce(tuples, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FlattenWindow(nil, tuples)
+	if len(got) != len(vecs[0]) {
+		t.Fatalf("FlattenWindow returned %d dims, want %d", len(got), len(vecs[0]))
+	}
+	for i := range got {
+		if got[i] != vecs[0][i] {
+			t.Fatalf("dim %d: want %v, got %v", i, vecs[0][i], got[i])
+		}
+	}
+}

@@ -112,6 +112,13 @@ func (s *session) pop() (*ingestBatch, bool) {
 // access is serial and batch order is preserved.
 func (s *session) score(b *ingestBatch) ingestReply {
 	var rep ingestReply
+	// Size the verdict slice once from the window arithmetic instead of
+	// growing it append by append mid-turn.
+	if s.window > 0 {
+		if n := (s.det.Pending() + len(b.events)) / s.window; n > 0 {
+			rep.verdicts = make([]Verdict, 0, n)
+		}
+	}
 	for _, e := range b.events {
 		det, err := s.det.Feed(e)
 		var evErr *core.EventError

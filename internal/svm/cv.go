@@ -18,6 +18,16 @@ import (
 // cannot make a degenerate single-class model look good). The per-sample
 // weights also follow their samples into the training folds.
 func CrossValidate(prob Problem, params Params, folds int, seed int64) (float64, error) {
+	return crossValidateShared(prob, params, folds, seed, nil)
+}
+
+// crossValidateShared is CrossValidate with an optional shared raw-row
+// cache over prob.X's samples (see RowCache): the training folds of one
+// problem overlap pairwise in all but 2/k of the kernel matrix, and a
+// grid sweep revisits the same rows for every λ, so fold solvers gather
+// their Q rows from the cache instead of re-evaluating the kernel. The
+// score is byte-identical to the self-contained path.
+func crossValidateShared(prob Problem, params Params, folds int, seed int64, shared *RowCache) (float64, error) {
 	if err := prob.Validate(); err != nil {
 		return 0, err
 	}
@@ -34,7 +44,7 @@ func CrossValidate(prob Problem, params Params, folds int, seed int64) (float64,
 	var tested int
 	for f := 0; f < folds; f++ {
 		var train Problem
-		var testIdx []int
+		var testIdx, gidx []int
 		for idx, p := range perm {
 			if idx%folds == f {
 				testIdx = append(testIdx, p)
@@ -45,8 +55,11 @@ func CrossValidate(prob Problem, params Params, folds int, seed int64) (float64,
 			if prob.Weight != nil {
 				train.Weight = append(train.Weight, prob.Weight[p])
 			}
+			if shared != nil {
+				gidx = append(gidx, p)
+			}
 		}
-		model, err := Train(train, params)
+		model, err := trainShared(train, params, shared, gidx)
 		if err != nil {
 			// A fold can lose one class entirely; skip it rather than
 			// fail the whole estimate.
@@ -141,13 +154,23 @@ func GridSearch(prob Problem, grid GridSpec) (Params, float64, error) {
 
 	type point struct {
 		params Params
+		cache  *RowCache
 		acc    float64
 		err    error
+	}
+	// One shared raw-row cache per σ²: the kernel matrix depends only on
+	// the kernel, so the entire λ axis of the sweep and every
+	// cross-validation fold inside it gather from the same rows. The
+	// cache is mutex-striped, so concurrent grid-point workers hitting
+	// the same σ² are safe.
+	caches := make(map[float64]*RowCache, len(grid.Sigma2s))
+	for _, s2 := range grid.Sigma2s {
+		caches[s2] = NewRowCache(prob.X, RBFKernel{Sigma2: s2})
 	}
 	points := make([]point, 0, len(grid.Lambdas)*len(grid.Sigma2s))
 	for _, l := range grid.Lambdas {
 		for _, s2 := range grid.Sigma2s {
-			points = append(points, point{params: Params{Lambda: l, Kernel: RBFKernel{Sigma2: s2}}})
+			points = append(points, point{params: Params{Lambda: l, Kernel: RBFKernel{Sigma2: s2}}, cache: caches[s2]})
 		}
 	}
 
@@ -160,7 +183,7 @@ func GridSearch(prob Problem, grid GridSpec) (Params, float64, error) {
 	}
 	if workers <= 1 {
 		for i := range points {
-			points[i].acc, points[i].err = CrossValidate(prob, points[i].params, folds, grid.Seed)
+			points[i].acc, points[i].err = crossValidateShared(prob, points[i].params, folds, grid.Seed, points[i].cache)
 		}
 	} else {
 		sem := make(chan struct{}, workers)
@@ -171,7 +194,7 @@ func GridSearch(prob Problem, grid GridSpec) (Params, float64, error) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				points[i].acc, points[i].err = CrossValidate(prob, points[i].params, folds, grid.Seed)
+				points[i].acc, points[i].err = crossValidateShared(prob, points[i].params, folds, grid.Seed, points[i].cache)
 			}(i)
 		}
 		wg.Wait()

@@ -1,0 +1,73 @@
+package svm
+
+import "sync"
+
+// rowCacheStripes is the stripe count of a RowCache: a power of two so
+// the index→stripe mapping is a mask, large enough that the grid-search
+// worker pool rarely contends on one lock.
+const rowCacheStripes = 16
+
+// RowCache is a sharded, mutex-striped cache of raw kernel rows
+// K[i][j] = k(xᵢ,xⱼ) over one fixed sample set, keyed by sample index.
+// It is safe for concurrent use: every scorer sharing a kernel — the
+// grid-search worker pool sweeping λ at one σ², the cross-validation
+// folds inside each sweep — gathers its label-signed Q rows from the
+// same raw rows instead of re-evaluating the kernel. Rows are pure
+// functions of (i, x, kernel), so concurrent duplicate computation is
+// value-identical and the first stored row is kept canonical.
+type RowCache struct {
+	x       [][]float64
+	kernel  Kernel
+	stripes [rowCacheStripes]rowStripe
+}
+
+type rowStripe struct {
+	mu   sync.Mutex
+	rows map[int][]float64
+}
+
+// NewRowCache builds an empty cache over the sample set for one kernel.
+// The cache aliases x; callers must not mutate the vectors while the
+// cache is live.
+func NewRowCache(x [][]float64, kernel Kernel) *RowCache {
+	c := &RowCache{x: x, kernel: kernel}
+	for i := range c.stripes {
+		c.stripes[i].rows = make(map[int][]float64)
+	}
+	return c
+}
+
+// Len returns the sample count the cache spans.
+func (c *RowCache) Len() int { return len(c.x) }
+
+// Row returns the raw kernel row of sample i, computing it outside the
+// stripe lock on first use. The returned slice is shared and must be
+// treated as read-only.
+func (c *RowCache) Row(i int) []float64 {
+	st := &c.stripes[i&(rowCacheStripes-1)]
+	st.mu.Lock()
+	if r, ok := st.rows[i]; ok {
+		st.mu.Unlock()
+		mCacheHits.Inc()
+		return r
+	}
+	st.mu.Unlock()
+
+	mCacheMisses.Inc()
+	row := make([]float64, len(c.x))
+	for j := range c.x {
+		row[j] = c.kernel.Compute(c.x[i], c.x[j])
+	}
+	mKernelEvals.Add(uint64(len(row)))
+
+	st.mu.Lock()
+	if r, ok := st.rows[i]; ok {
+		// Lost the race: keep the first stored row canonical so every
+		// caller aliases one backing array.
+		row = r
+	} else {
+		st.rows[i] = row
+	}
+	st.mu.Unlock()
+	return row
+}

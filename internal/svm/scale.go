@@ -54,6 +54,21 @@ func (s *Scaler) Apply(v []float64) []float64 {
 	return out
 }
 
+// ApplyInto scales v into dst, reusing dst's capacity (pass dst[:0] to
+// recycle a buffer); it returns the scaled vector. The hot-path
+// counterpart of Apply.
+func (s *Scaler) ApplyInto(dst, v []float64) []float64 {
+	for d := range v {
+		span := s.max[d] - s.min[d]
+		if span == 0 {
+			dst = append(dst, 0)
+			continue
+		}
+		dst = append(dst, (v[d]-s.min[d])/span)
+	}
+	return dst
+}
+
 // ApplyAll scales every vector.
 func (s *Scaler) ApplyAll(x [][]float64) [][]float64 {
 	out := make([][]float64, len(x))

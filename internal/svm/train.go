@@ -153,8 +153,27 @@ func (m *Model) Predict(x []float64) float64 {
 	return 1
 }
 
+// DecisionBatch appends the decision value of every vector of xs to dst
+// (pass dst[:0] to recycle a buffer), so batch scorers keep one
+// preallocated result buffer instead of boxing values per window.
+func (m *Model) DecisionBatch(dst []float64, xs [][]float64) []float64 {
+	for _, x := range xs {
+		dst = append(dst, m.Decision(x))
+	}
+	return dst
+}
+
 // Train solves the weighted SVM dual with SMO.
 func Train(prob Problem, params Params) (*Model, error) {
+	return trainShared(prob, params, nil, nil)
+}
+
+// trainShared is Train optionally gathering its Q rows from a shared
+// raw-row cache: gidx maps the problem's sample indices to the cache's.
+// Results are byte-identical to the self-contained path — the gathered
+// products yᵢ·yⱼ·k(xᵢ,xⱼ) are the exact expressions computeRow
+// evaluates.
+func trainShared(prob Problem, params Params, shared *RowCache, gidx []int) (*Model, error) {
 	if err := prob.Validate(); err != nil {
 		return nil, err
 	}
@@ -173,7 +192,7 @@ func Train(prob Problem, params Params) (*Model, error) {
 		}
 	}
 
-	s := newSolver(prob.X, prob.Y, c, params)
+	s := newSolverShared(prob.X, prob.Y, c, params, shared, gidx)
 	s.solve()
 
 	m := &Model{
@@ -217,12 +236,16 @@ type solver struct {
 }
 
 func newSolver(x [][]float64, y, c []float64, params Params) *solver {
+	return newSolverShared(x, y, c, params, nil, nil)
+}
+
+func newSolverShared(x [][]float64, y, c []float64, params Params, shared *RowCache, gidx []int) *solver {
 	n := len(x)
 	s := &solver{
 		x: x, y: y, c: c, params: params,
 		alpha: make([]float64, n),
 		grad:  make([]float64, n),
-		q:     newKernelCache(x, y, params.Kernel),
+		q:     newKernelCache(x, y, params.Kernel, shared, gidx),
 	}
 	for i := range s.grad {
 		s.grad[i] = -1
@@ -448,7 +471,10 @@ func (s *solver) computeBias() float64 {
 func (s *solver) bias() float64 { return s.rho }
 
 // kernelCache precomputes or lazily caches rows of Q, Q[i][j] =
-// yᵢyⱼk(xᵢ,xⱼ).
+// yᵢyⱼk(xᵢ,xⱼ). With a shared RowCache attached, rows are gathered
+// from its raw kernel rows instead of re-evaluating the kernel, so
+// solvers over overlapping sample sets (cross-validation folds, the
+// λ axis of a grid sweep) each pay only the cheap label-sign products.
 type kernelCache struct {
 	x      [][]float64
 	y      []float64
@@ -456,14 +482,18 @@ type kernelCache struct {
 	rows   [][]float64
 	// full indicates the whole matrix was precomputed.
 	full bool
+	// shared, when non-nil, is the raw-row source; gidx maps local
+	// sample index to shared cache index.
+	shared *RowCache
+	gidx   []int
 }
 
 // fullMatrixLimit is the sample count up to which the entire Q matrix is
 // precomputed (n² float64; 4000² ≈ 128 MB is the ceiling).
 const fullMatrixLimit = 4000
 
-func newKernelCache(x [][]float64, y []float64, k Kernel) *kernelCache {
-	c := &kernelCache{x: x, y: y, kernel: k, rows: make([][]float64, len(x))}
+func newKernelCache(x [][]float64, y []float64, k Kernel, shared *RowCache, gidx []int) *kernelCache {
+	c := &kernelCache{x: x, y: y, kernel: k, rows: make([][]float64, len(x)), shared: shared, gidx: gidx}
 	if len(x) <= fullMatrixLimit {
 		c.full = true
 		for i := range x {
@@ -475,6 +505,13 @@ func newKernelCache(x [][]float64, y []float64, k Kernel) *kernelCache {
 
 func (c *kernelCache) computeRow(i int) []float64 {
 	row := make([]float64, len(c.x))
+	if c.shared != nil {
+		kr := c.shared.Row(c.gidx[i])
+		for j := range c.x {
+			row[j] = c.y[i] * c.y[j] * kr[c.gidx[j]]
+		}
+		return row
+	}
 	for j := range c.x {
 		row[j] = c.y[i] * c.y[j] * c.kernel.Compute(c.x[i], c.x[j])
 	}
