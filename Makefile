@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build fmt-check vet test race fuzz-smoke bench bench-compare determinism verify verify-telemetry serve-smoke registry-smoke autopilot-smoke obs-smoke doc-lint
+.PHONY: build fmt-check vet test race fuzz-smoke bench bench-compare determinism verify verify-telemetry serve-smoke registry-smoke autopilot-smoke obs-smoke sim-smoke doc-lint
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,9 @@ fuzz-smoke:
 # Measures the pipeline hot paths (parse, featurize, artifacts,
 # select-train, train, gridsearch, detect) and writes
 # BENCH_baseline.json, then drives the in-process serving workload and
-# writes per-endpoint/per-stage p50/p95/p99 latency to BENCH_serve.json.
+# writes per-endpoint/per-stage p50/p95/p99 latency to BENCH_serve.json,
+# then runs the canonical leaps-sim scenarios and writes their
+# deterministic throughput/latency/checksum rows to BENCH_sim.json.
 # Regenerating the committed baselines resets the regression gates, so
 # it must be an explicit decision: the target refuses to run unless
 # BENCH_REBASELINE=1 is set. Use bench-compare to measure against the
@@ -41,7 +43,7 @@ bench:
 		echo "bench: or 'make bench-compare' to measure against them."; \
 		exit 1; \
 	fi
-	$(GO) run ./cmd/leaps-bench -perf-baseline BENCH_baseline.json -serve-baseline BENCH_serve.json
+	$(GO) run ./cmd/leaps-bench -perf-baseline BENCH_baseline.json -serve-baseline BENCH_serve.json -sim-baseline BENCH_sim.json
 
 # Reruns both benchmark suites and fails on >20% regressions (ns/op and
 # allocs/op for the pipeline, p95 latency for serving) against the
@@ -96,11 +98,18 @@ autopilot-smoke:
 obs-smoke:
 	./scripts/obs-smoke.sh
 
+# End-to-end smoke test of the deterministic cluster load simulator:
+# same seed twice must be byte-identical (report and event log), a
+# different seed must diverge, and the committed BENCH_sim.json must
+# match exactly on counts and verdict checksums.
+sim-smoke:
+	./scripts/sim-smoke.sh
+
 # Godoc gate: package comments everywhere under internal/ and cmd/, and
 # doc comments on every exported identifier in internal/serve,
-# internal/registry and internal/telemetry.
+# internal/registry, internal/telemetry and internal/sim.
 doc-lint:
 	./scripts/doc-lint.sh
 
-verify: build fmt-check vet test race determinism fuzz-smoke doc-lint verify-telemetry serve-smoke registry-smoke autopilot-smoke obs-smoke
+verify: build fmt-check vet test race determinism fuzz-smoke doc-lint verify-telemetry serve-smoke registry-smoke autopilot-smoke obs-smoke sim-smoke
 	./scripts/bench-compare.sh -w

@@ -60,6 +60,8 @@ func run(args []string) error {
 		perfWarn   = fs.Bool("perf-warn", false, "report -perf-compare and -serve-compare regressions as warnings instead of failing")
 		serveOut   = fs.String("serve-baseline", "", "drive an in-process serving workload and write per-endpoint p50/p95/p99 latency to this file")
 		serveCmp   = fs.String("serve-compare", "", "drive the serving workload and diff p95 latency against this committed baseline (fails on >20% regressions)")
+		simOut     = fs.String("sim-baseline", "", "run the canonical leaps-sim scenarios and write per-scenario throughput/latency/checksums to this file")
+		simCmp     = fs.String("sim-compare", "", "run the canonical leaps-sim scenarios and diff against this committed baseline (counts and checksums gate exactly)")
 		debugAddr  = fs.String("debug-addr", "", "serve /metrics, /spans and pprof on this address while running")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -111,6 +113,18 @@ func run(args []string) error {
 	if *serveCmp != "" {
 		any = true
 		if err := runServeCompare(*serveCmp, *perfWarn); err != nil {
+			return err
+		}
+	}
+	if *simOut != "" {
+		any = true
+		if err := runSimBaseline(*simOut); err != nil {
+			return err
+		}
+	}
+	if *simCmp != "" {
+		any = true
+		if err := runSimCompare(*simCmp, *perfWarn); err != nil {
 			return err
 		}
 	}

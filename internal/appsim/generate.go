@@ -59,23 +59,9 @@ func (p *Process) GenerateLog(cfg GenConfig) (*trace.Log, error) {
 	if p.payload == nil && cfg.PayloadFraction > 0 {
 		return nil, errors.New("appsim: PayloadFraction set on a process without a payload")
 	}
-	excluded := make(map[string]bool, len(cfg.ExcludeOps))
-	for _, name := range cfg.ExcludeOps {
-		if p.app.op(name) == nil {
-			return nil, fmt.Errorf("appsim: ExcludeOps references unknown operation %q", name)
-		}
-		excluded[name] = true
-	}
-	appOps := make([]*builtOp, 0, len(p.app.ops))
-	var appW float64
-	for _, op := range p.app.ops {
-		if !excluded[op.name] {
-			appOps = append(appOps, op)
-			appW += op.weight
-		}
-	}
-	if len(appOps) == 0 {
-		return nil, errors.New("appsim: all application operations excluded")
+	appOps, appW, err := p.appOpsFor(cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	g := &logGen{
@@ -114,6 +100,30 @@ func (p *Process) GenerateLog(cfg GenConfig) (*trace.Log, error) {
 		}
 	}
 	return g.log, nil
+}
+
+// appOpsFor resolves the application operation set a generation run
+// samples from after applying cfg.ExcludeOps, with its total weight.
+func (p *Process) appOpsFor(cfg GenConfig) ([]*builtOp, float64, error) {
+	excluded := make(map[string]bool, len(cfg.ExcludeOps))
+	for _, name := range cfg.ExcludeOps {
+		if p.app.op(name) == nil {
+			return nil, 0, fmt.Errorf("appsim: ExcludeOps references unknown operation %q", name)
+		}
+		excluded[name] = true
+	}
+	appOps := make([]*builtOp, 0, len(p.app.ops))
+	var appW float64
+	for _, op := range p.app.ops {
+		if !excluded[op.name] {
+			appOps = append(appOps, op)
+			appW += op.weight
+		}
+	}
+	if len(appOps) == 0 {
+		return nil, 0, errors.New("appsim: all application operations excluded")
+	}
+	return appOps, appW, nil
 }
 
 // logGen carries the mutable state of one generation run.

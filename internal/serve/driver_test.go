@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// TestDriverParity proves the socket-free Driver observes exactly what a
+// network client observes: same session info, same verdict stream, same
+// counters — because both paths traverse the same Handler.
+func TestDriverParity(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	_, logs := newTestModel(t)
+	drv := NewDriver(srv)
+
+	spec := SessionSpecOf(logs.Benign, "")
+	events := EventSpecsOf(logs.Benign.Events[:300])
+
+	info, err := drv.CreateSession(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID == "" || info.App != logs.Benign.App {
+		t.Fatalf("driver session info incomplete: %+v", info)
+	}
+	res, err := drv.Ingest(info.ID, EventBatch{Events: events})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same workload over a real HTTP listener.
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var netInfo SessionInfo
+	httpJSON(t, ts.Client(), "POST", ts.URL+"/v1/sessions", spec, &netInfo)
+	var netRes IngestResult
+	httpJSON(t, ts.Client(), "POST", ts.URL+"/v1/sessions/"+netInfo.ID+"/events", EventBatch{Events: events}, &netRes)
+
+	if !reflect.DeepEqual(res, netRes) {
+		t.Errorf("driver ingest result diverged from the network path:\ndriver: %+v\nnet:    %+v", res, netRes)
+	}
+
+	got, err := drv.Session(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Consumed != res.Consumed || got.Verdicts != len(res.Verdicts) {
+		t.Errorf("session counters inconsistent: %+v vs ingest %+v", got, res)
+	}
+	if err := drv.DeleteSession(info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := drv.Session(info.ID); !IsStatus(err, 404) {
+		t.Fatalf("deleted session fetch: got %v, want 404 DriverError", err)
+	}
+}
+
+// TestDriverErrorMapping proves API failures surface as *DriverError
+// with the real status code and message, matching the wire behaviour.
+func TestDriverErrorMapping(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	drv := NewDriver(srv)
+
+	_, err := drv.Session("nope")
+	if !IsStatus(err, 404) {
+		t.Fatalf("unknown session: got %v, want 404", err)
+	}
+	de, ok := err.(*DriverError)
+	if !ok || de.Msg == "" {
+		t.Fatalf("error envelope not decoded: %#v", err)
+	}
+
+	_, err = drv.CreateSession(SessionSpec{Model: "no-such-model", App: "x.exe"})
+	if !IsStatus(err, 400) {
+		t.Fatalf("unknown model: got %v, want 400", err)
+	}
+	if IsStatus(nil, 404) || IsStatus(errNotADriverError, 404) {
+		t.Fatal("IsStatus matched a non-DriverError")
+	}
+}
+
+// errNotADriverError is a plain error for the IsStatus negative case.
+var errNotADriverError = &notDriverError{}
+
+type notDriverError struct{}
+
+func (*notDriverError) Error() string { return "not a driver error" }

@@ -150,8 +150,18 @@ func (e *EventSpec) Event(mm *trace.ModuleMap) (trace.Event, error) {
 // what a client would POST to open a session for that process. Used by
 // leaps-trace -serve-json and the test harness.
 func SessionSpecOf(log *trace.Log, model string) SessionSpec {
-	spec := SessionSpec{Model: model, App: log.App}
-	for _, m := range log.Modules.Modules() {
+	spec := SessionSpecOfModules(log.Modules, model)
+	spec.App = log.App
+	return spec
+}
+
+// SessionSpecOfModules builds the wire spec for a process described only
+// by its module map — the session-creation body for callers that
+// synthesise processes without a parsed log, such as the cluster load
+// simulator's appsim-backed sessions.
+func SessionSpecOfModules(mm *trace.ModuleMap, model string) SessionSpec {
+	spec := SessionSpec{Model: model, App: mm.AppName()}
+	for _, m := range mm.Modules() {
 		ms := ModuleSpec{Name: m.Name, Kind: m.Kind.String(), Base: m.Base, Size: m.Size}
 		for _, sy := range m.Symbols() {
 			ms.Symbols = append(ms.Symbols, SymbolSpec{Name: sy.Name, Addr: sy.Addr})

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"sort"
+)
+
+// LatencySummary summarises one virtual-latency sample set in
+// milliseconds. All quantiles are over virtual time — the deterministic
+// service model, not wall clock — so the summary is identical across
+// runs and machines.
+type LatencySummary struct {
+	// Count is how many samples the summary covers.
+	Count int `json:"count"`
+	// P50ms, P95ms, P99ms and MaxMS are virtual-latency quantiles.
+	P50ms float64 `json:"p50_ms"`
+	P95ms float64 `json:"p95_ms"`
+	P99ms float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// summarize builds the quantile summary of virtual-nanosecond samples.
+func summarize(samples []int64) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	sorted := make([]int64, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	q := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return float64(sorted[i]) / 1e6
+	}
+	return LatencySummary{
+		Count: len(sorted),
+		P50ms: q(0.50),
+		P95ms: q(0.95),
+		P99ms: q(0.99),
+		MaxMS: float64(sorted[len(sorted)-1]) / 1e6,
+	}
+}
+
+// ReplicaStats is one replica's row in the report.
+type ReplicaStats struct {
+	// Replica is the replica index.
+	Replica int `json:"replica"`
+	// Batches counts batches the replica scored; Held counts batches
+	// that arrived while it was down and were delivered at restore;
+	// Dropped counts in-flight batches lost to hard kills.
+	Batches int `json:"batches"`
+	Held    int `json:"held"`
+	Dropped int `json:"dropped"`
+	// Crashes and Restores count the replica's fault cycles.
+	Crashes  int `json:"crashes"`
+	Restores int `json:"restores"`
+}
+
+// Report is a simulation run's result. Every field is a deterministic
+// function of (scenario, seed): virtual time only, no wall-clock
+// timestamps, no host paths, no randomly assigned identifiers — two runs
+// with the same inputs marshal to byte-identical JSON.
+type Report struct {
+	// Scenario and Seed identify the run.
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	// Replicas is the fleet size.
+	Replicas int `json:"replicas"`
+	// Champion is the registry entry the fleet boots on; Challenger is
+	// the promotion candidate (promotion scenarios only); Promoted
+	// reports whether the mid-traffic promotion fired.
+	Champion   string `json:"champion"`
+	Challenger string `json:"challenger,omitempty"`
+	Promoted   bool   `json:"promoted,omitempty"`
+	// VirtualDurationMS is the virtual time of the last simulation
+	// event — arrival window plus drain tail.
+	VirtualDurationMS float64 `json:"virtual_duration_ms"`
+	// SessionsStarted, SessionsCompleted and SessionsRecreated count
+	// session lifecycles; a recreation is a session re-opened after a
+	// hard kill lost its server-side state.
+	SessionsStarted   int `json:"sessions_started"`
+	SessionsCompleted int `json:"sessions_completed"`
+	SessionsRecreated int `json:"sessions_recreated"`
+	// EventsSent counts generated events ingested into the fleet.
+	EventsSent int `json:"events_sent"`
+	// BatchesSent/Held/Dropped count ingest batches by fate.
+	BatchesSent    int `json:"batches_sent"`
+	BatchesHeld    int `json:"batches_held"`
+	BatchesDropped int `json:"batches_dropped"`
+	// Verdicts and Malicious count delivered verdict windows.
+	Verdicts  int `json:"verdicts"`
+	Malicious int `json:"malicious"`
+	// VerdictChecksum fingerprints the full verdict stream: FNV-1a over
+	// every session's (window bounds, score bits, verdict) in session
+	// order. Byte-equal checksums mean byte-equal verdict streams.
+	VerdictChecksum string `json:"verdict_checksum"`
+	// ThroughputEPS is events scored per virtual second.
+	ThroughputEPS float64 `json:"throughput_eps"`
+	// BatchLatency and VerdictLatency summarise virtual arrival-to-done
+	// latency per batch and per verdict window.
+	BatchLatency   LatencySummary `json:"batch_latency"`
+	VerdictLatency LatencySummary `json:"verdict_latency"`
+	// Fleet is the per-replica breakdown.
+	Fleet []ReplicaStats `json:"fleet"`
+}
+
+// JSON marshals the report in its canonical indented form, trailing
+// newline included — the bytes the determinism contract is stated over.
+func (r *Report) JSON() ([]byte, error) {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
+}
+
+// aggregator accumulates run statistics as completion events fire.
+type aggregator struct {
+	batchLat   []int64
+	verdictLat []int64
+
+	eventsSent     int
+	batchesSent    int
+	batchesHeld    int
+	batchesDropped int
+	verdicts       int
+	malicious      int
+
+	sessionsStarted   int
+	sessionsCompleted int
+	sessionsRecreated int
+}
+
+// verdictHash carries one session's running verdict-stream fingerprint.
+type verdictHash struct{ sum uint64 }
+
+// newVerdictHash starts an FNV-1a fingerprint.
+func newVerdictHash() verdictHash { return verdictHash{sum: 14695981039346656037} }
+
+func (h *verdictHash) write(b []byte) {
+	for _, c := range b {
+		h.sum ^= uint64(c)
+		h.sum *= 1099511628211
+	}
+}
+
+// addVerdict folds one verdict window into the fingerprint.
+func (h *verdictHash) addVerdict(first, last int, score float64, malicious bool) {
+	var b [25]byte
+	binary.LittleEndian.PutUint64(b[0:], uint64(int64(first)))
+	binary.LittleEndian.PutUint64(b[8:], uint64(int64(last)))
+	binary.LittleEndian.PutUint64(b[16:], math.Float64bits(score))
+	if malicious {
+		b[24] = 1
+	}
+	h.write(b[:])
+}
+
+// combine folds another fingerprint's state into this one.
+func (h *verdictHash) combine(other verdictHash) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], other.sum)
+	h.write(b[:])
+}

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/appsim"
+	"repro/internal/serve"
+)
+
+// simSession is one synthetic monitored process streaming events into
+// the fleet: an appsim generator paced into fixed-size batches on the
+// virtual clock, pinned to one replica.
+type simSession struct {
+	idx     int
+	name    string // s%05d, the session's identity in logs and reports
+	mix     MixEntry
+	replica *replica
+	spec    serve.SessionSpec
+	gen     *appsim.Generator
+
+	serverID  string // server-assigned id (random; never enters reports)
+	total     int    // lifetime event budget
+	sent      int
+	batches   int // batches emitted so far
+	remaining int // batch completions (or drops) still outstanding
+	recreated int
+
+	verdicts  int
+	malicious int
+	hash      verdictHash
+	completed bool
+}
+
+// arrivalTimes draws the session arrival schedule for the scenario's
+// whole arrival window from the dedicated arrivals stream. Bursty
+// arrivals modulate the Poisson rate by the on/off phase at the current
+// virtual time.
+func arrivalTimes(sc Scenario, rng *rand.Rand) []int64 {
+	var out []int64
+	t := 0.0
+	for {
+		rate := sc.Arrival.RatePerSec
+		if sc.Arrival.Process == "bursty" {
+			cycle := sc.Arrival.OnSec + sc.Arrival.OffSec
+			if math.Mod(t, cycle) < sc.Arrival.OnSec {
+				rate *= sc.Arrival.BurstFactor
+			}
+		}
+		t += rng.ExpFloat64() / rate
+		if t >= sc.DurationSec {
+			return out
+		}
+		out = append(out, secNS(t))
+	}
+}
+
+// pickMix selects a session template by weight from the mix stream.
+func pickMix(mix []MixEntry, rng *rand.Rand) MixEntry {
+	var total float64
+	for _, m := range mix {
+		total += m.Weight
+	}
+	x := rng.Float64() * total
+	for _, m := range mix {
+		x -= m.Weight
+		if x < 0 {
+			return m
+		}
+	}
+	return mix[len(mix)-1]
+}
+
+// drawLifetime draws one session's event budget from the lifetime
+// stream.
+func drawLifetime(lt LifetimeConfig, rng *rand.Rand) int {
+	if lt.Dist == "uniform" && lt.MaxEvents > lt.MinEvents {
+		return lt.MinEvents + rng.Intn(lt.MaxEvents-lt.MinEvents+1)
+	}
+	return lt.MinEvents
+}
+
+// scheduleArrivals draws the arrival schedule and enqueues every
+// session's arrival event. Template choice and lifetime are drawn here,
+// in arrival order, from their own global streams; the per-session
+// workload stream is derived from the session name — so a session's
+// event content depends only on its arrival index, never on fleet shape
+// or timing.
+func (s *simulation) scheduleArrivals() {
+	arrivals := arrivalTimes(s.sc, s.prng.Stream("arrivals"))
+	mixRNG := s.prng.Stream("mix")
+	lifeRNG := s.prng.Stream("lifetime")
+	for i, at := range arrivals {
+		sess := &simSession{
+			idx:     i,
+			name:    fmt.Sprintf("s%05d", i),
+			mix:     pickMix(s.sc.Mix, mixRNG),
+			replica: s.replicas[i%len(s.replicas)],
+			total:   drawLifetime(s.sc.Lifetime, lifeRNG),
+			hash:    newVerdictHash(),
+		}
+		s.sessions = append(s.sessions, sess)
+		at := at
+		s.clock.Schedule(at, prioArrival, func() { s.arrive(sess, at) })
+	}
+}
+
+// arrive opens the session's generator and starts its batch cadence.
+func (s *simulation) arrive(sess *simSession, now int64) {
+	if s.err != nil {
+		return
+	}
+	proc, ok := s.procs[procKey(sess.mix)]
+	if !ok {
+		s.fail(fmt.Errorf("sim: no process built for mix entry %+v", sess.mix))
+		return
+	}
+	gen, err := proc.Generator(appsim.GenConfig{
+		Seed:            s.prng.StreamSeed("workload", sess.name),
+		PayloadFraction: sess.mix.PayloadFraction,
+		PID:             100 + sess.idx,
+	})
+	if err != nil {
+		s.fail(fmt.Errorf("sim: session %s: %w", sess.name, err))
+		return
+	}
+	sess.gen = gen
+	sess.spec = serve.SessionSpecOfModules(proc.Modules(), "")
+	s.agg.sessionsStarted++
+	s.logf("t=%d arrive %s replica=%d app=%s payload=%s events=%d",
+		now, sess.name, sess.replica.idx, sess.mix.App, orDash(sess.mix.Payload), sess.total)
+	s.clock.Schedule(now, prioBatch, func() { s.emitBatch(sess, now) })
+}
+
+// emitBatch generates the session's next batch and hands it to the
+// session's replica — immediately when the replica is up, or onto its
+// held queue when it is down (the client keeps sending; the fleet's
+// unavailability shows up as latency, not as lost load). The next batch
+// is paced BatchIntervalMS later regardless, so arrival pressure is
+// independent of fleet health.
+func (s *simulation) emitBatch(sess *simSession, now int64) {
+	if s.err != nil {
+		return
+	}
+	n := sess.total - sess.sent
+	if n > s.sc.BatchEvents {
+		n = s.sc.BatchEvents
+	}
+	if n <= 0 {
+		return
+	}
+	events := serve.EventSpecsOf(sess.gen.Next(n))
+	sess.sent += n
+	sess.batches++
+	sess.remaining++
+	s.agg.eventsSent += n
+	s.agg.batchesSent++
+	b := &heldBatch{sess: sess, seq: sess.batches, events: events, arrival: now}
+	r := sess.replica
+	if r.up {
+		if err := r.dispatch(b, now); err != nil {
+			s.fail(err)
+			return
+		}
+	} else {
+		r.held = append(r.held, b)
+		r.heldCount++
+		s.agg.batchesHeld++
+		s.logf("t=%d hold %s batch=%d n=%d replica=%d", now, sess.name, b.seq, len(events), r.idx)
+	}
+	if sess.sent < sess.total {
+		next := now + int64(s.sc.BatchIntervalMS*1e6)
+		s.clock.Schedule(next, prioBatch, func() { s.emitBatch(sess, next) })
+	}
+}
+
+// batchSettled records one batch completion (or drop) and closes the
+// session once its last batch has settled.
+func (s *simulation) batchSettled(sess *simSession, now int64) {
+	sess.remaining--
+	if sess.completed || sess.remaining > 0 || sess.sent < sess.total {
+		return
+	}
+	sess.completed = true
+	s.agg.sessionsCompleted++
+	s.logf("t=%d complete %s verdicts=%d malicious=%d", now, sess.name, sess.verdicts, sess.malicious)
+	r := sess.replica
+	if r.up && sess.serverID != "" {
+		if err := r.drv.DeleteSession(sess.serverID); err != nil && !serve.IsStatus(err, 404) {
+			s.fail(fmt.Errorf("sim: closing session %s: %w", sess.name, err))
+		}
+	}
+}
+
+// orDash renders an optional name for the event log.
+func orDash(v string) string {
+	if v == "" {
+		return "-"
+	}
+	return v
+}

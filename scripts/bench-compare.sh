@@ -1,13 +1,17 @@
 #!/bin/sh
 # bench-compare.sh — rerun the benchmark suites and diff them against
-# the committed baselines: BENCH_baseline.json (pipeline ns/op) and
-# BENCH_serve.json (serving p95 latency), flagging >20% regressions.
+# the committed baselines: BENCH_baseline.json (pipeline ns/op),
+# BENCH_serve.json (serving p95 latency) and BENCH_sim.json (canonical
+# cluster-simulation scenarios), flagging >20% regressions. The
+# simulation rows' counts and verdict checksums are deterministic and
+# gate exactly even under -w.
 #
-# Usage: scripts/bench-compare.sh [-w] [baseline.json [serve-baseline.json]]
+# Usage: scripts/bench-compare.sh [-w] [baseline.json [serve-baseline.json [sim-baseline.json]]]
 #   -w    warn on regressions instead of failing (for noisy machines)
 #
-# The comparisons themselves live in `leaps-bench -perf-compare` and
-# `leaps-bench -serve-compare`; this script is the make/CI entry point.
+# The comparisons themselves live in `leaps-bench -perf-compare`,
+# `leaps-bench -serve-compare` and `leaps-bench -sim-compare`; this
+# script is the make/CI entry point.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,14 +23,13 @@ if [ "${1:-}" = "-w" ]; then
 fi
 baseline="${1:-BENCH_baseline.json}"
 serve_baseline="${2:-BENCH_serve.json}"
+sim_baseline="${3:-BENCH_sim.json}"
 
-if [ ! -f "$baseline" ]; then
-    echo "bench-compare: baseline $baseline not found; generate it with 'make bench'" >&2
-    exit 1
-fi
-if [ ! -f "$serve_baseline" ]; then
-    echo "bench-compare: serve baseline $serve_baseline not found; generate it with 'make bench'" >&2
-    exit 1
-fi
+for f in "$baseline" "$serve_baseline" "$sim_baseline"; do
+    if [ ! -f "$f" ]; then
+        echo "bench-compare: baseline $f not found; generate it with 'make bench'" >&2
+        exit 1
+    fi
+done
 
-exec go run ./cmd/leaps-bench -perf-compare "$baseline" -serve-compare "$serve_baseline" $warn
+exec go run ./cmd/leaps-bench -perf-compare "$baseline" -serve-compare "$serve_baseline" -sim-compare "$sim_baseline" $warn

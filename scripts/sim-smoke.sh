@@ -1,0 +1,86 @@
+#!/bin/sh
+# sim-smoke.sh — end-to-end smoke test of the deterministic cluster load
+# simulator. Builds leaps-sim, runs a small churn scenario (crash/restore
+# plus a mid-traffic promotion) twice with the same seed and requires the
+# reports AND event logs to be byte-identical; then runs the same
+# scenario with a different seed and requires the verdict stream to
+# differ (the determinism is seeded, not degenerate). Finally asserts the
+# BENCH_sim.json compare gate passes against the committed baseline.
+# Wired into `make verify` via the sim-smoke target.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d -t leaps-sim-smoke-XXXXXX)
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+echo "sim-smoke: building leaps-sim"
+go build -o "$workdir/leaps-sim" ./cmd/leaps-sim
+
+cat > "$workdir/scenario.json" <<'EOF'
+{
+  "name": "smoke",
+  "seed": 4242,
+  "replicas": 2,
+  "duration_sec": 8,
+  "arrival": {"process": "poisson", "rate_per_sec": 4},
+  "lifetime": {"dist": "uniform", "min_events": 30, "max_events": 60},
+  "mix": [
+    {"app": "vim", "weight": 3},
+    {"app": "vim", "payload": "reverse_tcp", "method": "online-injection", "payload_fraction": 0.3, "weight": 1}
+  ],
+  "batch_events": 10,
+  "batch_interval_ms": 200,
+  "service": {"per_event_micros": 150, "batch_overhead_micros": 500, "jitter_frac": 0.2},
+  "faults": [
+    {"replica": 0, "at_sec": 3, "down_sec": 2, "kind": "sigterm"},
+    {"replica": 1, "at_sec": 4, "down_sec": 1, "kind": "kill"}
+  ],
+  "promotion": {"at_sec": 5},
+  "model": {"dataset": "vim_reverse_tcp", "seed": 7, "challenger_seed": 11,
+            "benign_events": 2000, "mixed_events": 1000, "malicious_events": 500}
+}
+EOF
+
+echo "sim-smoke: run 1"
+"$workdir/leaps-sim" -q -scenario "$workdir/scenario.json" \
+    -report "$workdir/run1.json" -eventlog "$workdir/run1.log" -workdir "$workdir/w1" 2> /dev/null
+echo "sim-smoke: run 2 (same seed)"
+"$workdir/leaps-sim" -q -scenario "$workdir/scenario.json" \
+    -report "$workdir/run2.json" -eventlog "$workdir/run2.log" -workdir "$workdir/w2" 2> /dev/null
+
+cmp "$workdir/run1.json" "$workdir/run2.json" || {
+    echo "sim-smoke: FAIL: same seed produced different reports" >&2
+    diff "$workdir/run1.json" "$workdir/run2.json" >&2 || true
+    exit 1
+}
+cmp "$workdir/run1.log" "$workdir/run2.log" || {
+    echo "sim-smoke: FAIL: same seed produced different event logs" >&2
+    exit 1
+}
+echo "sim-smoke: same seed => byte-identical report and event log"
+
+grep -q '"promoted": true' "$workdir/run1.json" || {
+    echo "sim-smoke: FAIL: mid-traffic promotion did not fire" >&2
+    exit 1
+}
+grep -q '"crashes": 1' "$workdir/run1.json" || {
+    echo "sim-smoke: FAIL: no crash recorded in the report" >&2
+    exit 1
+}
+
+echo "sim-smoke: run 3 (different seed)"
+"$workdir/leaps-sim" -q -scenario "$workdir/scenario.json" -seed 4243 \
+    -report "$workdir/run3.json" -workdir "$workdir/w3" 2> /dev/null
+sum1=$(grep '"verdict_checksum"' "$workdir/run1.json")
+sum3=$(grep '"verdict_checksum"' "$workdir/run3.json")
+if [ "$sum1" = "$sum3" ]; then
+    echo "sim-smoke: FAIL: different seeds produced the same verdict checksum" >&2
+    exit 1
+fi
+echo "sim-smoke: different seed => different verdict stream"
+
+echo "sim-smoke: comparing against committed BENCH_sim.json"
+go run ./cmd/leaps-bench -q -sim-compare BENCH_sim.json
+
+echo "sim-smoke: OK"
