@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build fmt-check vet test race fuzz-smoke bench bench-compare determinism verify verify-telemetry serve-smoke registry-smoke autopilot-smoke obs-smoke sim-smoke doc-lint
+.PHONY: build fmt-check vet test race fuzz-smoke bench bench-compare determinism verify verify-telemetry serve-smoke registry-smoke autopilot-smoke obs-smoke sim-smoke fleet-smoke doc-lint
 
 build:
 	$(GO) build ./...
@@ -105,11 +105,19 @@ obs-smoke:
 sim-smoke:
 	./scripts/sim-smoke.sh
 
+# End-to-end smoke test of the fleet layer: three registry-replicated
+# leaps-serve replicas behind leaps-router over real sockets, asserting
+# ring placement, byte-identical forwarded verdicts, checkpoint handoff
+# across a drain/rejoin, and promotion propagation through registry
+# sync.
+fleet-smoke:
+	./scripts/fleet-smoke.sh
+
 # Godoc gate: package comments everywhere under internal/ and cmd/, and
 # doc comments on every exported identifier in internal/serve,
 # internal/registry, internal/telemetry and internal/sim.
 doc-lint:
 	./scripts/doc-lint.sh
 
-verify: build fmt-check vet test race determinism fuzz-smoke doc-lint verify-telemetry serve-smoke registry-smoke autopilot-smoke obs-smoke sim-smoke
+verify: build fmt-check vet test race determinism fuzz-smoke doc-lint verify-telemetry serve-smoke registry-smoke autopilot-smoke obs-smoke sim-smoke fleet-smoke
 	./scripts/bench-compare.sh -w

@@ -161,7 +161,11 @@ func runSimCompare(path string, warnOnly bool) error {
 	for _, r := range fresh.Scenarios {
 		o, ok := old[r.Scenario]
 		if !ok {
-			fmt.Printf("%-20s (new scenario, not in baseline)\n", r.Scenario)
+			// A scenario the baseline has never seen is drift, not noise: the
+			// canonical catalog grew and BENCH_sim.json was not regenerated.
+			fmt.Printf("%-20s checksum=%s  NEW (not in baseline)\n", r.Scenario, r.Checksum)
+			hardFailures = append(hardFailures,
+				r.Scenario+": new canonical scenario absent from the baseline")
 			continue
 		}
 		var hard, soft []string

@@ -1,0 +1,189 @@
+// Command leaps-router fronts a fleet of leaps-serve replicas with a
+// consistent-hash session router: every session is pinned to one
+// replica by hashing its ID onto a virtual-node ring, and the serve
+// session API is forwarded there unchanged. Draining a replica moves
+// its sessions to the survivors by checkpoint handoff (export on the
+// loser, import on the winner — the same envelope a SIGTERM spools),
+// so verdict streams continue byte-identically across the move.
+//
+// Usage:
+//
+//	leaps-router -replica r0=http://127.0.0.1:8341 \
+//	    -replica r1=http://127.0.0.1:8342 [-replica ...] \
+//	    [-addr 127.0.0.1:8360] [-vnodes 64] [-ring-seed 0] \
+//	    [-health-interval 2s] [-max-body 8388608] \
+//	    [-quiet] [-verbose] [-log-json]
+//
+// API:
+//
+//	POST   /v1/sessions              open a session on its ring owner
+//	POST   /v1/sessions/{id}/events  forward a batch to the owner
+//	GET    /v1/sessions/{id}         session state from the owner
+//	DELETE /v1/sessions/{id}         close the session on its owner
+//	GET    /v1/fleet                 ring + membership + health status
+//	POST   /v1/fleet/drain           {"member": id} — hand off and drain
+//	POST   /v1/fleet/join            {"member": id} — rejoin the ring
+//	GET    /healthz, /readyz         router liveness / any-owner-ready
+//	GET    /metrics, /spans, ...     telemetry introspection
+//
+// Replica IDs given to -replica must match each replica's -replica-id
+// so the ownership breadcrumbs in session info line up. The router
+// health-checks every replica's /readyz each -health-interval; an
+// unhealthy replica stays in the ring (placement must not flap with
+// transient probe failures) but is reported in /v1/fleet.
+//
+// On SIGTERM or SIGINT the router stops accepting requests and exits.
+// Sessions live on the replicas, not the router; a restarted router
+// with the same -ring-seed, -vnodes and membership reconstructs the
+// same placements for sessions created at generation 0. Fleets that
+// drain and rejoin members should prefer a long-lived router, whose
+// ownership table tracks every handoff.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/telemetry/slogx"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "leaps-router:", err)
+		os.Exit(1)
+	}
+}
+
+// replicaFlag is one -replica value: a fleet member ID and the base URL
+// of the leaps-serve instance answering for it.
+type replicaFlag struct {
+	id  string
+	url *url.URL
+}
+
+// replicaFlags collects repeated -replica id=url values in order.
+type replicaFlags struct {
+	list []replicaFlag
+}
+
+func (r *replicaFlags) String() string {
+	parts := make([]string, 0, len(r.list))
+	for _, m := range r.list {
+		parts = append(parts, m.id+"="+m.url.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+func (r *replicaFlags) Set(v string) error {
+	i := strings.IndexByte(v, '=')
+	if i <= 0 || i == len(v)-1 {
+		return fmt.Errorf("want id=url, got %q", v)
+	}
+	id, raw := v[:i], v[i+1:]
+	u, err := url.Parse(raw)
+	if err != nil {
+		return fmt.Errorf("replica %s: %w", id, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("replica %s: URL %q must be http(s)", id, raw)
+	}
+	for _, m := range r.list {
+		if m.id == id {
+			return fmt.Errorf("replica %q given twice", id)
+		}
+	}
+	r.list = append(r.list, replicaFlag{id: id, url: u})
+	return nil
+}
+
+// run starts the router and blocks until a termination signal. When
+// ready is non-nil, the bound address is sent on it once the listener
+// is up (the smoke test hook).
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("leaps-router", flag.ContinueOnError)
+	replicas := &replicaFlags{}
+	fs.Var(replicas, "replica", "serve replica to front: id=url (repeatable, id must match its -replica-id)")
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8360", "listen address")
+		vnodes      = fs.Int("vnodes", 64, "virtual nodes per replica on the hash ring")
+		ringSeed    = fs.Uint64("ring-seed", 0, "ring hash seed; routers sharing seed, vnodes and membership agree on placement")
+		healthEvery = fs.Duration("health-interval", 2*time.Second, "replica /readyz probe period")
+		maxBody     = fs.Int64("max-body", 8<<20, "max routed request body bytes")
+		quiet       = fs.Bool("quiet", false, "only warnings and errors")
+		verbose     = fs.Bool("verbose", false, "debug-level logging")
+		logJSON     = fs.Bool("log-json", false, "emit JSON log records instead of key=value text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	slogx.Configure(slogx.Options{Level: slogx.CLILevel(*quiet, *verbose), JSON: *logJSON})
+	if len(replicas.list) == 0 {
+		return fmt.Errorf("missing -replica (need at least one id=url)")
+	}
+
+	members := make([]fleet.Member, 0, len(replicas.list))
+	for _, m := range replicas.list {
+		proxy := httputil.NewSingleHostReverseProxy(m.url)
+		proxy.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+			slogx.Warn("replica unreachable", "replica", m.id, "path", r.URL.Path, "err", err.Error())
+			http.Error(w, fmt.Sprintf("replica %s unreachable: %v", m.id, err), http.StatusBadGateway)
+		}
+		members = append(members, fleet.Member{ID: m.id, Handler: proxy})
+	}
+	rt, err := fleet.NewRouter(fleet.RouterConfig{
+		Members:      members,
+		Seed:         *ringSeed,
+		Vnodes:       *vnodes,
+		MaxBodyBytes: *maxBody,
+		Logger:       slogx.L(),
+	})
+	if err != nil {
+		return err
+	}
+
+	healthCtx, healthCancel := context.WithCancel(context.Background())
+	defer healthCancel()
+	go rt.Run(healthCtx, *healthEvery)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: rt.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	slogx.Info("routing", "addr", ln.Addr().String(), "replicas", replicas.String(),
+		"vnodes", *vnodes, "seed", *ringSeed)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigs)
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("listener failed: %w", err)
+	case sig := <-sigs:
+		slogx.Info("shutting down", "signal", sig.String())
+		healthCancel()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return nil
+	}
+}

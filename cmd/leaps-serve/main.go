@@ -14,7 +14,8 @@
 //	     -autopilot-app vim.exe -autopilot-lambda 8 -autopilot-sigma2 2 \
 //	     -autopilot-trigger 5000 -autopilot-interval 1m \
 //	     -autopilot-state dir -autopilot-shadow-timeout 10m] \
-//	    [-quiet] [-verbose] [-log-json]
+//	    [-sync-from primary-registry-dir] [-sync-interval 2s] \
+//	    [-replica-id r0] [-quiet] [-verbose] [-log-json]
 //
 // API (see README.md "Serving" for request/response bodies):
 //
@@ -22,6 +23,10 @@
 //	POST   /v1/sessions/{id}/events  ingest a batch, receive verdicts
 //	GET    /v1/sessions/{id}         session state (?checkpoint=1)
 //	DELETE /v1/sessions/{id}         close and discard the session
+//	POST   /v1/sessions/{id}/export  detach a session as a handoff envelope
+//	POST   /v1/sessions/import       restore a handed-off session
+//	POST   /v1/drain                 refuse new sessions (ring exit prep)
+//	DELETE /v1/drain                 resume accepting sessions
 //	GET    /v1/models                registry catalogue and shadow state
 //	POST   /v1/models/shadow         start shadow-evaluating an entry
 //	DELETE /v1/models/shadow         stop the shadow evaluation
@@ -74,6 +79,7 @@ import (
 
 	"repro/internal/autopilot"
 	"repro/internal/faultinject"
+	"repro/internal/fleet"
 	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
@@ -137,6 +143,9 @@ func run(args []string, ready chan<- string) error {
 		idle       = fs.Duration("idle-timeout", 15*time.Minute, "evict sessions untouched this long (needs -spool)")
 		evictEvery = fs.Duration("evict-interval", time.Minute, "idle-session scan period")
 		parallel   = fs.Int("parallel", 0, "scoring worker count (0 = GOMAXPROCS)")
+		syncFrom   = fs.String("sync-from", "", "primary registry directory to replicate -registry from (background pull loop; promotions on the primary hot-reload this replica)")
+		syncEvery  = fs.Duration("sync-interval", 2*time.Second, "replication poll period (with -sync-from)")
+		replicaID  = fs.String("replica-id", "", "fleet replica name, reported in session info and verdict flight entries")
 		quiet      = fs.Bool("quiet", false, "only warnings and errors")
 		verbose    = fs.Bool("verbose", false, "debug-level logging")
 		logJSON    = fs.Bool("log-json", false, "emit JSON log records instead of key=value text")
@@ -196,6 +205,32 @@ func run(args []string, ready chan<- string) error {
 		store = st
 	}
 
+	// Replication: mirror a primary registry into the local -registry
+	// before boot (so boot serves the primary's champion), then keep
+	// pulling in the background. Sync is fail-static — a broken primary
+	// only costs freshness — but an *empty* mirror with a failed first
+	// sync has nothing to serve, which is a boot error.
+	var syncer *fleet.Syncer
+	if *syncFrom != "" {
+		if store == nil {
+			return fmt.Errorf("-sync-from requires -registry (the local mirror directory)")
+		}
+		if *apEnable {
+			return fmt.Errorf("-sync-from and -autopilot are mutually exclusive: replicas are read mirrors, the primary owns retraining")
+		}
+		src, err := registry.Open(*syncFrom)
+		if err != nil {
+			return fmt.Errorf("opening sync source: %w", err)
+		}
+		syncer = &fleet.Syncer{Source: src, Replica: store, Logger: slogx.L()}
+		if err := syncer.SyncOnce(); err != nil {
+			if _, ok, _ := store.Current(); !ok {
+				return fmt.Errorf("initial registry sync failed and the local mirror is empty: %w", err)
+			}
+			slogx.Warn("initial registry sync failed; serving last mirrored model", "err", err.Error())
+		}
+	}
+
 	gate := registry.Gate{MinEvents: *gateEvents, MinTPR: *gateTPR, MaxFPR: *gateFPR}
 	var ctl *autopilot.Controller
 	if *apEnable {
@@ -253,6 +288,7 @@ func run(args []string, ready chan<- string) error {
 		IdleTimeout:    *idle,
 		EvictInterval:  *evictEvery,
 		Parallel:       *parallel,
+		ReplicaID:      *replicaID,
 		Logger:         slogx.L(),
 	}
 	if ctl != nil {
@@ -261,6 +297,15 @@ func run(args []string, ready chan<- string) error {
 	srv, err := serve.NewServer(cfg)
 	if err != nil {
 		return err
+	}
+	if syncer != nil {
+		// Pointer advances mirrored from the primary hot-reload the
+		// server — the fleet-wide promotion propagation path.
+		syncer.OnAdvance = func(registry.Pointer) error { return srv.Reload() }
+		syncCtx, syncCancel := context.WithCancel(context.Background())
+		defer syncCancel()
+		go syncer.Run(syncCtx, *syncEvery)
+		slogx.Info("registry replication started", "from", *syncFrom, "interval", syncEvery.String())
 	}
 	if ctl != nil {
 		ctl.Bind(srv)

@@ -1,0 +1,27 @@
+package fleet
+
+import "repro/internal/telemetry"
+
+// Fleet metrics, registered on the default telemetry registry so they
+// surface on whichever process hosts the router or syncer (leaps-router,
+// leaps-serve with -sync-from, or the simulator).
+var (
+	mSyncRounds = telemetry.NewCounter("fleet_sync_rounds_total",
+		"registry sync rounds attempted against the primary")
+	mSyncFailures = telemetry.NewCounter("fleet_sync_failures_total",
+		"registry sync rounds that failed (replica kept serving last good model)")
+	mSyncEntries = telemetry.NewCounter("fleet_sync_entries_total",
+		"registry entries mirrored from the primary")
+	mSyncGeneration = telemetry.NewGauge("fleet_sync_generation",
+		"last registry pointer generation mirrored locally")
+	mRouterForwards = telemetry.NewCounterVec("fleet_router_forwards_total",
+		"requests forwarded to each replica", "replica")
+	mHandoffs = telemetry.NewCounter("fleet_handoffs_total",
+		"sessions checkpoint-handed-off between replicas on ring changes")
+	mHandoffFailures = telemetry.NewCounter("fleet_handoff_failures_total",
+		"session handoffs that failed and pinned the session to its old replica")
+	mRingGeneration = telemetry.NewGauge("fleet_ring_generation",
+		"current consistent-hash ring generation")
+	mRouterHTTPSeconds = telemetry.NewHistogramVec("fleet_router_http_seconds",
+		"router HTTP request latency by route", "route", telemetry.DurationBuckets())
+)

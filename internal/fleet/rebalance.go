@@ -1,0 +1,356 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// MemberStatus is one replica's row in the fleet status report.
+type MemberStatus struct {
+	ID       string `json:"id"`
+	InRing   bool   `json:"in_ring"`
+	Healthy  bool   `json:"healthy"`
+	Sessions int    `json:"sessions"`
+}
+
+// FleetStatus is the GET /v1/fleet report: ring generation, membership
+// and session placement counts.
+type FleetStatus struct {
+	Generation int64          `json:"generation"`
+	Sessions   int            `json:"sessions"`
+	Members    []MemberStatus `json:"members"`
+}
+
+// Status snapshots the fleet: who is in the ring, who is healthy, and
+// how many routed sessions each member holds.
+func (rt *Router) Status() FleetStatus {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	counts := make(map[string]int, len(rt.members))
+	for _, mid := range rt.table {
+		counts[mid]++
+	}
+	st := FleetStatus{Generation: rt.ring.Generation(), Sessions: len(rt.table)}
+	ids := make([]string, 0, len(rt.members))
+	for id := range rt.members {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ms := rt.members[id]
+		st.Members = append(st.Members, MemberStatus{
+			ID:       id,
+			InRing:   ms.inRing,
+			Healthy:  ms.healthy,
+			Sessions: counts[id],
+		})
+	}
+	return st
+}
+
+func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Status())
+}
+
+// handleReady reports ready while at least one in-ring member is
+// healthy — the fleet can place sessions somewhere.
+func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	ready := false
+	for _, ms := range rt.members {
+		if ms.inRing && ms.healthy {
+			ready = true
+			break
+		}
+	}
+	rt.mu.Unlock()
+	if !ready {
+		writeError(w, http.StatusServiceUnavailable, "no healthy in-ring replicas")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// ringChange is the POST /v1/fleet/{drain,join} request and response
+// body: which member, and (in the response) how the ring moved.
+type ringChange struct {
+	Member     string `json:"member"`
+	Moved      int    `json:"moved,omitempty"`
+	Generation int64  `json:"generation,omitempty"`
+}
+
+func (rt *Router) handleFleetDrain(w http.ResponseWriter, r *http.Request) {
+	var req ringChange
+	if err := readBody(w, r, rt.cfg.MaxBodyBytes, &req); err != nil {
+		return
+	}
+	moved, err := rt.DrainMember(r.Context(), req.Member)
+	if err != nil {
+		writeError(w, http.StatusConflict, "draining %s: %v", req.Member, err)
+		return
+	}
+	rt.mu.Lock()
+	gen := rt.ring.Generation()
+	rt.mu.Unlock()
+	writeJSON(w, http.StatusOK, ringChange{Member: req.Member, Moved: moved, Generation: gen})
+}
+
+func (rt *Router) handleFleetJoin(w http.ResponseWriter, r *http.Request) {
+	var req ringChange
+	if err := readBody(w, r, rt.cfg.MaxBodyBytes, &req); err != nil {
+		return
+	}
+	moved, err := rt.JoinMember(r.Context(), req.Member)
+	if err != nil {
+		writeError(w, http.StatusConflict, "joining %s: %v", req.Member, err)
+		return
+	}
+	rt.mu.Lock()
+	gen := rt.ring.Generation()
+	rt.mu.Unlock()
+	writeJSON(w, http.StatusOK, ringChange{Member: req.Member, Moved: moved, Generation: gen})
+}
+
+func readBody(w http.ResponseWriter, r *http.Request, limit int64, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request body: %v", err)
+		return err
+	}
+	return nil
+}
+
+// DrainMember takes a member out of the ring and moves every session it
+// owns to the session's new ring owner by checkpoint handoff, then puts
+// the member into drain mode. The order matters: the ring changes first
+// so new placements already avoid the loser, sessions move while the
+// loser still accepts traffic (a failed import can fall back to it), and
+// the drain flag lands last. Returns the number of sessions moved.
+func (rt *Router) DrainMember(ctx context.Context, id string) (int, error) {
+	rt.rebalanceMu.Lock()
+	defer rt.rebalanceMu.Unlock()
+
+	rt.mu.Lock()
+	ms, ok := rt.members[id]
+	if !ok {
+		rt.mu.Unlock()
+		return 0, fmt.Errorf("fleet: unknown member %q", id)
+	}
+	if !ms.inRing {
+		rt.mu.Unlock()
+		return 0, fmt.Errorf("fleet: member %q already drained", id)
+	}
+	inRing := 0
+	for _, m := range rt.members {
+		if m.inRing {
+			inRing++
+		}
+	}
+	if inRing == 1 {
+		rt.mu.Unlock()
+		return 0, fmt.Errorf("fleet: refusing to drain the last ring member %q", id)
+	}
+	if err := rt.ring.Remove(id); err != nil {
+		rt.mu.Unlock()
+		return 0, err
+	}
+	ms.inRing = false
+	gen := rt.ring.Generation()
+	rt.mu.Unlock()
+	mRingGeneration.Set(float64(gen))
+
+	moved, err := rt.rebalance(ctx, gen)
+
+	// Drain the loser last: its own sessions have moved (or are pinned
+	// to it by a failed handoff, in which case drain still lets them
+	// keep scoring in place).
+	if status, derr := rt.originate(ctx, ms, http.MethodPost, "/v1/drain", nil, nil); derr != nil || status >= 300 {
+		if err == nil {
+			err = fmt.Errorf("fleet: drain request to %s: status %d, %v", id, status, derr)
+		}
+	}
+	rt.cfg.Logger.Info("member drained", "member", id, "moved", moved, "ring_gen", gen, "error", err)
+	return moved, err
+}
+
+// JoinMember returns a drained member to the ring, lifts its drain flag,
+// and moves every session whose ring owner changed onto it. Returns the
+// number of sessions moved.
+func (rt *Router) JoinMember(ctx context.Context, id string) (int, error) {
+	rt.rebalanceMu.Lock()
+	defer rt.rebalanceMu.Unlock()
+
+	rt.mu.Lock()
+	ms, ok := rt.members[id]
+	if !ok {
+		rt.mu.Unlock()
+		return 0, fmt.Errorf("fleet: unknown member %q", id)
+	}
+	if ms.inRing {
+		rt.mu.Unlock()
+		return 0, fmt.Errorf("fleet: member %q already in ring", id)
+	}
+	if err := rt.ring.Add(id); err != nil {
+		rt.mu.Unlock()
+		return 0, err
+	}
+	ms.inRing = true
+	gen := rt.ring.Generation()
+	rt.mu.Unlock()
+	mRingGeneration.Set(float64(gen))
+
+	// Lift the drain flag before moving sessions in: an import against a
+	// draining replica is refused.
+	if status, err := rt.originate(ctx, ms, http.MethodDelete, "/v1/drain", nil, nil); err != nil || status >= 300 {
+		return 0, fmt.Errorf("fleet: undrain request to %s: status %d, %v", id, status, err)
+	}
+
+	moved, err := rt.rebalance(ctx, gen)
+	rt.cfg.Logger.Info("member joined", "member", id, "moved", moved, "ring_gen", gen, "error", err)
+	return moved, err
+}
+
+// rebalance walks the ownership table in sorted session order (so a
+// drain and a replayed drain move sessions identically) and hands off
+// every session whose current owner differs from its ring owner. The
+// first failed move pins its session and the walk continues; the last
+// error is returned after the sweep.
+func (rt *Router) rebalance(ctx context.Context, gen int64) (int, error) {
+	rt.mu.Lock()
+	ids := make([]string, 0, len(rt.table))
+	for sid := range rt.table {
+		ids = append(ids, sid)
+	}
+	rt.mu.Unlock()
+	sort.Strings(ids)
+
+	moved := 0
+	var lastErr error
+	for _, sid := range ids {
+		rt.mu.Lock()
+		have, ok := rt.table[sid]
+		want, wok := rt.ring.Owner(sid)
+		from, to := rt.members[have], rt.members[want]
+		rt.mu.Unlock()
+		if !ok || !wok || have == want {
+			continue
+		}
+		if err := rt.moveSession(ctx, sid, from, to, gen); err != nil {
+			mHandoffFailures.Inc()
+			rt.cfg.Logger.Error("session handoff failed; session pinned",
+				"session", sid, "from", have, "to", want, "error", err)
+			lastErr = err
+			continue
+		}
+		moved++
+	}
+	return moved, lastErr
+}
+
+// moveSession performs one checkpoint handoff: export from the loser
+// (which atomically claims and removes the session there), import into
+// the gainer, and commit the new placement. A failed import re-imports
+// the envelope into the loser so the session is never lost; only if that
+// recovery also fails is the error fatal to this session.
+func (rt *Router) moveSession(ctx context.Context, sid string, from, to *memberState, gen int64) error {
+	start := time.Now()
+	var ex serve.SessionExport
+	status, err := rt.originate(ctx, from, http.MethodPost, "/v1/sessions/"+sid+"/export", nil, &ex)
+	if err != nil {
+		return err
+	}
+	if status == http.StatusNotFound {
+		// Session ended between the table snapshot and now; forget it.
+		rt.mu.Lock()
+		delete(rt.table, sid)
+		rt.mu.Unlock()
+		return nil
+	}
+	if status >= 300 {
+		return fmt.Errorf("fleet: export of %s from %s: status %d", sid, from.member.ID, status)
+	}
+
+	status, err = rt.originate(ctx, to, http.MethodPost, "/v1/sessions/import", ex, nil)
+	if err == nil && status >= 300 {
+		err = fmt.Errorf("fleet: import of %s into %s: status %d", sid, to.member.ID, status)
+	}
+	if err != nil {
+		// Put the session back where it came from — the loser is not yet
+		// draining at this point in the drain sequence.
+		rstatus, rerr := rt.originate(ctx, from, http.MethodPost, "/v1/sessions/import", ex, nil)
+		if rerr != nil || rstatus >= 300 {
+			return fmt.Errorf("fleet: session %s LOST: import failed (%v) and fallback to %s failed (status %d, %v)",
+				sid, err, from.member.ID, rstatus, rerr)
+		}
+		return err
+	}
+
+	rt.mu.Lock()
+	rt.table[sid] = to.member.ID
+	rt.mu.Unlock()
+	mHandoffs.Inc()
+	d := time.Since(start)
+	attrs := map[string]string{
+		"from":     from.member.ID,
+		"to":       to.member.ID,
+		"ring_gen": fmt.Sprintf("%d", gen),
+	}
+	fe := telemetry.FlightEntry{Kind: "handoff", Name: sid, Dur: d, Attrs: attrs}
+	if tc, ok := telemetry.TraceContextFrom(ctx); ok {
+		fe.Trace = tc.Trace.String()
+	}
+	telemetry.RecordFlight(fe)
+	rt.cfg.Logger.Info("session handed off",
+		"session", sid, "from", from.member.ID, "to", to.member.ID, "ring_gen", gen)
+	return nil
+}
+
+// HealthCheck probes every member's /readyz once and updates health
+// flags. An unhealthy member stays in the ring (its sessions stay
+// placed — fail-static again) but the router answers 503 for requests
+// that would land on it.
+func (rt *Router) HealthCheck(ctx context.Context) {
+	rt.mu.Lock()
+	mss := make([]*memberState, 0, len(rt.members))
+	for _, ms := range rt.members {
+		mss = append(mss, ms)
+	}
+	rt.mu.Unlock()
+	for _, ms := range mss {
+		status, err := rt.originate(ctx, ms, http.MethodGet, "/readyz", nil, nil)
+		healthy := err == nil && status < 300
+		rt.mu.Lock()
+		changed := ms.healthy != healthy
+		ms.healthy = healthy
+		rt.mu.Unlock()
+		if changed {
+			rt.cfg.Logger.Warn("member health changed",
+				"member", ms.member.ID, "healthy", healthy, "status", status, "error", err)
+		}
+	}
+}
+
+// Run health-checks the fleet every interval until the context ends.
+func (rt *Router) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	rt.HealthCheck(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			rt.HealthCheck(ctx)
+		}
+	}
+}

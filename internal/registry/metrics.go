@@ -12,6 +12,8 @@ var (
 		"challenger entries promoted to current")
 	mRollbacks = telemetry.NewCounter("registry_rollbacks_total",
 		"current-pointer rollbacks to a prior entry")
+	mImports = telemetry.NewCounter("registry_imports_total",
+		"entries imported from a primary store by replication")
 	mShadowEvents = telemetry.NewCounter("registry_shadow_events_total",
 		"events replayed against shadow challengers")
 	mShadowDropped = telemetry.NewCounter("registry_shadow_dropped_batches_total",

@@ -98,6 +98,11 @@ type Manifest struct {
 type Pointer struct {
 	// ID is the current entry.
 	ID string `json:"id"`
+	// Generation counts repoints monotonically from 1; replication uses
+	// it as the cheap "did the pointer move" poll token (a mirrored
+	// pointer keeps the primary's generation verbatim). Pointers written
+	// before generations existed read back as 0.
+	Generation int64 `json:"generation,omitempty"`
 	// UpdatedAt is when the pointer was last repointed.
 	UpdatedAt time.Time `json:"updated_at"`
 	// Reason records why (publish, promotion, rollback).
@@ -367,7 +372,7 @@ func (s *Store) SetCurrent(id, reason string) (Transition, error) {
 		return Transition{}, err
 	}
 	tr := Transition{At: time.Now().UTC(), From: prev.ID, To: id, Reason: reason}
-	ptr := Pointer{ID: id, UpdatedAt: tr.At, Reason: reason}
+	ptr := Pointer{ID: id, Generation: prev.Generation + 1, UpdatedAt: tr.At, Reason: reason}
 	blob, err := json.MarshalIndent(ptr, "", "  ")
 	if err != nil {
 		return Transition{}, fmt.Errorf("registry: encoding current pointer: %w", err)
@@ -423,6 +428,112 @@ func (s *Store) Rollback(id, reason string) (Transition, error) {
 		})
 	}
 	return tr, err
+}
+
+// ImportEntry lands an entry fetched from another store as a committed
+// entry of this one, preserving the source manifest verbatim. It is the
+// replication half of Publish: the bundle bytes are hash-verified
+// against the manifest (both the full SHA-256 and the id prefix) but not
+// re-inspected — the primary already validated them at publish time —
+// and the pointer is never touched (mirroring the pointer is
+// SetCurrentMirror's job). Importing an entry that already exists with
+// the same hash is a no-op, so interrupted syncs can simply re-run. The
+// manifest-last commit protocol is shared with Publish: a crash between
+// the bundle and manifest writes leaves an uncommitted entry directory
+// that Get/List ignore.
+func (s *Store) ImportEntry(man Manifest, blob []byte) error {
+	if err := validID(man.ID); err != nil {
+		return err
+	}
+	sum := sha256.Sum256(blob)
+	hash := hex.EncodeToString(sum[:])
+	if hash != man.SHA256 {
+		return fmt.Errorf("registry: import %s: bundle hashes %s, manifest says %s", man.ID, hash, man.SHA256)
+	}
+	if !strings.HasPrefix(hash, man.ID) {
+		return fmt.Errorf("registry: import %s: id is not a prefix of bundle hash %s", man.ID, hash)
+	}
+	if existing, err := s.Get(man.ID); err == nil {
+		if existing.SHA256 != hash {
+			return fmt.Errorf("registry: import %s: existing entry holds hash %s, import hashes %s", man.ID, existing.SHA256, hash)
+		}
+		return nil
+	}
+	dir := s.entryDir(man.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("registry: import %s: creating entry: %w", man.ID, err)
+	}
+	if err := faultinject.Step("registry/import/bundle"); err != nil {
+		return fmt.Errorf("registry: import %s: writing bundle: %w", man.ID, err)
+	}
+	if err := writeFileAtomic(filepath.Join(dir, bundleFile), blob); err != nil {
+		return fmt.Errorf("registry: import %s: writing bundle: %w", man.ID, err)
+	}
+	manBlob, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("registry: import %s: encoding manifest: %w", man.ID, err)
+	}
+	if err := faultinject.Step("registry/import/manifest"); err != nil {
+		return fmt.Errorf("registry: import %s: writing manifest: %w", man.ID, err)
+	}
+	if err := writeFileAtomic(filepath.Join(dir, manifestFile), manBlob); err != nil {
+		return fmt.Errorf("registry: import %s: writing manifest: %w", man.ID, err)
+	}
+	mImports.Inc()
+	return nil
+}
+
+// SetCurrentMirror repoints the current pointer at a committed entry,
+// copying a primary store's pointer verbatim — generation, timestamp and
+// reason are the primary's, not regenerated, so replicas converge on
+// byte-equal pointer state and the generation poll token stays
+// comparable across the fleet. The transition appended to the local
+// history names the sync so replica history is distinguishable from
+// first-hand promotions. Mirroring a pointer at an entry this store does
+// not hold is refused: the caller must import entries before the
+// pointer, which is what keeps a replica from ever exposing a pointer to
+// a missing entry.
+func (s *Store) SetCurrentMirror(ptr Pointer) (Transition, error) {
+	if _, err := s.Get(ptr.ID); err != nil {
+		return Transition{}, fmt.Errorf("registry: mirroring pointer: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, _, err := s.Current()
+	if err != nil {
+		return Transition{}, err
+	}
+	if prev.ID == ptr.ID && prev.Generation == ptr.Generation {
+		return Transition{}, nil // already converged
+	}
+	tr := Transition{At: time.Now().UTC(), From: prev.ID, To: ptr.ID,
+		Reason: fmt.Sprintf("sync: mirror generation %d (%s)", ptr.Generation, ptr.Reason)}
+	blob, err := json.MarshalIndent(ptr, "", "  ")
+	if err != nil {
+		return Transition{}, fmt.Errorf("registry: encoding mirrored pointer: %w", err)
+	}
+	if err := faultinject.Step("registry/setcurrent/mirror"); err != nil {
+		return Transition{}, fmt.Errorf("registry: mirroring pointer: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(s.root, currentFile), blob); err != nil {
+		return Transition{}, fmt.Errorf("registry: mirroring pointer: %w", err)
+	}
+	line, err := json.Marshal(tr)
+	if err != nil {
+		return Transition{}, fmt.Errorf("registry: encoding transition: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(s.root, historyFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return Transition{}, fmt.Errorf("registry: opening history: %w", err)
+	}
+	_, werr := f.Write(append(line, '\n'))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return Transition{}, fmt.Errorf("registry: appending history: %w", werr)
+	}
+	return tr, nil
 }
 
 // History returns every recorded transition, oldest first. A line the

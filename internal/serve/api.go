@@ -47,6 +47,13 @@ type SessionInfo struct {
 	// Verdicts and Malicious count scored windows and malicious ones.
 	Verdicts  int `json:"verdicts"`
 	Malicious int `json:"malicious"`
+	// Replica is the owning replica's fleet ID and RingGeneration the
+	// router ring generation stamped at creation or last handoff; both
+	// are absent outside a fleet. Entry is the registry entry the
+	// session's model was loaded from, absent for path/preloaded models.
+	Replica        string `json:"replica,omitempty"`
+	RingGeneration int64  `json:"ring_generation,omitempty"`
+	Entry          string `json:"entry,omitempty"`
 	// Created and LastUsed bound the session's lifetime.
 	Created  time.Time `json:"created"`
 	LastUsed time.Time `json:"last_used"`
@@ -71,6 +78,10 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
 	mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/sessions/import", s.handleImport)
+	mux.HandleFunc("POST /v1/sessions/{id}/export", s.handleExport)
+	mux.HandleFunc("POST /v1/drain", s.handleDrainStart)
+	mux.HandleFunc("DELETE /v1/drain", s.handleDrainStop)
 	if s.cfg.Registry != nil {
 		mux.HandleFunc("GET /v1/models", s.handleModels)
 		mux.HandleFunc("POST /v1/models/shadow", s.handleShadowStart)
@@ -97,7 +108,10 @@ func (s *Server) buildMux() {
 		fmt.Fprintln(w, "  POST   /v1/sessions")
 		fmt.Fprintln(w, "  GET    /v1/sessions/{id}   (?checkpoint=1)")
 		fmt.Fprintln(w, "  POST   /v1/sessions/{id}/events")
+		fmt.Fprintln(w, "  POST   /v1/sessions/{id}/export")
+		fmt.Fprintln(w, "  POST   /v1/sessions/import")
 		fmt.Fprintln(w, "  DELETE /v1/sessions/{id}")
+		fmt.Fprintln(w, "  POST   /v1/drain, DELETE /v1/drain")
 		if s.cfg.Registry != nil {
 			fmt.Fprintln(w, "  GET    /v1/models")
 			fmt.Fprintln(w, "  POST   /v1/models/shadow")
@@ -173,9 +187,23 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "replica draining")
+		return
+	}
 	var spec SessionSpec
 	if !s.decodeBody(w, r, &spec) {
 		return
+	}
+	if spec.ID != "" {
+		if err := validSessionID(spec.ID); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if s.sessionTaken(spec.ID) {
+			writeError(w, http.StatusConflict, "session %q already exists", spec.ID)
+			return
+		}
 	}
 	m, err := s.resolveModel(spec.Model)
 	if err != nil {
@@ -187,7 +215,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	mon := m.monitor()
+	_, entry, mon := m.snapshot()
 	det, err := mon.Stream(mm)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "starting detector: %v", err)
@@ -195,15 +223,20 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	now := time.Now()
 	sess := &session{
-		id:       newSessionID(),
+		id:       spec.ID,
 		model:    m.name,
 		spec:     spec,
 		det:      det,
 		mm:       mm,
 		window:   mon.Window(),
 		degraded: det.Degraded(),
+		entry:    entry,
+		ringGen:  ringGenFrom(r),
 		created:  now,
 		lastUsed: now,
+	}
+	if sess.id == "" {
+		sess.id = newSessionID()
 	}
 	s.sessMu.Lock()
 	if len(s.sessions) >= s.cfg.MaxSessions {
@@ -212,6 +245,11 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable,
 			"session limit %d reached", s.cfg.MaxSessions)
+		return
+	}
+	if _, dup := s.sessions[sess.id]; dup {
+		s.sessMu.Unlock()
+		writeError(w, http.StatusConflict, "session %q already exists", sess.id)
 		return
 	}
 	s.sessions[sess.id] = sess
@@ -269,6 +307,9 @@ func (s *Server) sessionInfo(sess *session, checkpoint bool) SessionInfo {
 		LastUsed:  sess.lastUsed,
 	}
 	sess.mu.Unlock()
+	info.Replica = s.cfg.ReplicaID
+	info.RingGeneration = sess.ringGen
+	info.Entry = sess.entry
 	info.Consumed = sess.det.Consumed()
 	info.Skipped = sess.det.Skipped()
 	info.Pending = sess.det.Pending()
@@ -425,6 +466,10 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if s.closing.Load() {
 		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	s.sessMu.RLock()

@@ -1,0 +1,334 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Checkpoint handoff: the serve half of the fleet layer's session
+// rebalancing. When a router moves a session between replicas it POSTs
+// /v1/sessions/{id}/export on the losing replica — which quiesces the
+// session, detaches it and returns a SessionExport envelope — and
+// replays that envelope into POST /v1/sessions/import on the gaining
+// replica, which restores the detector from the embedded checkpoint.
+// The envelope reuses the SIGTERM spool formats (the binary
+// core.StreamDetector checkpoint plus the spool sidecar's metadata
+// fields), so a handed-off session scores byte-identically to one that
+// never moved. POST /v1/drain marks a replica as leaving the ring:
+// readiness fails and new sessions are refused while resident sessions
+// keep scoring until each is exported away.
+
+// RingGenHeader carries the fleet router's ring generation on forwarded
+// session-creation and import requests, stamping sessions with the ring
+// epoch that placed them.
+const RingGenHeader = "X-Leaps-Ring-Generation"
+
+// SessionExport is the checkpoint-handoff envelope returned by
+// POST /v1/sessions/{id}/export and accepted by POST /v1/sessions/import:
+// the spool sidecar's metadata plus the binary detector checkpoint.
+type SessionExport struct {
+	// ID, Model, Spec, Created, Verdicts and Malicious mirror the spool
+	// metadata sidecar.
+	ID        string      `json:"id"`
+	Model     string      `json:"model"`
+	Spec      SessionSpec `json:"spec"`
+	Created   time.Time   `json:"created"`
+	Verdicts  int         `json:"verdicts"`
+	Malicious int         `json:"malicious"`
+	// Entry pins the registry entry the session's monitor was loaded
+	// from, so the importing replica rebinds the same model even if the
+	// fleet promoted a new champion since the session was created.
+	Entry string `json:"entry,omitempty"`
+	// Replica names the exporting replica, for the handoff audit trail.
+	Replica string `json:"replica,omitempty"`
+	// Checkpoint is the binary detector checkpoint (base64 in JSON), the
+	// same bytes the SIGTERM spool writes.
+	Checkpoint []byte `json:"checkpoint"`
+}
+
+// validSessionID vets a client-requested session identifier: session ids
+// become spool file names, so they are restricted to filename-safe
+// characters and bounded length.
+func validSessionID(id string) error {
+	if id == "" {
+		return fmt.Errorf("serve: empty session id")
+	}
+	if len(id) > 64 {
+		return fmt.Errorf("serve: session id longer than 64 bytes")
+	}
+	for i, r := range id {
+		alnum := r >= '0' && r <= '9' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z'
+		if i == 0 && !alnum {
+			return fmt.Errorf("serve: session id %q must start with a letter or digit", id)
+		}
+		if !alnum && r != '.' && r != '_' && r != '-' {
+			return fmt.Errorf("serve: session id %q contains %q (allowed: letters, digits, '.', '_', '-')", id, r)
+		}
+	}
+	return nil
+}
+
+// sessionTaken reports whether a session id is already in use, resident
+// or spooled.
+func (s *Server) sessionTaken(id string) bool {
+	s.sessMu.RLock()
+	_, ok := s.sessions[id]
+	s.sessMu.RUnlock()
+	if ok {
+		return true
+	}
+	if s.cfg.SpoolDir != "" {
+		if _, err := os.Stat(filepath.Join(s.cfg.SpoolDir, id+".json")); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ringGenFrom reads the router's ring-generation stamp off a forwarded
+// request (0 when absent or unparseable).
+func ringGenFrom(r *http.Request) int64 {
+	gen, _ := strconv.ParseInt(r.Header.Get(RingGenHeader), 10, 64)
+	return gen
+}
+
+// handleExport detaches a session and returns its checkpoint-handoff
+// envelope. The session is quiesced first — every queued batch scores
+// before the checkpoint is cut — then removed; after a successful export
+// the session no longer exists on this replica. A checkpoint failure
+// reinstates the session unharmed.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// Force a spool restore if the session was evicted, then claim it by
+	// removing it from the map: the claim is what makes concurrent
+	// exports of the same session race-safe (exactly one wins).
+	if _, err := s.getSession(id); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.sessMu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	s.sessMu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
+	mSessionsActive.Add(-1)
+	sess.quiesce()
+
+	var buf bytes.Buffer
+	if err := sess.det.Checkpoint(&buf); err != nil {
+		// Reinstate: the session never left.
+		sess.mu.Lock()
+		sess.closed = false
+		sess.mu.Unlock()
+		s.sessMu.Lock()
+		s.sessions[id] = sess
+		s.sessMu.Unlock()
+		mSessionsActive.Add(1)
+		writeError(w, http.StatusInternalServerError, "checkpointing session: %v", err)
+		return
+	}
+	sess.mu.Lock()
+	ex := SessionExport{
+		ID:         sess.id,
+		Model:      sess.model,
+		Spec:       sess.spec,
+		Created:    sess.created,
+		Verdicts:   sess.verdicts,
+		Malicious:  sess.malicious,
+		Entry:      sess.entry,
+		Replica:    s.cfg.ReplicaID,
+		Checkpoint: buf.Bytes(),
+	}
+	sess.mu.Unlock()
+	// The spool copy (if any) is stale once the export leaves.
+	if s.cfg.SpoolDir != "" {
+		_ = core.RemoveSpoolCheckpoint(s.cfg.SpoolDir, id)
+		_ = os.Remove(filepath.Join(s.cfg.SpoolDir, id+".json"))
+	}
+	mSessionsExported.Inc()
+	telemetry.RecordFlight(telemetry.FlightEntry{
+		Kind:  "handoff",
+		Name:  id,
+		Trace: telemetry.TraceIDFrom(r.Context()),
+		Attrs: map[string]string{
+			"dir":      "export",
+			"replica":  s.cfg.ReplicaID,
+			"ring_gen": strconv.FormatInt(ringGenFrom(r), 10),
+		},
+	})
+	s.cfg.Logger.Info("session exported", "session", id, "verdicts", ex.Verdicts)
+	writeJSON(w, http.StatusOK, ex)
+}
+
+// handleImport restores a session from another replica's checkpoint
+// export. The detector resumes from the embedded checkpoint bound to the
+// same model — when the export pins a registry entry that is no longer
+// this replica's current champion, the pinned entry's bundle is loaded
+// from the registry, preserving the session's verdict continuity across
+// promotions. A draining replica refuses imports (it is leaving the
+// ring, not gaining members' sessions).
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusConflict, "replica draining; not accepting imports")
+		return
+	}
+	var ex SessionExport
+	if !s.decodeBody(w, r, &ex) {
+		return
+	}
+	if err := validSessionID(ex.ID); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.sessionTaken(ex.ID) {
+		writeError(w, http.StatusConflict, "session %q already exists", ex.ID)
+		return
+	}
+	m, err := s.resolveModel(ex.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mm, err := ex.Spec.ModuleMap()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	_, curEntry, mon := m.snapshot()
+	entry := curEntry
+	switch {
+	case ex.Entry == "" || ex.Entry == curEntry:
+		// The current monitor is the right binding.
+	case m.store == nil:
+		// No registry to pin against; the current monitor is the best
+		// available binding. Continuity is not guaranteed across a path
+		// reload, exactly as with spool restores.
+		s.cfg.Logger.Warn("import pins an entry but model has no registry; binding current monitor",
+			"session", ex.ID, "entry", ex.Entry)
+	default:
+		rc, err := m.store.OpenBundle(ex.Entry)
+		if err != nil {
+			writeError(w, http.StatusConflict,
+				"pinned entry %s not in this replica's registry (sync lag?): %v", ex.Entry, err)
+			return
+		}
+		pinned, err := core.LoadMonitor(rc)
+		rc.Close()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "loading pinned entry %s: %v", ex.Entry, err)
+			return
+		}
+		mon, entry = pinned, ex.Entry
+	}
+	det, err := mon.RestoreStream(mm, bytes.NewReader(ex.Checkpoint))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "restoring checkpoint: %v", err)
+		return
+	}
+	now := time.Now()
+	sess := &session{
+		id:        ex.ID,
+		model:     m.name,
+		spec:      ex.Spec,
+		det:       det,
+		mm:        mm,
+		window:    mon.Window(),
+		degraded:  det.Degraded(),
+		entry:     entry,
+		ringGen:   ringGenFrom(r),
+		created:   ex.Created,
+		lastUsed:  now,
+		verdicts:  ex.Verdicts,
+		malicious: ex.Malicious,
+	}
+	s.sessMu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.sessMu.Unlock()
+		mRejected.With("session_limit").Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			"session limit %d reached", s.cfg.MaxSessions)
+		return
+	}
+	if _, dup := s.sessions[sess.id]; dup {
+		s.sessMu.Unlock()
+		writeError(w, http.StatusConflict, "session %q already exists", sess.id)
+		return
+	}
+	s.sessions[sess.id] = sess
+	s.sessMu.Unlock()
+	mSessionsActive.Add(1)
+	mSessionsImported.Inc()
+	telemetry.RecordFlight(telemetry.FlightEntry{
+		Kind:  "handoff",
+		Name:  sess.id,
+		Trace: telemetry.TraceIDFrom(r.Context()),
+		Attrs: map[string]string{
+			"dir":      "import",
+			"replica":  s.cfg.ReplicaID,
+			"from":     ex.Replica,
+			"ring_gen": strconv.FormatInt(sess.ringGen, 10),
+		},
+	})
+	s.cfg.Logger.Info("session imported",
+		"session", sess.id, "from", ex.Replica, "entry", entry, "verdicts", sess.verdicts)
+	w.Header().Set("Location", "/v1/sessions/"+sess.id)
+	writeJSON(w, http.StatusCreated, s.sessionInfo(sess, false))
+}
+
+// DrainStatus is the JSON body of the drain endpoints: the draining flag
+// and the sessions still resident on the replica (sorted, so a router
+// can export them deterministically).
+type DrainStatus struct {
+	// Draining reports whether the replica is refusing new sessions.
+	Draining bool `json:"draining"`
+	// Sessions lists resident session ids, sorted.
+	Sessions []string `json:"sessions"`
+}
+
+// handleDrainStart marks the replica draining: readiness fails, new
+// sessions and imports are refused, resident sessions keep scoring. The
+// response lists the sessions awaiting export.
+func (s *Server) handleDrainStart(w http.ResponseWriter, r *http.Request) {
+	s.draining.Store(true)
+	s.cfg.Logger.Info("drain started", "replica", s.cfg.ReplicaID)
+	writeJSON(w, http.StatusOK, DrainStatus{Draining: true, Sessions: s.residentSessions()})
+}
+
+// handleDrainStop clears the draining flag — a drained replica rejoining
+// the ring becomes ready again.
+func (s *Server) handleDrainStop(w http.ResponseWriter, r *http.Request) {
+	s.draining.Store(false)
+	s.cfg.Logger.Info("drain stopped", "replica", s.cfg.ReplicaID)
+	writeJSON(w, http.StatusOK, DrainStatus{Draining: false, Sessions: s.residentSessions()})
+}
+
+// residentSessions lists resident session ids, sorted.
+func (s *Server) residentSessions() []string {
+	s.sessMu.RLock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	s.sessMu.RUnlock()
+	sort.Strings(ids)
+	return ids
+}

@@ -32,4 +32,8 @@ var (
 		"latency from batch acceptance to worker pickup", telemetry.DurationBuckets())
 	mScoreSeconds = telemetry.NewHistogram("serve_score_seconds",
 		"detector scoring time per batch", telemetry.DurationBuckets())
+	mSessionsExported = telemetry.NewCounter("serve_sessions_exported_total",
+		"sessions checkpoint-exported to another replica")
+	mSessionsImported = telemetry.NewCounter("serve_sessions_imported_total",
+		"sessions restored from another replica's checkpoint export")
 )

@@ -96,6 +96,11 @@ type Config struct {
 	// TurnEvents caps the events one worker turn scores before the
 	// session yields its worker for fairness (default 1024).
 	TurnEvents int
+	// ReplicaID names this server within a fleet. When set it is
+	// reported as the owning replica in session info and stamped on
+	// verdict flight-recorder entries, so handoff races are attributable
+	// to a specific replica. Empty means "not part of a fleet".
+	ReplicaID string
 	// Logger receives operational logs (default slog.Default()).
 	Logger *slog.Logger
 }
@@ -180,6 +185,10 @@ type Server struct {
 	janitorStop chan struct{}
 	janitorDone chan struct{}
 	closing     atomic.Bool
+	// draining marks a replica being removed from a fleet ring: readiness
+	// fails, new sessions and imports are refused, but resident sessions
+	// keep scoring until each is exported away (POST /v1/drain).
+	draining atomic.Bool
 
 	// reloadMu serialises Reload calls (SIGHUP races /v1/models writes).
 	reloadMu sync.Mutex
@@ -418,15 +427,20 @@ func (s *Server) runTurn(sess *session) {
 			}
 			s.trafficVerdicts.Add(uint64(len(rep.verdicts)))
 			s.trafficMalicious.Add(mal)
+			attrs := map[string]string{
+				"model":     sess.model,
+				"verdicts":  strconv.Itoa(len(rep.verdicts)),
+				"malicious": strconv.FormatUint(mal, 10),
+			}
+			if s.cfg.ReplicaID != "" {
+				attrs["replica"] = s.cfg.ReplicaID
+				attrs["ring_gen"] = strconv.FormatInt(sess.ringGen, 10)
+			}
 			telemetry.RecordFlight(telemetry.FlightEntry{
 				Kind:  "verdict",
 				Name:  sess.id,
 				Trace: b.trace,
-				Attrs: map[string]string{
-					"model":     sess.model,
-					"verdicts":  strconv.Itoa(len(rep.verdicts)),
-					"malicious": strconv.FormatUint(mal, 10),
-				},
+				Attrs: attrs,
 			})
 		}
 		s.shadowOffer(sess, b, rep)

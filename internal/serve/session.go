@@ -54,6 +54,15 @@ type session struct {
 	mm       *trace.ModuleMap
 	window   int
 	degraded bool
+	// entry is the registry entry id the session's monitor was loaded
+	// from ("" for path/preloaded models). Checkpoint handoff ships it so
+	// the gaining replica rebinds the same model even after a promotion
+	// moved the registry's current pointer.
+	entry string
+	// ringGen is the fleet ring generation stamped when the session was
+	// created or last imported (0 outside a fleet) — the breadcrumb that
+	// makes handoff races debuggable. Immutable after construction.
+	ringGen int64
 
 	mu        sync.Mutex
 	queue     []*ingestBatch

@@ -17,6 +17,13 @@ import (
 // session to and the monitored process's identity — its application name
 // and module map, which the detector needs to partition stack walks.
 type SessionSpec struct {
+	// ID optionally requests a specific session identifier instead of a
+	// server-assigned one, so a fleet router can place sessions by
+	// consistent hash before they exist. IDs are restricted to
+	// filename-safe characters (letters, digits, '.', '_', '-', leading
+	// character alphanumeric, at most 64 bytes); a taken ID is refused
+	// with 409. Empty keeps the server-assigned random ID.
+	ID string `json:"id,omitempty"`
 	// Model names the model bundle to score with; empty selects the
 	// server's default model.
 	Model string `json:"model,omitempty"`

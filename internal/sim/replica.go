@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/fleet"
+	"repro/internal/registry"
 	"repro/internal/serve"
 )
 
@@ -38,12 +40,19 @@ type heldBatch struct {
 // costs), so the schedule never observes the wall clock.
 type replica struct {
 	idx      int
+	id       string // fleet member name ("r0", "r1", …)
 	sim      *simulation
 	spoolDir string
 	jitter   *rand.Rand
 
 	srv *serve.Server
 	drv *serve.Driver
+
+	// Routed mode only: the replica's own registry store, replicated
+	// from the run's primary by a real fleet.Syncer — promotions reach
+	// this replica through registry sync, never by sharing the primary.
+	store  *registry.Store
+	syncer *fleet.Syncer
 
 	up        bool
 	epoch     int   // bumped by hard kills; stale completions check it
@@ -61,21 +70,52 @@ type replica struct {
 func (s *simulation) newReplica(idx int) *replica {
 	return &replica{
 		idx:      idx,
+		id:       fmt.Sprintf("r%d", idx),
 		sim:      s,
 		spoolDir: filepath.Join(s.workDir, fmt.Sprintf("spool-r%d", idx)),
 		jitter:   s.prng.Stream("replica-jitter", strconv.Itoa(idx)),
 	}
 }
 
-// boot starts the replica's serve.Server on the shared registry store.
-// Booting loads the registry's *current* entry, so a replica restored
-// after a promotion comes back serving the new champion.
+// boot starts the replica's serve.Server. Unrouted replicas share the
+// run's primary registry store directly; routed replicas first converge
+// their own local store off the primary through a real sync round, then
+// serve from that — exactly the replicated topology cmd/leaps-serve
+// -sync-from runs in production. Booting loads the registry's *current*
+// entry, so a replica restored after a promotion comes back serving the
+// new champion.
 func (r *replica) boot() error {
+	store := r.sim.store
+	if r.sim.sc.Routed {
+		if r.store == nil {
+			st, err := registry.Open(filepath.Join(r.sim.workDir, "registry-"+r.id))
+			if err != nil {
+				return fmt.Errorf("sim: opening replica %s store: %w", r.id, err)
+			}
+			r.store = st
+			r.syncer = &fleet.Syncer{
+				Source:  r.sim.store,
+				Replica: st,
+				Logger:  r.sim.logger,
+				OnAdvance: func(registry.Pointer) error {
+					if r.srv == nil {
+						return nil // pre-boot convergence; boot loads current itself
+					}
+					return r.srv.Reload()
+				},
+			}
+		}
+		if err := r.syncer.SyncOnce(); err != nil {
+			return fmt.Errorf("sim: syncing replica %s: %w", r.id, err)
+		}
+		store = r.store
+	}
 	srv, err := serve.NewServer(serve.Config{
-		Registry: r.sim.store,
-		SpoolDir: r.spoolDir,
-		Parallel: 2,
-		Logger:   r.sim.logger,
+		Registry:  store,
+		SpoolDir:  r.spoolDir,
+		Parallel:  2,
+		ReplicaID: r.id,
+		Logger:    r.sim.logger,
 	})
 	if err != nil {
 		return fmt.Errorf("sim: booting replica %d: %w", r.idx, err)
@@ -119,25 +159,40 @@ func (r *replica) cost(n int) int64 {
 // session as needed.
 func (r *replica) ingest(b *heldBatch) (serve.IngestResult, error) {
 	sess := b.sess
+	drv := r.drv
+	if r.sim.sc.Routed {
+		// Routed batches go through the router's forwarding path; the
+		// session's stable name is its id, so the router's consistent
+		// hash (not the simulator) decides which replica scores it.
+		drv = r.sim.routerDrv
+	}
 	if sess.serverID == "" {
-		info, err := r.drv.CreateSession(sess.spec)
+		spec := sess.spec
+		if r.sim.sc.Routed {
+			spec.ID = sess.name
+		}
+		info, err := drv.CreateSession(spec)
 		if err != nil {
 			return serve.IngestResult{}, fmt.Errorf("sim: creating session %s: %w", sess.name, err)
 		}
 		sess.serverID = info.ID
 	}
-	res, err := r.drv.Ingest(sess.serverID, serve.EventBatch{Events: b.events})
+	res, err := drv.Ingest(sess.serverID, serve.EventBatch{Events: b.events})
 	if serve.IsStatus(err, 404) || serve.IsStatus(err, 409) {
 		// The server-side session died with a killed replica (or was
 		// closed under us): re-open and restart the stream there.
-		info, cerr := r.drv.CreateSession(sess.spec)
+		spec := sess.spec
+		if r.sim.sc.Routed {
+			spec.ID = sess.name
+		}
+		info, cerr := drv.CreateSession(spec)
 		if cerr != nil {
 			return serve.IngestResult{}, fmt.Errorf("sim: recreating session %s: %w", sess.name, cerr)
 		}
 		sess.serverID = info.ID
 		sess.recreated++
 		r.sim.agg.sessionsRecreated++
-		res, err = r.drv.Ingest(sess.serverID, serve.EventBatch{Events: b.events})
+		res, err = drv.Ingest(sess.serverID, serve.EventBatch{Events: b.events})
 	}
 	if err != nil {
 		return serve.IngestResult{}, fmt.Errorf("sim: ingesting %s batch %d: %w", sess.name, b.seq, err)

@@ -94,6 +94,14 @@ type Report struct {
 	// Verdicts and Malicious count delivered verdict windows.
 	Verdicts  int `json:"verdicts"`
 	Malicious int `json:"malicious"`
+	// Routed reports that the run sharded sessions through a real
+	// fleet.Router; RingGeneration is the ring's final generation and
+	// Handoffs counts sessions moved by checkpoint handoff across every
+	// drain and rejoin. All three are omitted for unrouted runs so
+	// pre-fleet baseline rows keep their exact bytes.
+	Routed         bool  `json:"routed,omitempty"`
+	RingGeneration int64 `json:"ring_generation,omitempty"`
+	Handoffs       int   `json:"handoffs,omitempty"`
 	// VerdictChecksum fingerprints the full verdict stream: FNV-1a over
 	// every session's (window bounds, score bits, verdict) in session
 	// order. Byte-equal checksums mean byte-equal verdict streams.
@@ -133,6 +141,8 @@ type aggregator struct {
 	sessionsStarted   int
 	sessionsCompleted int
 	sessionsRecreated int
+
+	handoffs int
 }
 
 // verdictHash carries one session's running verdict-stream fingerprint.

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// routedScenario is the routed twin of testScenario: the same workload
+// sharded through a real fleet.Router over 3 replicas, each serving
+// from its own synced registry store.
+func routedScenario() Scenario {
+	sc := testScenario()
+	sc.Name = "routed-test"
+	sc.Routed = true
+	sc.Replicas = 3
+	return sc
+}
+
+// TestRoutedByteDeterminism extends the core contract to routed mode:
+// same scenario, same seed — byte-identical report and event log, even
+// with the router's forwarding, registry sync and handoff machinery in
+// the loop.
+func TestRoutedByteDeterminism(t *testing.T) {
+	sc := routedScenario()
+	sc.Drains = []DrainSpec{{Replica: 1, AtSec: 1, RejoinSec: 2}}
+	rep1, blob1, log1 := runScenario(t, sc)
+	_, blob2, log2 := runScenario(t, sc)
+	if !bytes.Equal(blob1, blob2) {
+		t.Errorf("same seed produced different routed reports:\n--- run1\n%s\n--- run2\n%s", blob1, blob2)
+	}
+	if !bytes.Equal(log1, log2) {
+		t.Error("same seed produced different routed event logs")
+	}
+	if !rep1.Routed || rep1.Verdicts == 0 || rep1.SessionsCompleted != rep1.SessionsStarted {
+		t.Fatalf("degenerate routed run: %+v", rep1)
+	}
+}
+
+// TestRoutedChecksumMatchesUnrouted is the tentpole proof: routing the
+// workload through the consistent-hash router — including a mid-traffic
+// drain with checkpoint handoff, a promotion propagated by registry
+// sync, and the rejoin handing sessions back — changes which replica
+// scores each batch but not one bit of the verdict stream. The routed
+// run's checksum equals a plain single-replica run of the same workload.
+func TestRoutedChecksumMatchesUnrouted(t *testing.T) {
+	ref := testScenario()
+	ref.Replicas = 1
+	ref.Model.ChallengerSeed = 11
+	ref.Promotion = &PromotionSpec{AtSec: 2}
+	refRep, _, _ := runScenario(t, ref)
+
+	sc := routedScenario()
+	sc.Model.ChallengerSeed = 11
+	sc.Promotion = &PromotionSpec{AtSec: 2}
+	sc.Drains = []DrainSpec{{Replica: 1, AtSec: 1, RejoinSec: 2}}
+	routed, _, _ := runScenario(t, sc)
+
+	if routed.Handoffs == 0 || routed.RingGeneration != 5 {
+		t.Fatalf("ring change did not bite: handoffs=%d ring_gen=%d (want handoffs>0, gen 5)",
+			routed.Handoffs, routed.RingGeneration)
+	}
+	if !routed.Promoted {
+		t.Fatal("routed promotion did not fire")
+	}
+	if routed.VerdictChecksum != refRep.VerdictChecksum {
+		t.Errorf("routing + drain + handoff changed the verdict stream: %s vs unrouted reference %s",
+			routed.VerdictChecksum, refRep.VerdictChecksum)
+	}
+	if routed.Verdicts != refRep.Verdicts || routed.EventsSent != refRep.EventsSent {
+		t.Errorf("workload changed under routing: %d/%d verdicts, %d/%d events",
+			routed.Verdicts, refRep.Verdicts, routed.EventsSent, refRep.EventsSent)
+	}
+	if routed.SessionsRecreated != 0 {
+		t.Errorf("%d sessions recreated; checkpoint handoff must never lose state", routed.SessionsRecreated)
+	}
+}
+
+// TestRoutedSpreadsLoad sanity-checks that consistent hashing actually
+// shards: with 3 replicas in the ring, more than one replica scores
+// batches.
+func TestRoutedSpreadsLoad(t *testing.T) {
+	rep, _, _ := runScenario(t, routedScenario())
+	busy := 0
+	for _, f := range rep.Fleet {
+		if f.Batches > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("only %d of %d replicas scored batches; fleet stats %+v", busy, len(rep.Fleet), rep.Fleet)
+	}
+	if rep.RingGeneration != 3 {
+		t.Errorf("ring generation %d, want 3 (one add per member, no drains)", rep.RingGeneration)
+	}
+}
+
+// TestRoutedValidation covers the routed-mode scenario constraints.
+func TestRoutedValidation(t *testing.T) {
+	sc := routedScenario()
+	sc.Faults = []FaultSpec{{Replica: 0, AtSec: 1, DownSec: 1, Kind: "sigterm"}}
+	if err := sc.Validate(); err == nil {
+		t.Error("routed + faults validated; they are mutually exclusive")
+	}
+
+	sc = testScenario()
+	sc.Drains = []DrainSpec{{Replica: 0, AtSec: 1}}
+	if err := sc.Validate(); err == nil {
+		t.Error("drains without routed validated")
+	}
+
+	sc = routedScenario()
+	sc.Drains = []DrainSpec{{Replica: 9, AtSec: 1}}
+	if err := sc.Validate(); err == nil {
+		t.Error("drain of out-of-range replica validated")
+	}
+
+	sc = routedScenario()
+	sc.Replicas = 1
+	if err := sc.Validate(); err == nil {
+		t.Error("routed single-replica fleet validated")
+	}
+}

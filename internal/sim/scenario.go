@@ -77,6 +77,22 @@ type FaultSpec struct {
 	Kind string `json:"kind"`
 }
 
+// DrainSpec schedules one ring change in a routed scenario: the replica
+// leaves the ring at AtSec (its sessions move to their new ring owners
+// by checkpoint handoff) and rejoins RejoinSec later (sessions whose
+// ring owner it is hand back). Unlike a FaultSpec crash, no state is
+// ever lost — the drain is the cooperative maintenance path, and the
+// run's verdict checksum must not notice it happened.
+type DrainSpec struct {
+	// Replica is the replica index to drain.
+	Replica int `json:"replica"`
+	// AtSec is the drain's virtual time.
+	AtSec float64 `json:"at_sec"`
+	// RejoinSec is how long after the drain the replica rejoins the
+	// ring; 0 means it stays out for the rest of the run.
+	RejoinSec float64 `json:"rejoin_sec,omitempty"`
+}
+
 // PromotionSpec schedules a mid-traffic registry promotion.
 type PromotionSpec struct {
 	// AtSec is when the challenger entry becomes the registry's current
@@ -152,8 +168,19 @@ type Scenario struct {
 	BatchIntervalMS float64 `json:"batch_interval_ms"`
 	// Service is the replica service-time model.
 	Service ServiceConfig `json:"service"`
+	// Routed runs the fleet behind a real fleet.Router: sessions shard
+	// by consistent hash on the session name instead of round-robin
+	// pinning, every batch traverses the router's forwarding path, each
+	// replica serves from its own registry store replicated from the
+	// run's primary, and promotions propagate through registry sync. The
+	// verdict checksum must match the same workload unrouted — routing
+	// is a placement concern and may never change what is scored.
+	Routed bool `json:"routed,omitempty"`
 	// Faults is the crash/restore schedule, possibly empty.
 	Faults []FaultSpec `json:"faults,omitempty"`
+	// Drains is the routed-mode ring-change schedule (drain + rejoin via
+	// checkpoint handoff); requires Routed.
+	Drains []DrainSpec `json:"drains,omitempty"`
 	// Promotion, when set, schedules a mid-traffic registry promotion.
 	Promotion *PromotionSpec `json:"promotion,omitempty"`
 	// Model configures the served bundle(s).
@@ -285,6 +312,23 @@ func (sc Scenario) Validate() error {
 			return fmt.Errorf("sim: scenario %q: faults[%d]: unknown kind %q (want sigterm or kill)", sc.Name, i, f.Kind)
 		}
 	}
+	if len(sc.Drains) > 0 && !sc.Routed {
+		return fmt.Errorf("sim: scenario %q: drains require routed mode", sc.Name)
+	}
+	if sc.Routed && len(sc.Faults) > 0 {
+		return fmt.Errorf("sim: scenario %q: routed mode and faults are mutually exclusive (a crash bypasses the router's ownership table; use drains)", sc.Name)
+	}
+	for i, d := range sc.Drains {
+		if d.Replica < 0 || d.Replica >= sc.Replicas {
+			return fmt.Errorf("sim: scenario %q: drains[%d]: replica %d out of range (have %d replicas)", sc.Name, i, d.Replica, sc.Replicas)
+		}
+		if d.AtSec <= 0 || d.RejoinSec < 0 {
+			return fmt.Errorf("sim: scenario %q: drains[%d]: at_sec must be positive and rejoin_sec non-negative", sc.Name, i)
+		}
+	}
+	if sc.Routed && sc.Replicas < 2 {
+		return fmt.Errorf("sim: scenario %q: routed mode needs at least 2 replicas", sc.Name)
+	}
 	if sc.Promotion != nil {
 		if sc.Promotion.AtSec <= 0 {
 			return fmt.Errorf("sim: scenario %q: promotion at_sec must be positive", sc.Name)
@@ -330,7 +374,7 @@ func LoadScenario(path string) (Scenario, error) {
 }
 
 // Canonical returns the pinned scenario catalog from EXPERIMENTS.md: the
-// five named workloads (and their seeds) every BENCH_sim.json row is
+// named workloads (and their seeds) every BENCH_sim.json row is
 // keyed by, so simulator numbers stay comparable across PRs. Mutating a
 // canonical scenario's shape or seed invalidates the committed baseline
 // and requires a BENCH_REBASELINE=1 rebaseline.
@@ -375,7 +419,20 @@ func Canonical() []Scenario {
 	storm.Replicas = 3
 	storm.Faults = []FaultSpec{{Replica: -1, AtSec: 12, DownSec: 5, Kind: "sigterm"}}
 
-	out := []Scenario{steady, burst, churn, promote, storm}
+	routedSteady := base
+	routedSteady.Name, routedSteady.Seed = "routed-steady", 1106
+	routedSteady.Routed = true
+	routedSteady.Replicas = 3
+
+	routedRebalance := base
+	routedRebalance.Name, routedRebalance.Seed = "routed-rebalance", 1107
+	routedRebalance.Routed = true
+	routedRebalance.Replicas = 3
+	routedRebalance.Drains = []DrainSpec{{Replica: 1, AtSec: 10, RejoinSec: 10}}
+	routedRebalance.Promotion = &PromotionSpec{AtSec: 15}
+	routedRebalance.Model.ChallengerSeed = 11
+
+	out := []Scenario{steady, burst, churn, promote, storm, routedSteady, routedRebalance}
 	for i := range out {
 		out[i] = out[i].withDefaults()
 	}

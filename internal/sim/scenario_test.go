@@ -119,12 +119,12 @@ func TestScenarioValidation(t *testing.T) {
 // bursty arrivals, both crash kinds, and a promotion.
 func TestCanonicalCatalog(t *testing.T) {
 	scs := Canonical()
-	if len(scs) != 5 {
-		t.Fatalf("catalog has %d scenarios, want 5", len(scs))
+	if len(scs) != 7 {
+		t.Fatalf("catalog has %d scenarios, want 7", len(scs))
 	}
 	seen := map[string]bool{}
 	seeds := map[int64]bool{}
-	var bursty, sigterm, kill, promotion bool
+	var bursty, sigterm, kill, promotion, routed, drained bool
 	for _, sc := range scs {
 		if err := sc.Validate(); err != nil {
 			t.Errorf("canonical %s invalid: %v", sc.Name, err)
@@ -138,14 +138,16 @@ func TestCanonicalCatalog(t *testing.T) {
 		seen[sc.Name], seeds[sc.Seed] = true, true
 		bursty = bursty || sc.Arrival.Process == "bursty"
 		promotion = promotion || sc.Promotion != nil
+		routed = routed || sc.Routed
+		drained = drained || len(sc.Drains) > 0
 		for _, f := range sc.Faults {
 			sigterm = sigterm || f.Kind == "sigterm"
 			kill = kill || f.Kind == "kill"
 		}
 	}
-	if !bursty || !sigterm || !kill || !promotion {
-		t.Fatalf("catalog coverage: bursty=%v sigterm=%v kill=%v promotion=%v, want all true",
-			bursty, sigterm, kill, promotion)
+	if !bursty || !sigterm || !kill || !promotion || !routed || !drained {
+		t.Fatalf("catalog coverage: bursty=%v sigterm=%v kill=%v promotion=%v routed=%v drained=%v, want all true",
+			bursty, sigterm, kill, promotion, routed, drained)
 	}
 	if _, err := CanonicalByName("steady-state"); err != nil {
 		t.Fatal(err)

@@ -20,6 +20,7 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -29,7 +30,9 @@ import (
 	"repro/internal/appsim"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/fleet"
 	"repro/internal/registry"
+	"repro/internal/serve"
 	"repro/internal/svm"
 )
 
@@ -64,6 +67,11 @@ type simulation struct {
 	replicas []*replica
 	sessions []*simSession
 	agg      aggregator
+
+	// Routed mode: the real consistent-hash router in front of the
+	// replicas and the driver every batch traverses it through.
+	router    *fleet.Router
+	routerDrv *serve.Driver
 
 	championID   string
 	challengerID string
@@ -221,9 +229,14 @@ func (s *simulation) scheduleFaults() {
 }
 
 // schedulePromotion enqueues the mid-traffic registry promotion: repoint
-// the current pointer at the challenger, then hot-reload every live
-// replica. Down replicas pick the new champion up at restore, because
-// boot always loads the registry's current entry.
+// the current pointer at the challenger, then propagate it. Unrouted
+// replicas share the primary store, so propagation is a direct
+// hot-reload. Routed replicas serve from their own mirrored stores, so
+// propagation is a real sync round per replica (in index order): the
+// entry imports, the pointer mirrors, and the syncer's OnAdvance hook
+// reloads the server — the exact path a production replica takes. Down
+// replicas pick the new champion up at restore, because boot always
+// loads the registry's current entry.
 func (s *simulation) schedulePromotion() {
 	if s.sc.Promotion == nil {
 		return
@@ -238,16 +251,106 @@ func (s *simulation) schedulePromotion() {
 			return
 		}
 		for _, r := range s.replicas {
-			if r.up {
-				if err := r.srv.Reload(); err != nil {
-					s.fail(fmt.Errorf("sim: reloading replica %d: %w", r.idx, err))
+			if !r.up {
+				continue
+			}
+			if s.sc.Routed {
+				if err := r.syncer.SyncOnce(); err != nil {
+					s.fail(fmt.Errorf("sim: syncing promotion to %s: %w", r.id, err))
 					return
 				}
+			} else if err := r.srv.Reload(); err != nil {
+				s.fail(fmt.Errorf("sim: reloading replica %d: %w", r.idx, err))
+				return
 			}
 		}
 		s.promoted = true
 		s.logf("t=%d promote entry=%s", at, s.challengerID)
 	})
+}
+
+// scheduleDrains enqueues the routed-mode ring changes: each drain takes
+// its replica out of the ring mid-traffic (checkpoint handoff moves its
+// sessions), each rejoin puts it back (sessions hand back). The handoffs
+// are real — exported and imported session checkpoints over the router's
+// member handlers — which is exactly what the replica-count-invariant
+// verdict checksum then proves lossless.
+func (s *simulation) scheduleDrains() {
+	for _, d := range s.sc.Drains {
+		r := s.replicas[d.Replica]
+		at := secNS(d.AtSec)
+		s.clock.Schedule(at, prioCrash, func() {
+			if s.err != nil {
+				return
+			}
+			moved, err := s.router.DrainMember(context.Background(), r.id)
+			if err != nil {
+				s.fail(fmt.Errorf("sim: draining %s: %w", r.id, err))
+				return
+			}
+			s.agg.handoffs += moved
+			s.logf("t=%d drain %s moved=%d ring_gen=%d", at, r.id, moved, s.router.Status().Generation)
+		})
+		if d.RejoinSec <= 0 {
+			continue
+		}
+		rejoinAt := at + secNS(d.RejoinSec)
+		s.clock.Schedule(rejoinAt, prioRestore, func() {
+			if s.err != nil {
+				return
+			}
+			moved, err := s.router.JoinMember(context.Background(), r.id)
+			if err != nil {
+				s.fail(fmt.Errorf("sim: rejoining %s: %w", r.id, err))
+				return
+			}
+			s.agg.handoffs += moved
+			s.logf("t=%d rejoin %s moved=%d ring_gen=%d", rejoinAt, r.id, moved, s.router.Status().Generation)
+		})
+	}
+}
+
+// setupRouter builds the real fleet router over the booted replicas.
+// Session ids always come from the workload (the stable s%05d names), so
+// the minting callback is a deterministic fallback that only the
+// recreate-after-loss path could ever reach.
+func (s *simulation) setupRouter() error {
+	members := make([]fleet.Member, len(s.replicas))
+	for i, r := range s.replicas {
+		members[i] = fleet.Member{ID: r.id, Handler: r.srv.Handler()}
+	}
+	minted := 0
+	rt, err := fleet.NewRouter(fleet.RouterConfig{
+		Members: members,
+		Seed:    uint64(s.sc.Seed),
+		Logger:  s.logger,
+		NewID: func() string {
+			minted++
+			return fmt.Sprintf("anon%05d", minted)
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	s.router = rt
+	s.routerDrv = serve.NewHandlerDriver(rt.Handler())
+	return nil
+}
+
+// ownerReplica resolves which replica the router currently places a
+// session on, so virtual service time is charged to the replica that
+// really scored the batch.
+func (s *simulation) ownerReplica(name string) (*replica, error) {
+	mid, _, ok := s.router.Owner(name)
+	if !ok {
+		return nil, fmt.Errorf("sim: no ring owner for session %s", name)
+	}
+	for _, r := range s.replicas {
+		if r.id == mid {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("sim: router owner %q is not a fleet replica", mid)
 }
 
 // report assembles the run's deterministic report.
@@ -280,6 +383,11 @@ func (s *simulation) report() *Report {
 		combined.combine(sess.hash)
 	}
 	rep.VerdictChecksum = fmt.Sprintf("%016x", combined.sum)
+	if s.sc.Routed {
+		rep.Routed = true
+		rep.RingGeneration = s.router.Status().Generation
+		rep.Handoffs = s.agg.handoffs
+	}
 	for _, r := range s.replicas {
 		rep.Fleet = append(rep.Fleet, ReplicaStats{
 			Replica: r.idx, Batches: r.batches, Held: r.heldCount,
@@ -339,8 +447,14 @@ func Run(cfg Config) (*Report, error) {
 			}
 		}
 	}()
+	if sc.Routed {
+		if err := s.setupRouter(); err != nil {
+			return nil, err
+		}
+	}
 	s.scheduleArrivals()
 	s.scheduleFaults()
+	s.scheduleDrains()
 	s.schedulePromotion()
 	for s.clock.HasPendingEvents() && s.err == nil {
 		s.clock.ProcessNextEvent()

@@ -127,6 +127,16 @@ func (s *simulation) arrive(sess *simSession, now int64) {
 	}
 	sess.gen = gen
 	sess.spec = serve.SessionSpecOfModules(proc.Modules(), "")
+	if s.sc.Routed {
+		// Routed sessions are placed by the ring, not round-robin; pin
+		// the display owner now so the arrival log shows the placement.
+		r, err := s.ownerReplica(sess.name)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		sess.replica = r
+	}
 	s.agg.sessionsStarted++
 	s.logf("t=%d arrive %s replica=%d app=%s payload=%s events=%d",
 		now, sess.name, sess.replica.idx, sess.mix.App, orDash(sess.mix.Payload), sess.total)
@@ -158,6 +168,16 @@ func (s *simulation) emitBatch(sess *simSession, now int64) {
 	s.agg.batchesSent++
 	b := &heldBatch{sess: sess, seq: sess.batches, events: events, arrival: now}
 	r := sess.replica
+	if s.sc.Routed {
+		// Re-resolve the owner every batch: a drain between batches moves
+		// the session, and its virtual service time must move with it.
+		owner, err := s.ownerReplica(sess.name)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		r = owner
+	}
 	if r.up {
 		if err := r.dispatch(b, now); err != nil {
 			s.fail(err)
@@ -185,8 +205,19 @@ func (s *simulation) batchSettled(sess *simSession, now int64) {
 	sess.completed = true
 	s.agg.sessionsCompleted++
 	s.logf("t=%d complete %s verdicts=%d malicious=%d", now, sess.name, sess.verdicts, sess.malicious)
+	if sess.serverID == "" {
+		return
+	}
+	if s.sc.Routed {
+		// Close through the router so its ownership table forgets the
+		// session too.
+		if err := s.routerDrv.DeleteSession(sess.serverID); err != nil && !serve.IsStatus(err, 404) {
+			s.fail(fmt.Errorf("sim: closing session %s: %w", sess.name, err))
+		}
+		return
+	}
 	r := sess.replica
-	if r.up && sess.serverID != "" {
+	if r.up {
 		if err := r.drv.DeleteSession(sess.serverID); err != nil && !serve.IsStatus(err, 404) {
 			s.fail(fmt.Errorf("sim: closing session %s: %w", sess.name, err))
 		}

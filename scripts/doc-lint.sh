@@ -1,8 +1,9 @@
 #!/bin/sh
 # Godoc lint gate: every package under internal/ and cmd/ must carry a
 # package comment, and every exported identifier in internal/serve,
-# internal/registry, internal/telemetry and internal/sim must carry a
-# doc comment. Wired into `make verify` via the doc-lint target.
+# internal/registry, internal/telemetry, internal/sim and internal/fleet
+# must carry a doc comment. Wired into `make verify` via the doc-lint
+# target.
 set -eu
 cd "$(dirname "$0")/.."
-exec go run ./scripts/doclint -strict internal/serve,internal/registry,internal/telemetry,internal/sim ./internal ./cmd
+exec go run ./scripts/doclint -strict internal/serve,internal/registry,internal/telemetry,internal/sim,internal/fleet ./internal ./cmd

@@ -1,0 +1,200 @@
+#!/bin/sh
+# End-to-end smoke test of the fleet layer over real sockets: three
+# registry-replicated leaps-serve replicas behind a leaps-router
+# consistent-hash front. Asserts that
+#
+#   - each replica boots by syncing its local registry mirror from the
+#     primary published by leaps-train -registry,
+#   - a session created through the router lands on a ring member and
+#     reports its owner and ring generation in session info,
+#   - verdicts forwarded by the router are byte-identical to a plain
+#     single-server reference scoring the same stream,
+#   - draining the session's owner hands it off by checkpoint export/
+#     import and the stream continues byte-identically on the winner,
+#   - rejoining restores the member and bumps the ring generation,
+#   - a forced promotion on the primary registry propagates to every
+#     replica through background sync, and new sessions routed through
+#     the fleet score with the promoted challenger.
+set -eu
+
+workdir=$(mktemp -d)
+pids=""
+cleanup() {
+	for pid in $pids; do
+		kill "$pid" 2>/dev/null || true
+	done
+	for pid in $pids; do
+		wait "$pid" 2>/dev/null || true
+	done
+	rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+say() { printf 'fleet-smoke: %s\n' "$*"; }
+fail() {
+	say "FAIL: $*"
+	exit 1
+}
+
+say "building CLIs into $workdir"
+go build -o "$workdir" ./cmd/leaps-trace ./cmd/leaps-train ./cmd/leaps-serve ./cmd/leaps-router
+
+say "generating dataset with serve wire files"
+"$workdir/leaps-trace" -dataset vim_reverse_tcp -out "$workdir" -seed 1 -serve-json -quiet
+
+say "training seeds 1 and 2 into the primary registry"
+"$workdir/leaps-train" \
+	-benign "$workdir/vim_reverse_tcp_benign.letl" \
+	-mixed "$workdir/vim_reverse_tcp_mixed.letl" \
+	-model "$workdir/leaps.model" \
+	-lambda 8 -sigma2 2 -seeds "1, 2" \
+	-registry "$workdir/primary" -quiet -telemetry-out none
+
+session_json="$workdir/vim_reverse_tcp_malicious.session.json"
+batch_a="$workdir/vim_reverse_tcp_malicious.events.json"
+batch_b="$workdir/vim_reverse_tcp_benign.events.json"
+
+# start_bg <binary> <logfile> <args...>: boots a CLI in the background
+# and sets $started_pid / $started_addr from its addr= log line (runs in
+# the main shell so the pid survives).
+start_bg() {
+	bin="$1"
+	log="$2"
+	shift 2
+	"$workdir/$bin" "$@" 2>"$log" &
+	started_pid=$!
+	pids="$pids $started_pid"
+	started_addr=""
+	for _ in $(seq 1 100); do
+		started_addr=$(sed -n 's/.*addr=\([0-9.]*:[0-9]*\).*/\1/p' "$log" | head -n1)
+		[ -n "$started_addr" ] && break
+		kill -0 "$started_pid" 2>/dev/null || fail "$bin exited early: $(cat "$log")"
+		sleep 0.1
+	done
+	[ -n "$started_addr" ] || fail "no listen address logged in $log"
+}
+
+say "starting champion and challenger reference servers"
+start_bg leaps-serve "$workdir/champ.log" -model "$workdir/leaps.model" -addr 127.0.0.1:0
+champ_addr=$started_addr
+start_bg leaps-serve "$workdir/chall.log" -model "$workdir/leaps.model.seed2" -addr 127.0.0.1:0
+chall_addr=$started_addr
+
+say "starting the primary (registry-owning) server"
+start_bg leaps-serve "$workdir/primary.log" -registry "$workdir/primary" -addr 127.0.0.1:0
+primary_addr=$started_addr
+
+say "starting 3 replicas syncing from the primary registry"
+replica_flags=""
+replica_addrs=""
+for i in 0 1 2; do
+	start_bg leaps-serve "$workdir/r$i.log" \
+		-registry "$workdir/mirror-r$i" -sync-from "$workdir/primary" \
+		-sync-interval 200ms -replica-id "r$i" \
+		-spool "$workdir/spool-r$i" -addr 127.0.0.1:0
+	replica_flags="$replica_flags -replica r$i=http://$started_addr"
+	replica_addrs="$replica_addrs $started_addr"
+done
+
+say "starting the router"
+# shellcheck disable=SC2086 # replica_flags is a flag list by construction
+start_bg leaps-router "$workdir/router.log" $replica_flags \
+	-ring-seed 7 -health-interval 200ms -addr 127.0.0.1:0
+router_addr=$started_addr
+
+curl -fsS "http://$router_addr/readyz" >/dev/null || fail "router not ready"
+
+open_session() {
+	curl -fsS -X POST --data-binary @"$session_json" "http://$1/v1/sessions"
+}
+post_batch() {
+	curl -fsS -X POST --data-binary @"$3" "http://$1/v1/sessions/$2/events" >"$4"
+}
+field() {
+	sed -n 's/.*"'"$2"'": *"\([^"]*\)".*/\1/p' "$1" | head -n1
+}
+
+say "computing reference verdicts"
+champ_sid=$(open_session "$champ_addr" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -n1)
+chall_sid=$(open_session "$chall_addr" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -n1)
+[ -n "$champ_sid" ] && [ -n "$chall_sid" ] || fail "reference session creation returned no id"
+post_batch "$champ_addr" "$champ_sid" "$batch_a" "$workdir/champ_a.json"
+post_batch "$champ_addr" "$champ_sid" "$batch_b" "$workdir/champ_b.json"
+post_batch "$chall_addr" "$chall_sid" "$batch_a" "$workdir/chall_a.json"
+grep -q '"first_event"' "$workdir/champ_a.json" || fail "reference batch produced no verdicts"
+
+say "creating a session through the router"
+open_session "$router_addr" >"$workdir/create.json"
+sid=$(field "$workdir/create.json" id)
+owner=$(field "$workdir/create.json" replica)
+[ -n "$sid" ] || fail "routed session creation returned no id"
+case "$owner" in
+r0 | r1 | r2) ;;
+*) fail "session owner '$owner' is not a fleet member" ;;
+esac
+grep -q '"ring_generation": *3' "$workdir/create.json" ||
+	fail "session info lacks ring generation 3: $(cat "$workdir/create.json")"
+say "session $sid placed on $owner at ring generation 3"
+
+say "streaming batch A through the router"
+post_batch "$router_addr" "$sid" "$batch_a" "$workdir/routed_a.json"
+cmp -s "$workdir/routed_a.json" "$workdir/champ_a.json" ||
+	fail "routed verdicts differ from the single-server reference"
+say "routed verdicts byte-identical to the reference"
+
+say "draining $owner mid-stream"
+curl -fsS -X POST -d '{"member": "'"$owner"'"}' \
+	"http://$router_addr/v1/fleet/drain" >"$workdir/drain.json"
+grep -q '"moved": *1' "$workdir/drain.json" ||
+	fail "drain did not move the session: $(cat "$workdir/drain.json")"
+curl -fsS "http://$router_addr/v1/sessions/$sid" >"$workdir/after.json"
+new_owner=$(field "$workdir/after.json" replica)
+[ -n "$new_owner" ] && [ "$new_owner" != "$owner" ] ||
+	fail "session still reports owner '$new_owner' after draining $owner"
+say "session handed off to $new_owner"
+
+say "streaming batch B after the handoff"
+post_batch "$router_addr" "$sid" "$batch_b" "$workdir/routed_b.json"
+cmp -s "$workdir/routed_b.json" "$workdir/champ_b.json" ||
+	fail "post-handoff verdicts differ from the uninterrupted reference"
+say "verdict stream continued byte-identically across the handoff"
+
+say "rejoining $owner"
+curl -fsS -X POST -d '{"member": "'"$owner"'"}' \
+	"http://$router_addr/v1/fleet/join" >"$workdir/join.json"
+curl -fsS "http://$router_addr/v1/fleet" >"$workdir/fleet.json"
+grep -q '"generation": *5' "$workdir/fleet.json" ||
+	fail "ring generation after drain+join: $(cat "$workdir/fleet.json")"
+
+say "force-promoting the challenger on the primary"
+curl -fsS "http://$primary_addr/v1/models" >"$workdir/models.json"
+current=$(field "$workdir/models.json" current)
+challenger=$(grep -o '"id": *"[^"]*"' "$workdir/models.json" |
+	sed 's/.*: *"\(.*\)"/\1/' | grep -v "^$current\$" | sort -u | head -n1)
+[ -n "$current" ] && [ -n "$challenger" ] || fail "could not parse entry ids from /v1/models"
+status=$(curl -s -o "$workdir/promote.json" -w '%{http_code}' \
+	-X POST -d '{"id": "'"$challenger"'", "force": true}' "http://$primary_addr/v1/models/promote")
+[ "$status" = "200" ] || fail "forced promote got status $status: $(cat "$workdir/promote.json")"
+
+say "waiting for replication to reach every replica"
+for addr in $replica_addrs; do
+	synced=""
+	for _ in $(seq 1 100); do
+		if curl -fsS "http://$addr/v1/models" | grep -q '"loaded": *"'"$challenger"'"'; then
+			synced=1
+			break
+		fi
+		sleep 0.1
+	done
+	[ -n "$synced" ] || fail "replica $addr never loaded the promoted challenger"
+done
+say "all replicas serving the promoted challenger"
+
+say "checking that new routed sessions score with the challenger"
+new_sid=$(open_session "$router_addr" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -n1)
+post_batch "$router_addr" "$new_sid" "$batch_a" "$workdir/new_a.json"
+cmp -s "$workdir/new_a.json" "$workdir/chall_a.json" ||
+	fail "post-promotion routed verdicts differ from the challenger reference"
+say "promotion propagated through registry sync to the routed fleet"
+
+say "PASS"
